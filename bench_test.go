@@ -1,0 +1,583 @@
+// Root benchmark harness: one benchmark per paper table/figure (the E*
+// ids of DESIGN.md §4), plus ablation benchmarks for the design choices
+// DESIGN.md §6 calls out. Run with:
+//
+//	go test -bench=. -benchmem .
+package gostats
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"gostats/internal/analysis"
+	"gostats/internal/broker"
+	"gostats/internal/chip"
+	"gostats/internal/cluster"
+	"gostats/internal/collect"
+	"gostats/internal/core"
+	"gostats/internal/etl"
+	"gostats/internal/experiments"
+	"gostats/internal/hwsim"
+	"gostats/internal/model"
+	"gostats/internal/portal"
+	"gostats/internal/preload"
+	"gostats/internal/rawfile"
+	"gostats/internal/reldb"
+	"gostats/internal/schema"
+	"gostats/internal/tsdb"
+	"gostats/internal/workload"
+)
+
+// ---- shared fixtures (built once, reused across benchmarks) ----
+
+var fixOnce sync.Once
+var fix struct {
+	cfg     chip.NodeConfig
+	reg     *schema.Registry
+	run     *cluster.JobRun // reference 4-node job
+	jobData *model.JobData
+	fleetDB *reldb.DB // 250-job population
+	wrfDB   *reldb.DB // WRF window population
+	tsdb    *tsdb.DB
+}
+
+func fixtures(b *testing.B) {
+	b.Helper()
+	fixOnce.Do(func() {
+		fix.cfg = chip.StampedeNode()
+		fix.reg = fix.cfg.Registry()
+		spec := workload.Spec{
+			JobID: "bench-ref", User: "u001", Exe: "wrf.exe", Queue: "normal",
+			Nodes: 4, Wayness: 16, Runtime: 4 * 3600,
+			Status: workload.StatusCompleted,
+			Model:  workload.Steady{Label: "wrf", P: workload.WRFProfile("u001")},
+		}
+		run, err := cluster.RunJob(spec, fix.cfg, 600, 1)
+		if err != nil {
+			panic(err)
+		}
+		fix.run = run
+		fix.jobData = run.JobData()
+
+		fleet := workload.GenerateFleet(workload.FleetOpts{Seed: 3, Jobs: 250, SpanSec: 90 * 86400})
+		db, _, err := etl.RunFleetMixed(fleet, 600, 3, 0)
+		if err != nil {
+			panic(err)
+		}
+		fix.fleetDB = db
+
+		wrf := workload.GenerateWRF(workload.WRFOpts{Seed: 5, Jobs: 80, PathoJobs: 2, PathoUser: "u042", SpanSec: 13 * 86400})
+		wdb, _, err := etl.RunFleetMixed(wrf, 600, 5, 0)
+		if err != nil {
+			panic(err)
+		}
+		fix.wrfDB = wdb
+
+		// TSDB loaded with the reference job's stream.
+		tdb := tsdb.New()
+		ing := tsdb.NewIngester(tdb, fix.reg)
+		for _, s := range run.Snapshots {
+			ing.Ingest(s)
+		}
+		fix.tsdb = tdb
+	})
+}
+
+// ---- E1: Table I ----
+
+// BenchmarkTableIMetrics measures the metric engine reducing a 4-node,
+// 4-hour job to its full Table I summary.
+func BenchmarkTableIMetrics(b *testing.B) {
+	fixtures(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Compute(fix.jobData, fix.reg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E2: collection cost / overhead ----
+
+// BenchmarkCollection measures one full device sweep on a Stampede node
+// (the real Go cost backing the simulated ~0.09 s budget).
+func BenchmarkCollection(b *testing.B) {
+	fixtures(b)
+	n, err := hwsim.NewNode("bench", fix.cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n.Advance(600, hwsim.Demand{CPUUserFrac: 0.8, IPC: 1.2})
+	col := collect.New(n)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		col.Collect(float64(i), []string{"1"}, "")
+	}
+}
+
+// ---- E3: cron pipeline ----
+
+// BenchmarkCronPipeline measures the node-local log append (collection
+// included), the per-snapshot cost of Fig 1's first stage.
+func BenchmarkCronPipeline(b *testing.B) {
+	fixtures(b)
+	n, err := hwsim.NewNode("bench", fix.cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	col := collect.New(n)
+	agent, err := collect.NewCronAgent(col, b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer agent.Close()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n.Advance(600, hwsim.Demand{CPUUserFrac: 0.8, IPC: 1.2})
+		if err := agent.Tick(float64(i)*600, []string{"1"}, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E4: daemon pipeline ----
+
+// BenchmarkDaemonPipeline measures the broker round trip: collect,
+// publish over TCP, consume and decode — Fig 2's per-snapshot cost.
+func BenchmarkDaemonPipeline(b *testing.B) {
+	fixtures(b)
+	srv := broker.NewServer()
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := broker.Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	cons, err := broker.DialConsumer(addr, broker.StatsQueue)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cons.Close()
+
+	n, err := hwsim.NewNode("bench", fix.cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	agent := collect.NewDaemonAgent(collect.New(n), broker.SnapshotPublisher{C: client})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			body, err := cons.Next()
+			if err != nil {
+				return
+			}
+			if _, err := broker.DecodeSnapshot(body); err != nil {
+				return
+			}
+		}
+	}()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n.Advance(600, hwsim.Demand{CPUUserFrac: 0.8, IPC: 1.2})
+		if err := agent.Tick(float64(i)*600, []string{"1"}, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	srv.Close()
+	<-done
+}
+
+// ---- E5: portal query ----
+
+// BenchmarkPortalQuery measures the Fig 3 search over HTTP, including
+// filter parsing and the JSON projection.
+func BenchmarkPortalQuery(b *testing.B) {
+	fixtures(b)
+	srv := httptest.NewServer(portal.NewServer(fix.wrfDB, fix.reg, nil))
+	defer srv.Close()
+	url := srv.URL + "/api/jobs?exe=wrf.exe&field1=runtime&op1=gte&val1=600"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Get(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+// ---- E6: histogram generation ----
+
+// BenchmarkHistogramQuery measures the Fig 4 quartet over the WRF window.
+func BenchmarkHistogramQuery(b *testing.B) {
+	fixtures(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.Histograms(fix.wrfDB, 20, reldb.F("exe", "wrf.exe")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E7: job detail page ----
+
+// BenchmarkJobDetail measures assembling the six Fig 5 panels and
+// rendering them to SVG.
+func BenchmarkJobDetail(b *testing.B) {
+	fixtures(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		js, err := core.TimeSeries(fix.jobData, fix.reg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range js.Panels {
+			if svg := portal.PanelSVG(p); len(svg) == 0 {
+				b.Fatal("empty svg")
+			}
+		}
+	}
+}
+
+// ---- E8: case study aggregation ----
+
+// BenchmarkCaseStudy measures the §V-B user-vs-population aggregation.
+func BenchmarkCaseStudy(b *testing.B) {
+	fixtures(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.WRFStudy(fix.wrfDB, "wrf.exe", "u042"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E9: correlation study ----
+
+// BenchmarkCorrelations measures the production-population correlation
+// study.
+func BenchmarkCorrelations(b *testing.B) {
+	fixtures(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.IOCorrelations(fix.fleetDB, analysis.ProductionFilters()...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E10: population survey ----
+
+// BenchmarkPopulationSurvey measures the §V-A fleet characterization.
+func BenchmarkPopulationSurvey(b *testing.B) {
+	fixtures(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.PopulationSurvey(fix.fleetDB); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E11: TSDB query ----
+
+// BenchmarkTSDBQuery measures a tag-filtered, host-aggregated range
+// query over the reference job's stream.
+func BenchmarkTSDBQuery(b *testing.B) {
+	fixtures(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := fix.tsdb.Do(tsdb.Query{DevType: "mdc", Event: "reqs", Aggregate: tsdb.Sum})
+		if err != nil || len(res) == 0 {
+			b.Fatalf("res=%v err=%v", res, err)
+		}
+	}
+}
+
+// ---- E12: shared-node signal handling ----
+
+// BenchmarkSharedNode measures the per-signal cost of the §VI-C tracker.
+func BenchmarkSharedNode(b *testing.B) {
+	fixtures(b)
+	n, err := hwsim.NewNode("bench", fix.cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	col := collect.New(n)
+	tr := preload.NewTracker(col, nil)
+	tr.JobStart(0, "1")
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Signal(float64(i)*10+100, preload.ProcExec)
+	}
+}
+
+// ---- End-to-end throughput ----
+
+// BenchmarkFleetSimulation measures whole-pipeline throughput: simulate
+// a job, collect it, compute its metrics, build its row.
+func BenchmarkFleetSimulation(b *testing.B) {
+	fixtures(b)
+	specs := workload.GenerateFleet(workload.FleetOpts{Seed: 9, Jobs: 64})
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		spec := specs[i%len(specs)]
+		spec.Runtime = 3600 // bound the per-iteration work
+		if spec.Nodes > 8 {
+			spec.Nodes = 8
+		}
+		run, err := cluster.RunJob(spec, fix.cfg, 600, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := etl.BuildRow(run, fix.reg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExperimentSuite runs the entire E1-E12 suite at small scale —
+// the one-button reproduction.
+func BenchmarkExperimentSuite(b *testing.B) {
+	if testing.Short() {
+		b.Skip("long")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.All(experiments.Small()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Ablations (DESIGN.md §6) ----
+
+// BenchmarkDeltaDecodeRollover vs BenchmarkDeltaDecodeNaive: the cost of
+// rollover-aware decoding against naive subtraction.
+func BenchmarkDeltaDecodeRollover(b *testing.B) {
+	def := schema.EventDef{Name: "x", Kind: schema.Event, Width: 48}
+	prev, cur := uint64(1<<48)-5000, uint64(12345)
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += schema.RolloverDelta(prev, cur, def)
+	}
+	_ = sink
+}
+
+func BenchmarkDeltaDecodeNaive(b *testing.B) {
+	prev, cur := uint64(1000), uint64(2000)
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += cur - prev
+	}
+	_ = sink
+}
+
+// BenchmarkBrokerBatching compares one-snapshot-per-message against
+// one-record-per-message publishing (the design choice behind publishing
+// whole sweeps).
+func BenchmarkBrokerBatching(b *testing.B) {
+	fixtures(b)
+	n, err := hwsim.NewNode("bench", fix.cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n.Advance(600, hwsim.Demand{CPUUserFrac: 0.8, IPC: 1.2})
+	snap, _ := collect.New(n).Collect(600, []string{"1"}, "")
+
+	run := func(b *testing.B, publish func(pub *broker.Client) error, expect func(cons *broker.Consumer) error) {
+		srv := broker.NewServer()
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		pub, err := broker.Dial(addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer pub.Close()
+		cons, err := broker.DialConsumer(addr, broker.StatsQueue)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cons.Close()
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := publish(pub); err != nil {
+				b.Fatal(err)
+			}
+			if err := expect(cons); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("snapshot-per-message", func(b *testing.B) {
+		body, err := broker.EncodeSnapshot(snap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b,
+			func(pub *broker.Client) error { return pub.Publish(broker.StatsQueue, body) },
+			func(cons *broker.Consumer) error { _, err := cons.Next(); return err })
+	})
+	b.Run("record-per-message", func(b *testing.B) {
+		bodies := make([][]byte, len(snap.Records))
+		for i, r := range snap.Records {
+			one := model.Snapshot{Time: snap.Time, Host: snap.Host, JobIDs: snap.JobIDs,
+				Records: []model.Record{r}}
+			body, err := broker.EncodeSnapshot(one)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bodies[i] = body
+		}
+		run(b,
+			func(pub *broker.Client) error {
+				for _, body := range bodies {
+					if err := pub.Publish(broker.StatsQueue, body); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			func(cons *broker.Consumer) error {
+				for range bodies {
+					if _, err := cons.Next(); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+	})
+}
+
+// BenchmarkQueryIndexVsScan compares a threshold query with and without
+// the sorted secondary index.
+func BenchmarkQueryIndexVsScan(b *testing.B) {
+	mkdb := func() *reldb.DB {
+		db := reldb.New()
+		for i := 0; i < 20000; i++ {
+			db.Insert(&reldb.JobRow{
+				JobID: fmt.Sprint(i), User: "u", Exe: "x", Queue: "normal", Status: "COMPLETED",
+				Nodes: 2, StartTime: 0, EndTime: float64(600 + i),
+				Metrics: core.Summary{MetaDataRate: float64(i % 10000)},
+			})
+		}
+		return db
+	}
+	filter := reldb.F("metadatarate__gte", 9990.0)
+	b.Run("scan", func(b *testing.B) {
+		db := mkdb()
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rows, err := db.Query(filter)
+			if err != nil || len(rows) == 0 {
+				b.Fatalf("rows=%d err=%v", len(rows), err)
+			}
+		}
+	})
+	b.Run("indexed", func(b *testing.B) {
+		db := mkdb()
+		if err := db.CreateIndex("metadatarate"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Query(filter); err != nil { // build the index
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rows, err := db.Query(filter)
+			if err != nil || len(rows) == 0 {
+				b.Fatalf("rows=%d err=%v", len(rows), err)
+			}
+		}
+	})
+}
+
+// BenchmarkTSDBIndex compares a tag-filtered query (posting-list lookup)
+// against a wildcard query (series scan) on a many-series database.
+func BenchmarkTSDBIndex(b *testing.B) {
+	db := tsdb.New()
+	for h := 0; h < 200; h++ {
+		for e := 0; e < 10; e++ {
+			tags := tsdb.Tags{Host: fmt.Sprintf("n%03d", h), DevType: "cpu",
+				Device: "0", Event: fmt.Sprintf("ev%d", e)}
+			for t := 0; t < 20; t++ {
+				db.Put(tags, float64(t*600), float64(t))
+			}
+		}
+	}
+	b.Run("tag-filtered", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := db.Do(tsdb.Query{Host: "n017", Event: "ev3", Aggregate: tsdb.Sum})
+			if err != nil || len(res) != 1 {
+				b.Fatalf("res=%d err=%v", len(res), err)
+			}
+		}
+	})
+	b.Run("wildcard-scan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := db.Do(tsdb.Query{Event: "ev3", Aggregate: tsdb.Sum})
+			if err != nil || len(res) != 1 {
+				b.Fatalf("res=%d err=%v", len(res), err)
+			}
+		}
+	})
+}
+
+// BenchmarkRawfileRoundTrip measures the text format: write plus parse of
+// one full-sweep snapshot.
+func BenchmarkRawfileRoundTrip(b *testing.B) {
+	fixtures(b)
+	n, err := hwsim.NewNode("bench", fix.cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n.Advance(600, hwsim.Demand{CPUUserFrac: 0.8, IPC: 1.2})
+	snap, _ := collect.New(n).Collect(600, []string{"1"}, "")
+	header := rawfile.Header{Hostname: "bench", Arch: "sandybridge", Registry: fix.reg}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		w := rawfile.NewWriter(&buf, header)
+		if err := w.WriteSnapshot(snap); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rawfile.Parse(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

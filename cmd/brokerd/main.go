@@ -1,0 +1,38 @@
+// Command brokerd runs the gostats message broker — the RabbitMQ stand-in
+// of daemon mode (Fig 2). Node daemons publish raw collections to it and
+// listend consumes them.
+//
+// Usage:
+//
+//	brokerd [-listen 127.0.0.1:5672]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"gostats/internal/broker"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:5672", "address to listen on")
+	flag.Parse()
+
+	srv := broker.NewServer()
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		log.Fatalf("brokerd: %v", err)
+	}
+	fmt.Printf("brokerd: listening on %s\n", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("brokerd: shutting down")
+	if err := srv.Close(); err != nil {
+		log.Fatalf("brokerd: close: %v", err)
+	}
+}

@@ -1,0 +1,51 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (DESIGN.md §4, E1..E12) and prints paper-vs-measured
+// tables. Run with -scale full to reproduce EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-scale small|full] [-only E8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"gostats/internal/experiments"
+)
+
+func main() {
+	scale := flag.String("scale", "small", "population scale: small or full")
+	only := flag.String("only", "", "run a single experiment id (e.g. E8)")
+	seed := flag.Int64("seed", 0, "override the population seed (0 = default)")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scale {
+	case "small":
+		sc = experiments.Small()
+	case "full":
+		sc = experiments.Full()
+	default:
+		log.Fatalf("experiments: unknown scale %q", *scale)
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	start := time.Now()
+	results, err := experiments.All(sc)
+	if err != nil {
+		log.Fatalf("experiments: %v", err)
+	}
+	for _, r := range results {
+		if *only != "" && !strings.EqualFold(r.ID, *only) {
+			continue
+		}
+		fmt.Println(r)
+	}
+	fmt.Printf("total: %d experiments in %s (scale=%s)\n", len(results), time.Since(start).Round(time.Millisecond), *scale)
+}

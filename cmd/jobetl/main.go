@@ -1,0 +1,70 @@
+// Command jobetl is the nightly pipeline (§IV-A): it reads every host's
+// archived raw files from the central store, maps snapshots to jobs,
+// computes the Table I metrics for each complete job, and writes the job
+// table for the portal.
+//
+// Usage:
+//
+//	jobetl -store ./central -out jobs.gob [-acct accounting.log] [-arch stampede]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"gostats/internal/acct"
+	"gostats/internal/chip"
+	"gostats/internal/etl"
+	"gostats/internal/rawfile"
+	"gostats/internal/reldb"
+)
+
+func main() {
+	storeDir := flag.String("store", "central", "central raw store directory")
+	out := flag.String("out", "jobs.gob", "output job table")
+	acctPath := flag.String("acct", "", "scheduler accounting log to join metadata from")
+	arch := flag.String("arch", "stampede", "node type the fleet runs")
+	flag.Parse()
+
+	var cfg = chip.StampedeNode()
+	switch *arch {
+	case "stampede":
+	case "lonestar":
+		cfg = chip.LonestarNode()
+	case "largemem":
+		cfg = chip.LargeMemNode()
+	default:
+		log.Fatalf("jobetl: unknown arch %q", *arch)
+	}
+
+	store, err := rawfile.NewStore(*storeDir)
+	if err != nil {
+		log.Fatalf("jobetl: %v", err)
+	}
+	var meta map[string]etl.Meta
+	if *acctPath != "" {
+		recs, err := acct.LoadFile(*acctPath)
+		if err != nil {
+			log.Fatalf("jobetl: %v", err)
+		}
+		meta = make(map[string]etl.Meta, len(recs))
+		for _, r := range recs {
+			meta[r.JobID] = etl.MetaFromAcct(r)
+		}
+	}
+	db := reldb.New()
+	ids, err := etl.IngestStore(store, cfg.Registry(), meta, db)
+	if err != nil {
+		log.Fatalf("jobetl: %v", err)
+	}
+	if err := db.Save(*out); err != nil {
+		log.Fatalf("jobetl: %v", err)
+	}
+	fmt.Printf("jobetl: ingested %d jobs into %s\n", len(ids), *out)
+	for _, id := range ids {
+		row := db.Get(id)
+		fmt.Printf("  job %-10s hosts=%d CPU_Usage=%.2f flops=%.3g/s MetaDataRate=%.4g/s\n",
+			id, len(row.Hosts), row.Metrics.CPUUsage, row.Metrics.Flops, row.Metrics.MetaDataRate)
+	}
+}

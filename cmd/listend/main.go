@@ -1,0 +1,66 @@
+// Command listend is the daemon-mode central consumer (Fig 2): it drains
+// the broker's raw-stats queue, archives every snapshot into the central
+// store as it arrives, runs the online threshold monitor, and prints
+// alerts for the system administrator (§VI-B).
+//
+// Usage:
+//
+//	listend -broker 127.0.0.1:5672 -store ./central [-arch stampede]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"gostats/internal/broker"
+	"gostats/internal/chip"
+	"gostats/internal/rawfile"
+	"gostats/internal/realtime"
+	"gostats/internal/schema"
+)
+
+func main() {
+	brokerAddr := flag.String("broker", "127.0.0.1:5672", "broker address")
+	storeDir := flag.String("store", "central", "central raw store directory")
+	arch := flag.String("arch", "stampede", "node type the fleet runs (schema source)")
+	flag.Parse()
+
+	var reg *schema.Registry
+	switch *arch {
+	case "stampede":
+		reg = chip.StampedeNode().Registry()
+	case "lonestar":
+		reg = chip.LonestarNode().Registry()
+	case "largemem":
+		reg = chip.LargeMemNode().Registry()
+	default:
+		log.Fatalf("listend: unknown arch %q", *arch)
+	}
+
+	store, err := rawfile.NewStore(*storeDir)
+	if err != nil {
+		log.Fatalf("listend: %v", err)
+	}
+	cons, err := broker.DialConsumer(*brokerAddr, broker.StatsQueue)
+	if err != nil {
+		log.Fatalf("listend: dial broker: %v", err)
+	}
+	mon := realtime.NewMonitor(reg, realtime.DefaultRules())
+	mon.Notify = func(a realtime.Alert) {
+		fmt.Printf("ALERT %s\n", a)
+	}
+	l := &realtime.Listener{
+		Cons:    cons,
+		Monitor: mon,
+		Store:   store,
+		Headers: func(host string) rawfile.Header {
+			return rawfile.Header{Hostname: host, Arch: *arch, Registry: reg}
+		},
+	}
+	log.Printf("listend: consuming %s from %s into %s", broker.StatsQueue, *brokerAddr, *storeDir)
+	if err := l.Run(); err != nil {
+		log.Fatalf("listend: %v", err)
+	}
+	log.Printf("listend: broker closed after %d snapshots", l.Processed())
+}

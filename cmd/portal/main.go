@@ -1,0 +1,66 @@
+// Command portal serves the gostats web portal (§IV-B) over a job table
+// produced by jobetl or simcluster.
+//
+// Usage:
+//
+//	portal -db jobs.gob [-listen :8080] [-store ./central]
+//
+// With -store set, detail pages include the Fig 5 per-node plots,
+// assembled on demand from the raw archive.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"gostats/internal/chip"
+	"gostats/internal/jobmap"
+	"gostats/internal/model"
+	"gostats/internal/portal"
+	"gostats/internal/rawfile"
+	"gostats/internal/reldb"
+	"gostats/internal/xalt"
+)
+
+func main() {
+	dbPath := flag.String("db", "jobs.gob", "job table written by jobetl")
+	listen := flag.String("listen", "127.0.0.1:8080", "listen address")
+	storeDir := flag.String("store", "", "raw store for detail-page plots (optional)")
+	xaltPath := flag.String("xalt", "", "XALT environment store (optional)")
+	flag.Parse()
+
+	db, err := reldb.Load(*dbPath)
+	if err != nil {
+		log.Fatalf("portal: %v", err)
+	}
+	reg := chip.StampedeNode().Registry()
+
+	var series portal.SeriesSource
+	if *storeDir != "" {
+		store, err := rawfile.NewStore(*storeDir)
+		if err != nil {
+			log.Fatalf("portal: %v", err)
+		}
+		series = func(jobID string) (*model.JobData, error) {
+			m, err := jobmap.FromStore(store)
+			if err != nil {
+				return nil, err
+			}
+			return m.Jobs()[jobID], nil
+		}
+	}
+	srv := portal.NewServer(db, reg, series)
+	if *xaltPath != "" {
+		xdb, err := xalt.Load(*xaltPath)
+		if err != nil {
+			log.Fatalf("portal: %v", err)
+		}
+		srv.XALT = xdb
+	}
+	fmt.Printf("portal: %d jobs, serving on http://%s/\n", db.Len(), *listen)
+	if err := http.ListenAndServe(*listen, srv); err != nil {
+		log.Fatalf("portal: %v", err)
+	}
+}

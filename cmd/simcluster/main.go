@@ -1,0 +1,224 @@
+// Command simcluster drives an end-to-end simulated deployment: a
+// cluster of nodes under a synthetic job mix, monitored in either
+// operation mode, with the resulting raw archive and job table written
+// out for jobetl/portal.
+//
+// Usage:
+//
+//	simcluster [-mode cron|daemon] [-nodes 16] [-days 1] [-out ./simout]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gostats/internal/acct"
+	"gostats/internal/broker"
+	"gostats/internal/chip"
+	"gostats/internal/cluster"
+	"gostats/internal/collect"
+	"gostats/internal/etl"
+	"gostats/internal/hwsim"
+	"gostats/internal/lustresim"
+	"gostats/internal/model"
+	"gostats/internal/rawfile"
+	"gostats/internal/realtime"
+	"gostats/internal/reldb"
+	"gostats/internal/workload"
+	"gostats/internal/xalt"
+)
+
+func main() {
+	mode := flag.String("mode", "daemon", "operation mode: cron or daemon")
+	nodes := flag.Int("nodes", 16, "cluster size")
+	days := flag.Float64("days", 1, "simulated days")
+	jobs := flag.Int("jobs", 0, "jobs to submit (default: enough to fill the span)")
+	out := flag.String("out", "simout", "output directory")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatalf("simcluster: %v", err)
+	}
+	store, err := rawfile.NewStore(filepath.Join(*out, "central"))
+	if err != nil {
+		log.Fatalf("simcluster: %v", err)
+	}
+	span := *days * 86400
+	nJobs := *jobs
+	if nJobs == 0 {
+		nJobs = *nodes * int(span/7200)
+	}
+	specs := workload.GenerateFleet(workload.FleetOpts{Seed: *seed, Jobs: nJobs, SpanSec: span * 0.8})
+	// Keep jobs small enough for the cluster and short enough to finish.
+	for i := range specs {
+		if specs[i].Nodes > *nodes {
+			specs[i].Nodes = *nodes
+		}
+		if specs[i].Runtime > span/4 {
+			specs[i].Runtime = span / 4
+		}
+		specs[i].Queue = "normal"
+	}
+
+	eng, err := cluster.NewEngine(*nodes, chip.StampedeNode(), 600, *seed)
+	if err != nil {
+		log.Fatalf("simcluster: %v", err)
+	}
+	// All nodes mount one shared Lustre filesystem: concurrent jobs
+	// genuinely interfere through the MDS and OSS capacity models.
+	eng.FS = lustresim.New(lustresim.DefaultConfig())
+
+	// The scheduler writes its accounting log as jobs complete; the ETL
+	// joins against it, exactly as in the paper's deployment.
+	acctPath := filepath.Join(*out, "accounting.log")
+	acctFile, err := os.Create(acctPath)
+	if err != nil {
+		log.Fatalf("simcluster: %v", err)
+	}
+	acctW := acct.NewWriter(acctFile)
+	// The XALT shim captures each job's environment at launch; here the
+	// capture happens with the accounting write.
+	xdb := xalt.NewDB()
+	eng.OnJobEnd = func(spec workload.Spec, start, end float64, hosts []string) error {
+		vectorized := false
+		if st, ok := spec.Model.(workload.Steady); ok && st.P.VecFrac > 0.3 {
+			vectorized = true
+		}
+		if err := xdb.Put(xalt.Capture(spec.JobID, spec.Exe, spec.User, vectorized, *seed)); err != nil {
+			return err
+		}
+		return acctW.Append(acct.FromSpec(spec, start, end, hosts))
+	}
+
+	var srv *broker.Server
+	var listener *realtime.Listener
+	listenDone := make(chan error, 1)
+	switch *mode {
+	case "cron":
+		spoolOf := func(host string) string { return filepath.Join(*out, "spool", host) }
+		eng.NewSink = func(n *hwsim.Node, col *collect.Collector) (cluster.Sink, error) {
+			logger, err := rawfile.NewNodeLogger(spoolOf(n.Host()), col.Header())
+			if err != nil {
+				return nil, err
+			}
+			return cronSink{logger}, nil
+		}
+		eng.SyncHook = func(host string, now float64) error {
+			return store.SyncFrom(host, spoolOf(host))
+		}
+	case "daemon":
+		srv = broker.NewServer()
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("simcluster: %v", err)
+		}
+		reg := chip.StampedeNode().Registry()
+		eng.NewSink = func(n *hwsim.Node, col *collect.Collector) (cluster.Sink, error) {
+			client, err := broker.Dial(addr)
+			if err != nil {
+				return nil, err
+			}
+			return daemonSink{broker.SnapshotPublisher{C: client}, client}, nil
+		}
+		cons, err := broker.DialConsumer(addr, broker.StatsQueue)
+		if err != nil {
+			log.Fatalf("simcluster: %v", err)
+		}
+		mon := realtime.NewMonitor(reg, realtime.DefaultRules())
+		mon.Notify = func(a realtime.Alert) { fmt.Printf("ALERT %s\n", a) }
+		listener = &realtime.Listener{
+			Cons: cons, Monitor: mon, Store: store,
+			Headers: func(host string) rawfile.Header {
+				return rawfile.Header{Hostname: host, Arch: "sandybridge", Registry: reg}
+			},
+		}
+		go func() { listenDone <- listener.Run() }()
+	default:
+		log.Fatalf("simcluster: unknown mode %q", *mode)
+	}
+
+	if err := eng.Start(); err != nil {
+		log.Fatalf("simcluster: %v", err)
+	}
+	eng.Submit(specs...)
+	if err := eng.Run(span); err != nil {
+		log.Fatalf("simcluster: %v", err)
+	}
+	if err := eng.Close(); err != nil {
+		log.Fatalf("simcluster: %v", err)
+	}
+	if *mode == "cron" {
+		// Final morning sync.
+		for _, host := range eng.Nodes() {
+			if err := store.SyncFrom(host, filepath.Join(*out, "spool", host)); err != nil {
+				log.Fatalf("simcluster: %v", err)
+			}
+		}
+	} else {
+		// The simulation outruns the archiver: wait until the listener
+		// has consumed every published snapshot before shutting down.
+		deadline := time.Now().Add(120 * time.Second)
+		for time.Now().Before(deadline) {
+			published, _ := srv.QueueCounts(broker.StatsQueue)
+			if uint64(listener.Processed()) >= published {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		pub, del := srv.QueueCounts(broker.StatsQueue)
+		fmt.Printf("simcluster: broker published=%d delivered=%d backlog=%d listener_processed=%d\n",
+			pub, del, srv.QueueDepth(broker.StatsQueue), listener.Processed())
+		srv.Close()
+		if err := <-listenDone; err != nil {
+			log.Fatalf("simcluster: listener: %v", err)
+		}
+	}
+
+	if err := acctFile.Close(); err != nil {
+		log.Fatalf("simcluster: %v", err)
+	}
+
+	// ETL into the job table, joining the accounting log.
+	recs, err := acct.LoadFile(acctPath)
+	if err != nil {
+		log.Fatalf("simcluster: %v", err)
+	}
+	meta := map[string]etl.Meta{}
+	for _, r := range recs {
+		meta[r.JobID] = etl.MetaFromAcct(r)
+	}
+	db := reldb.New()
+	ids, err := etl.IngestStore(store, chip.StampedeNode().Registry(), meta, db)
+	if err != nil {
+		log.Fatalf("simcluster: %v", err)
+	}
+	dbPath := filepath.Join(*out, "jobs.gob")
+	if err := db.Save(dbPath); err != nil {
+		log.Fatalf("simcluster: %v", err)
+	}
+	xaltPath := filepath.Join(*out, "xalt.jsonl")
+	if err := xdb.Save(xaltPath); err != nil {
+		log.Fatalf("simcluster: %v", err)
+	}
+	fmt.Printf("simcluster: mode=%s nodes=%d days=%g: started %d, finished %d jobs; %d ingested -> %s\n",
+		*mode, *nodes, *days, eng.Started, eng.Finished, len(ids), dbPath)
+	fmt.Printf("simcluster: browse with: portal -db %s -store %s\n", dbPath, filepath.Join(*out, "central"))
+}
+
+type cronSink struct{ logger *rawfile.NodeLogger }
+
+func (s cronSink) Handle(snap model.Snapshot) error { return s.logger.Log(snap) }
+func (s cronSink) Close() error                     { return s.logger.Close() }
+
+type daemonSink struct {
+	pub    broker.SnapshotPublisher
+	client *broker.Client
+}
+
+func (s daemonSink) Handle(snap model.Snapshot) error { return s.pub.Publish(snap) }
+func (s daemonSink) Close() error                     { return s.client.Close() }

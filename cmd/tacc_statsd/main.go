@@ -1,0 +1,98 @@
+// Command tacc_statsd is the daemon-mode node agent (Fig 2): it runs a
+// simulated node under a chosen workload, collects every interval, and
+// publishes each snapshot to the broker in real time.
+//
+// The -speedup flag compresses simulated time: with -interval 600 and
+// -speedup 600, one simulated 10-minute interval elapses per wall second.
+//
+// Usage:
+//
+//	tacc_statsd -broker 127.0.0.1:5672 [-host c401-101] [-job 4001]
+//	            [-workload wrf|storm|idle] [-interval 600] [-speedup 600]
+//	            [-ticks 12]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"gostats/internal/broker"
+	"gostats/internal/chip"
+	"gostats/internal/collect"
+	"gostats/internal/hwsim"
+	"gostats/internal/workload"
+)
+
+func pickModel(name, owner string) (workload.Model, error) {
+	switch name {
+	case "wrf":
+		return workload.Steady{Label: "wrf", P: workload.WRFProfile(owner)}, nil
+	case "storm":
+		return workload.PathologicalWRF(owner), nil
+	case "idle":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+func main() {
+	brokerAddr := flag.String("broker", "127.0.0.1:5672", "broker address")
+	host := flag.String("host", "c401-101", "hostname of the simulated node")
+	job := flag.String("job", "4001", "job id to label collections with")
+	wl := flag.String("workload", "wrf", "workload: wrf, storm, idle")
+	interval := flag.Float64("interval", 600, "sampling interval (simulated seconds)")
+	speedup := flag.Float64("speedup", 600, "simulated seconds per wall second")
+	ticks := flag.Int("ticks", 12, "number of collections before exit (0 = forever)")
+	seed := flag.Int64("seed", 1, "node determinism seed")
+	flag.Parse()
+
+	model, err := pickModel(*wl, "u001")
+	if err != nil {
+		log.Fatalf("tacc_statsd: %v", err)
+	}
+	node, err := hwsim.NewNode(*host, chip.StampedeNode(), *seed)
+	if err != nil {
+		log.Fatalf("tacc_statsd: %v", err)
+	}
+	node.Advance(86400, hwsim.IdleDemand())
+
+	// The daemon's publisher redials across broker restarts; a dead
+	// broker costs at most the current interval's sample.
+	pub := broker.NewReliablePublisher(*brokerAddr, broker.StatsQueue)
+	defer pub.Close()
+	agent := collect.NewDaemonAgent(collect.New(node), pub)
+
+	rng := rand.New(rand.NewSource(*seed))
+	runtime := float64(*ticks) * *interval
+	if *ticks == 0 {
+		runtime = 1e12
+	}
+	now, elapsed := 0.0, 0.0
+	var jobs []string
+	if *job != "" {
+		jobs = []string{*job}
+	}
+	log.Printf("tacc_statsd: %s publishing to %s every %.0f simulated seconds", *host, *brokerAddr, *interval)
+	for i := 0; *ticks == 0 || i < *ticks; i++ {
+		// The real daemon sleeps; we sleep the compressed interval.
+		if *speedup > 0 {
+			time.Sleep(time.Duration(*interval / *speedup * float64(time.Second)))
+		}
+		d := hwsim.IdleDemand()
+		if model != nil {
+			d = model.Demand(elapsed, runtime, 0, 1, rng)
+		}
+		node.Advance(*interval, d)
+		now += *interval
+		elapsed += *interval
+		if err := agent.Tick(now, jobs, ""); err != nil {
+			log.Printf("tacc_statsd: %v (sample lost, will retry next interval)", err)
+			continue
+		}
+		log.Printf("tacc_statsd: published collection %d at t=%.0f", i+1, now)
+	}
+}

@@ -1,0 +1,120 @@
+// interference demonstrates the §VI-A analysis end to end with the
+// interference *emerging* from the shared-filesystem model: a metadata
+// storm and innocent victim jobs share one cluster whose nodes mount one
+// Lustre filesystem; the time-series database then relates the storm
+// user's request rate to every other user's rising metadata wait — the
+// exact cross-job question the paper imports OpenTSDB to answer.
+//
+//	go run ./examples/interference
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gostats/internal/chip"
+	"gostats/internal/cluster"
+	"gostats/internal/collect"
+	"gostats/internal/hwsim"
+	"gostats/internal/lustresim"
+	"gostats/internal/model"
+	"gostats/internal/tsdb"
+	"gostats/internal/workload"
+)
+
+func main() {
+	cfg := chip.StampedeNode()
+	reg := cfg.Registry()
+	db := tsdb.New()
+	ing := tsdb.NewIngester(db, reg)
+
+	eng, err := cluster.NewEngine(6, cfg, 600, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs := lustresim.New(lustresim.DefaultConfig())
+	eng.FS = fs
+	stormHosts := map[string]bool{}
+	eng.NewSink = func(n *hwsim.Node, col *collect.Collector) (cluster.Sink, error) {
+		return cluster.SinkFunc(func(s model.Snapshot) error {
+			if s.HasJob("storm") {
+				stormHosts[s.Host] = true
+			}
+			ing.Ingest(s)
+			return nil
+		}), nil
+	}
+	if err := eng.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Four I/O-bound victims run all day; the storm runs through the
+	// middle third.
+	const span = 6 * 3600.0
+	for i := 0; i < 4; i++ {
+		eng.Submit(workload.Spec{
+			JobID: fmt.Sprintf("victim%d", i), User: fmt.Sprintf("u%03d", 100+i),
+			Exe: "io.x", Queue: "normal", Nodes: 1, Runtime: span - 600,
+			Status: workload.StatusCompleted,
+			Model:  workload.Steady{Label: "io", P: workload.IOBandwidth("u", "io.x")},
+		})
+	}
+	eng.Submit(workload.Spec{
+		JobID: "storm", User: "u042", Exe: "wrf.exe", Queue: "normal",
+		Nodes: 2, SubmitAt: span / 3, Runtime: span / 3,
+		Status: workload.StatusCompleted,
+		Model:  workload.PathologicalWRF("u042"),
+	})
+	fmt.Println("running 6 simulated hours: 4 victims + 1 metadata storm in the middle...")
+	if err := eng.Run(span); err != nil {
+		log.Fatal(err)
+	}
+	eng.Close()
+
+	fmt.Printf("\nTSDB holds %d series; peak MDS load %.2fx capacity\n",
+		db.NumSeries(), fs.PeakMDSLoad()/lustresim.DefaultConfig().MDSCapacity)
+
+	// The §VI-A aggregation: storm host's request rate vs everyone's
+	// mean wait, hour by hour.
+	// The storm drives the MDS from its rank-0 node; pick the storm host
+	// with the largest request rate (the other rank just waits).
+	var reqs []tsdb.Result
+	best := -1.0
+	for h := range stormHosts {
+		res, err := db.Do(tsdb.Query{Host: h, DevType: "mdc", Event: "reqs",
+			Aggregate: tsdb.Avg, Downsample: 3600})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(res) == 0 {
+			continue
+		}
+		peak := 0.0
+		for _, p := range res[0].Points {
+			if p.Value > peak {
+				peak = p.Value
+			}
+		}
+		if peak > best {
+			best, reqs = peak, res
+		}
+	}
+	if len(reqs) == 0 {
+		log.Fatal("storm host series missing")
+	}
+	waits, err := db.Do(tsdb.Query{DevType: "mdc", Event: "wait",
+		Aggregate: tsdb.Avg, Downsample: 3600})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nhour | storm reqs/s | cluster-mean MDC wait (us accrual/s)")
+	waitAt := map[float64]float64{}
+	for _, p := range waits[0].Points {
+		waitAt[p.Time] = p.Value
+	}
+	for _, p := range reqs[0].Points {
+		fmt.Printf("  %2.0f | %12.4g | %12.4g\n", p.Time/3600, p.Value, waitAt[p.Time])
+	}
+	fmt.Println("\nthe victims' wait rises exactly while the storm runs — one query,")
+	fmt.Println("no per-job file spelunking, as §VI-A intends.")
+}

@@ -1,0 +1,91 @@
+// sharednode demonstrates the §VI-C scheme: two jobs share one node
+// (pinned to disjoint cpusets); every process start/exit signals the
+// daemon through the LD_PRELOAD shim, each signal triggers a collection
+// labeled with the current job list, and per-process samples are
+// attributed to jobs through their affinity masks.
+//
+//	go run ./examples/sharednode
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gostats/internal/chip"
+	"gostats/internal/collect"
+	"gostats/internal/hwsim"
+	"gostats/internal/model"
+	"gostats/internal/preload"
+	"gostats/internal/schema"
+)
+
+func main() {
+	cfg := chip.StampedeNode()
+	node, err := hwsim.NewNode("c405-001", cfg, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	node.Advance(3600, hwsim.IdleDemand())
+	col := collect.New(node)
+
+	var collections []model.Snapshot
+	tr := preload.NewTracker(col, func(s model.Snapshot) {
+		collections = append(collections, s)
+		fmt.Printf("  t=%8.2f collect mark=%-10q jobs=%v\n", s.Time, s.Mark, s.JobIDs)
+	})
+
+	// Jobs A and B share the node: A on cpus 0-7, B on cpus 8-15.
+	attr := preload.Attribution{JobCPUSets: map[string]uint64{
+		"jobA": 0x00FF,
+		"jobB": 0xFF00,
+	}}
+
+	fmt.Println("scheduler starts two jobs on the shared node:")
+	tr.JobStart(0, "jobA")
+	tr.JobStart(5, "jobB")
+
+	// Processes come and go; the shim signals each transition. Two start
+	// nearly simultaneously — the second is held in the pending slot, a
+	// third in the same window is missed (the paper's race policy).
+	fmt.Println("\nprocess lifecycle signals:")
+	procs := []hwsim.Process{
+		{PID: 2001, Exe: "a.out", Owner: "alice", VmRSS: 1 << 30, CPUAff: 0x000F},
+		{PID: 2002, Exe: "b.out", Owner: "bob", VmRSS: 2 << 30, CPUAff: 0x0F00},
+	}
+	node.Advance(10, hwsim.Demand{CPUUserFrac: 0.5, Processes: procs})
+	tr.Signal(100.00, preload.ProcExec)
+	tr.Signal(100.01, preload.ProcExec) // pending
+	if !tr.Signal(100.02, preload.ProcExec) {
+		fmt.Println("  t=  100.02 signal MISSED (third within the 0.09 s window)")
+	}
+	node.Advance(500, hwsim.Demand{CPUUserFrac: 0.7, Processes: procs})
+	tr.Signal(600, preload.ProcExit)
+	tr.Tick(1200)
+	tr.JobEnd(1800, "jobA")
+	tr.JobEnd(1900, "jobB")
+
+	st := tr.Stats()
+	fmt.Printf("\ntracker stats: %d collections, %d signals handled, %d from pending slot, %d missed\n",
+		st.Collections, st.SignalsHandled, st.SignalsPending, st.SignalsMissed)
+
+	// Attribute the process table of the signal collection to jobs.
+	fmt.Println("\nper-process attribution from the collection at t=100:")
+	psSchema := cfg.Registry().Get(schema.ClassPS)
+	affIdx := psSchema.MustIndex(schema.EvPSCPUAff)
+	rssIdx := psSchema.MustIndex(schema.EvPSVmRSS)
+	for _, s := range collections {
+		if s.Mark != collect.MarkProcExec || s.Time != 100 {
+			continue
+		}
+		for _, r := range s.RecordsOf(schema.ClassPS) {
+			owner := attr.Attribute(r.Values[affIdx])
+			if owner == "" {
+				owner = "(ambiguous)"
+			}
+			fmt.Printf("  proc %-20s rss=%4.1f GB -> %s\n",
+				r.Instance, float64(r.Values[rssIdx])/(1<<30), owner)
+		}
+	}
+	fmt.Println("\nevery process got >= 2 labeled data points; with cgroup pinning the")
+	fmt.Println("core- and process-level data attributes cleanly to jobs.")
+}

@@ -1,0 +1,3 @@
+module gostats
+
+go 1.22

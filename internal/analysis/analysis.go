@@ -1,0 +1,324 @@
+// Package analysis implements the paper's §V studies on top of the
+// relational job store: the Fig 4 query histograms, the §V-A population
+// characterization (vectorization, Xeon Phi uptake, memory headroom,
+// idle nodes), the §V-B WRF metadata case study, and the CPU-vs-I/O
+// correlation study over production jobs.
+package analysis
+
+import (
+	"fmt"
+
+	"gostats/internal/reldb"
+	"gostats/internal/stats"
+)
+
+// ProductionFilters selects the paper's production-job population: jobs
+// run in production queues that completed successfully and ran for more
+// than an hour.
+func ProductionFilters() []reldb.Filter {
+	return []reldb.Filter{
+		reldb.F("status", "COMPLETED"),
+		reldb.F("runtime__gt", 3600.0),
+	}
+}
+
+// Correlations is the §V-B correlation study result: Pearson r between
+// CPU_Usage and each I/O metric over the selected jobs.
+type Correlations struct {
+	N         int
+	MDCReqs   float64
+	OSCReqs   float64
+	LnetAveBW float64
+}
+
+// IOCorrelations computes the correlation study over the filtered jobs.
+func IOCorrelations(db *reldb.DB, filters ...reldb.Filter) (Correlations, error) {
+	cpu, err := db.Values("cpu_usage", filters...)
+	if err != nil {
+		return Correlations{}, err
+	}
+	out := Correlations{N: len(cpu)}
+	for _, m := range []struct {
+		field string
+		dst   *float64
+	}{
+		{"mdcreqs", &out.MDCReqs},
+		{"oscreqs", &out.OSCReqs},
+		{"lnetavebw", &out.LnetAveBW},
+	} {
+		vals, err := db.Values(m.field, filters...)
+		if err != nil {
+			return Correlations{}, err
+		}
+		r, err := stats.Pearson(cpu, vals)
+		if err != nil {
+			return Correlations{}, fmt.Errorf("analysis: %s: %w", m.field, err)
+		}
+		*m.dst = r
+	}
+	return out, nil
+}
+
+// Survey is the §V-A population characterization.
+type Survey struct {
+	Total int
+	// Fraction of jobs using the Xeon Phi for >1% of cpu time.
+	MICUsers float64
+	// Fractions of jobs with >1% and >50% of FP operations vectorized.
+	Vec1, Vec50 float64
+	// Fraction of jobs using more than 20 GB per 32 GB node.
+	Mem20GB float64
+	// Fraction of multi-node jobs with effectively idle nodes.
+	IdleNodes float64
+	// Fraction flagged for high metadata rates.
+	HighMDRate float64
+}
+
+// PopulationSurvey computes the §V-A fractions over the filtered jobs.
+func PopulationSurvey(db *reldb.DB, filters ...reldb.Filter) (Survey, error) {
+	rows, err := db.Query(filters...)
+	if err != nil {
+		return Survey{}, err
+	}
+	s := Survey{Total: len(rows)}
+	if s.Total == 0 {
+		return s, nil
+	}
+	mic, vec1, vec50, mem20, idle, mdr := 0, 0, 0, 0, 0, 0
+	for _, r := range rows {
+		if r.Metrics.MICUsage > 0.01 {
+			mic++
+		}
+		if r.Metrics.VecPercent > 0.01 {
+			vec1++
+		}
+		if r.Metrics.VecPercent > 0.50 {
+			vec50++
+		}
+		if r.Nodes > 0 && r.Metrics.MemUsage/float64(r.Nodes) > 20*float64(1<<30) {
+			mem20++
+		}
+		if r.Nodes > 1 && r.Metrics.Idle < 0.01 {
+			idle++
+		}
+		if r.Metrics.MetaDataRate > 10000 {
+			mdr++
+		}
+	}
+	n := float64(s.Total)
+	s.MICUsers = float64(mic) / n
+	s.Vec1 = float64(vec1) / n
+	s.Vec50 = float64(vec50) / n
+	s.Mem20GB = float64(mem20) / n
+	s.IdleNodes = float64(idle) / n
+	s.HighMDRate = float64(mdr) / n
+	return s, nil
+}
+
+// CaseStudy is the §V-B comparison of one user's application population
+// against everyone else running the same executable.
+type CaseStudy struct {
+	Exe  string
+	User string
+
+	UserJobs int
+	PopJobs  int // entire population including the user
+
+	UserCPUUsage float64
+	PopCPUUsage  float64
+
+	UserMetaDataRate float64
+	PopMetaDataRate  float64
+
+	UserOpenClose float64
+	PopOpenClose  float64
+	// PopExclOpenClose is the open/close rate of the population
+	// excluding the user — the paper's "general WRF population" value
+	// of 2/s, which the user's storm would otherwise dominate.
+	PopExclOpenClose float64
+}
+
+// WRFStudy reproduces the §V-B aggregation: average CPU_Usage,
+// MetaDataRate and LLiteOpenClose for one user's jobs of an executable
+// versus the whole population of that executable.
+func WRFStudy(db *reldb.DB, exe, user string, extra ...reldb.Filter) (CaseStudy, error) {
+	cs := CaseStudy{Exe: exe, User: user}
+	popF := append([]reldb.Filter{reldb.F("exe", exe)}, extra...)
+	userF := append(popF, reldb.F("user", user))
+
+	var err error
+	if cs.PopJobs, err = db.Count(popF...); err != nil {
+		return cs, err
+	}
+	if cs.UserJobs, err = db.Count(userF...); err != nil {
+		return cs, err
+	}
+	agg := []struct {
+		field string
+		user  *float64
+		pop   *float64
+	}{
+		{"cpu_usage", &cs.UserCPUUsage, &cs.PopCPUUsage},
+		{"metadatarate", &cs.UserMetaDataRate, &cs.PopMetaDataRate},
+		{"lliteopenclose", &cs.UserOpenClose, &cs.PopOpenClose},
+	}
+	for _, a := range agg {
+		if *a.user, err = db.Avg(a.field, userF...); err != nil {
+			return cs, err
+		}
+		if *a.pop, err = db.Avg(a.field, popF...); err != nil {
+			return cs, err
+		}
+	}
+	exclF := append(popF, reldb.F("user__ne", user))
+	if cs.PopExclOpenClose, err = db.Avg("lliteopenclose", exclF...); err != nil {
+		return cs, err
+	}
+	return cs, nil
+}
+
+// QueryHistograms is the Fig 4 quartet: after every portal query, jobs
+// versus runtime, node count, queue wait and maximum metadata requests.
+type QueryHistograms struct {
+	Jobs    int
+	Runtime *stats.Histogram
+	Nodes   *stats.Histogram
+	Wait    *stats.Histogram
+	MaxMD   *stats.Histogram
+}
+
+// Histograms builds the Fig 4 histograms for the filtered jobs.
+func Histograms(db *reldb.DB, bins int, filters ...reldb.Filter) (*QueryHistograms, error) {
+	if bins <= 0 {
+		bins = 20
+	}
+	get := func(field string) ([]float64, error) { return db.Values(field, filters...) }
+	rt, err := get("runtime")
+	if err != nil {
+		return nil, err
+	}
+	nodes, err := get("nodes")
+	if err != nil {
+		return nil, err
+	}
+	wait, err := get("waittime")
+	if err != nil {
+		return nil, err
+	}
+	md, err := get("metadatarate")
+	if err != nil {
+		return nil, err
+	}
+	return &QueryHistograms{
+		Jobs:    len(rt),
+		Runtime: stats.AutoHistogram(rt, bins),
+		Nodes:   stats.AutoHistogram(nodes, bins),
+		Wait:    stats.AutoHistogram(wait, bins),
+		MaxMD:   stats.AutoHistogram(md, bins),
+	}, nil
+}
+
+// TopUsersBy returns the top-k users ranked by the mean of a numeric
+// field over their jobs (used to attribute Fig 4's outliers to a user).
+func TopUsersBy(db *reldb.DB, field string, k int, filters ...reldb.Filter) ([]UserStat, error) {
+	rows, err := db.Query(filters...)
+	if err != nil {
+		return nil, err
+	}
+	byUser := map[string]*stats.Online{}
+	for _, r := range rows {
+		v, err := reldb.Value(r, field)
+		if err != nil {
+			return nil, err
+		}
+		o := byUser[r.User]
+		if o == nil {
+			o = &stats.Online{}
+			byUser[r.User] = o
+		}
+		o.Add(v)
+	}
+	out := make([]UserStat, 0, len(byUser))
+	for u, o := range byUser {
+		out = append(out, UserStat{User: u, Jobs: o.N(), Mean: o.Mean(), Max: o.Max()})
+	}
+	sortUserStats(out)
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// UserStat is one user's aggregate for a ranking.
+type UserStat struct {
+	User string
+	Jobs int
+	Mean float64
+	Max  float64
+}
+
+func sortUserStats(us []UserStat) {
+	for i := 1; i < len(us); i++ {
+		for j := i; j > 0 && us[j].Mean > us[j-1].Mean; j-- {
+			us[j], us[j-1] = us[j-1], us[j]
+		}
+	}
+}
+
+// EnergyStudy is the §I-C energy-use analysis: RAPL power broken down by
+// plane (package, cores, DRAM), aggregate energy, and the heaviest
+// consumers.
+type EnergyStudy struct {
+	Jobs         int
+	AvgPkgWatts  float64 // mean per-node package power across jobs
+	AvgCoreWatts float64
+	AvgDRAMWatts float64
+	CoreShare    float64    // core-plane fraction of package power
+	DRAMShare    float64    // DRAM plane relative to package power
+	TotalKWh     float64    // node-summed energy over the selection
+	TopConsumers []UserStat // users ranked by consumed kWh
+}
+
+// Energy computes the energy breakdown over the filtered jobs.
+func Energy(db *reldb.DB, topK int, filters ...reldb.Filter) (EnergyStudy, error) {
+	rows, err := db.Query(filters...)
+	if err != nil {
+		return EnergyStudy{}, err
+	}
+	es := EnergyStudy{Jobs: len(rows)}
+	if es.Jobs == 0 {
+		return es, nil
+	}
+	byUser := map[string]*stats.Online{}
+	var pkg, core, dram stats.Online
+	for _, r := range rows {
+		m := r.Metrics
+		pkg.Add(m.PkgWatts)
+		core.Add(m.CoreWatts)
+		dram.Add(m.DRAMWatts)
+		kwh := m.PkgWatts * float64(r.Nodes) * r.RunTime() / 3.6e6
+		es.TotalKWh += kwh
+		o := byUser[r.User]
+		if o == nil {
+			o = &stats.Online{}
+			byUser[r.User] = o
+		}
+		o.Add(kwh)
+	}
+	es.AvgPkgWatts = pkg.Mean()
+	es.AvgCoreWatts = core.Mean()
+	es.AvgDRAMWatts = dram.Mean()
+	if es.AvgPkgWatts > 0 {
+		es.CoreShare = es.AvgCoreWatts / es.AvgPkgWatts
+		es.DRAMShare = es.AvgDRAMWatts / es.AvgPkgWatts
+	}
+	for u, o := range byUser {
+		es.TopConsumers = append(es.TopConsumers,
+			UserStat{User: u, Jobs: o.N(), Mean: o.Mean() * float64(o.N()), Max: o.Max()})
+	}
+	sortUserStats(es.TopConsumers)
+	if topK > 0 && len(es.TopConsumers) > topK {
+		es.TopConsumers = es.TopConsumers[:topK]
+	}
+	return es, nil
+}

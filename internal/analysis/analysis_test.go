@@ -1,0 +1,257 @@
+package analysis
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gostats/internal/core"
+	"gostats/internal/reldb"
+)
+
+func mkRow(id, user, exe string, m core.Summary, nodes int, runtime float64) *reldb.JobRow {
+	return &reldb.JobRow{
+		JobID: id, User: user, Exe: exe, Queue: "normal", Status: "COMPLETED",
+		Nodes: nodes, StartTime: 1000, EndTime: 1000 + runtime, SubmitTime: 900,
+		Metrics: m,
+	}
+}
+
+func TestProductionFilters(t *testing.T) {
+	db := reldb.New()
+	db.Insert(
+		mkRow("long", "u", "x", core.Summary{}, 1, 7200),
+		mkRow("short", "u", "x", core.Summary{}, 1, 600),
+	)
+	failed := mkRow("failed", "u", "x", core.Summary{}, 1, 7200)
+	failed.Status = "FAILED"
+	db.Insert(failed)
+	rows, err := db.Query(ProductionFilters()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].JobID != "long" {
+		t.Errorf("production rows = %v", rows)
+	}
+}
+
+func TestIOCorrelationsRecoverPlantedSignal(t *testing.T) {
+	db := reldb.New()
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 3000; i++ {
+		io := rng.Float64()
+		cpu := 0.95 - 0.5*io + 0.05*rng.NormFloat64()
+		m := core.Summary{
+			CPUUsage:  cpu,
+			MDCReqs:   io * 1000 * (0.5 + rng.Float64()),
+			OSCReqs:   io * 2000,
+			LnetAveBW: io * 1e8,
+		}
+		db.Insert(mkRow(fmt.Sprint(i), "u", "x", m, 2, 7200))
+	}
+	c, err := IOCorrelations(db, ProductionFilters()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N != 3000 {
+		t.Errorf("N = %d", c.N)
+	}
+	// All three correlations must be negative (I/O hurts CPU usage).
+	for name, r := range map[string]float64{"mdc": c.MDCReqs, "osc": c.OSCReqs, "lnet": c.LnetAveBW} {
+		if r >= -0.1 {
+			t.Errorf("correlation %s = %g, want clearly negative", name, r)
+		}
+	}
+	// OSC (noiseless) should correlate more strongly than MDC (noisy).
+	if c.OSCReqs > c.MDCReqs {
+		t.Errorf("osc %g should be more negative than mdc %g", c.OSCReqs, c.MDCReqs)
+	}
+}
+
+func TestIOCorrelationsDegenerate(t *testing.T) {
+	db := reldb.New()
+	db.Insert(mkRow("1", "u", "x", core.Summary{CPUUsage: 0.5}, 1, 7200))
+	if _, err := IOCorrelations(db, ProductionFilters()...); err == nil {
+		t.Error("single-job correlation accepted")
+	}
+}
+
+func TestPopulationSurvey(t *testing.T) {
+	db := reldb.New()
+	gib := float64(1 << 30)
+	// 10 jobs: 1 MIC user, 5 vectorized >1% of which 2 >50%, 1 mem hog,
+	// 1 idle-node job.
+	rows := []*reldb.JobRow{
+		mkRow("1", "u", "x", core.Summary{MICUsage: 0.3, VecPercent: 0.6, Idle: 0.9}, 2, 7200),            // mic + vec50
+		mkRow("2", "u", "x", core.Summary{VecPercent: 0.8, Idle: 0.9}, 2, 7200),                           // vec50
+		mkRow("3", "u", "x", core.Summary{VecPercent: 0.2, Idle: 0.9}, 2, 7200),                           // vec1
+		mkRow("4", "u", "x", core.Summary{VecPercent: 0.05, Idle: 0.9}, 2, 7200),                          // vec1
+		mkRow("5", "u", "x", core.Summary{VecPercent: 0.02, Idle: 0.9}, 2, 7200),                          // vec1
+		mkRow("6", "u", "x", core.Summary{VecPercent: 0.001, MemUsage: 2 * 22 * gib, Idle: 0.9}, 2, 7200), // mem
+		mkRow("7", "u", "x", core.Summary{Idle: 0.001}, 4, 7200),                                          // idle nodes
+		mkRow("8", "u", "x", core.Summary{Idle: 0.001}, 1, 7200),                                          // 1 node: not idle flag
+		mkRow("9", "u", "x", core.Summary{MetaDataRate: 50000, Idle: 0.9}, 2, 7200),                       // high mdr
+		mkRow("10", "u", "x", core.Summary{Idle: 0.9}, 2, 7200),
+	}
+	db.Insert(rows...)
+	s, err := PopulationSurvey(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Total != 10 {
+		t.Fatalf("total = %d", s.Total)
+	}
+	checks := map[string][2]float64{
+		"mic":   {s.MICUsers, 0.1},
+		"vec1":  {s.Vec1, 0.5},
+		"vec50": {s.Vec50, 0.2},
+		"mem20": {s.Mem20GB, 0.1},
+		"idle":  {s.IdleNodes, 0.1},
+		"mdr":   {s.HighMDRate, 0.1},
+	}
+	for name, c := range checks {
+		if c[0] != c[1] {
+			t.Errorf("%s = %g, want %g", name, c[0], c[1])
+		}
+	}
+}
+
+func TestPopulationSurveyEmpty(t *testing.T) {
+	s, err := PopulationSurvey(reldb.New())
+	if err != nil || s.Total != 0 || s.Vec1 != 0 {
+		t.Errorf("empty survey = %+v, %v", s, err)
+	}
+}
+
+func TestWRFStudy(t *testing.T) {
+	db := reldb.New()
+	// Pathological user u042: 2 jobs at cpu 0.65, mdr 5e5, oc 3e4.
+	for i := 0; i < 2; i++ {
+		db.Insert(mkRow(fmt.Sprintf("p%d", i), "u042", "wrf.exe",
+			core.Summary{CPUUsage: 0.65, MetaDataRate: 5e5, LLiteOpenClose: 3e4}, 2, 7200))
+	}
+	// Population: 98 clean jobs at cpu 0.82, mdr 4000, oc 2. The two
+	// pathological jobs are a small minority, as in the paper (105 of
+	// 16,741), so population averages stay near the clean values.
+	for i := 0; i < 98; i++ {
+		db.Insert(mkRow(fmt.Sprintf("c%d", i), "u100", "wrf.exe",
+			core.Summary{CPUUsage: 0.82, MetaDataRate: 4000, LLiteOpenClose: 2}, 4, 7200))
+	}
+	// Noise: another executable that must not leak in.
+	db.Insert(mkRow("other", "u042", "namd2", core.Summary{CPUUsage: 0.1}, 1, 7200))
+
+	cs, err := WRFStudy(db, "wrf.exe", "u042")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.UserJobs != 2 || cs.PopJobs != 100 {
+		t.Errorf("jobs = %d/%d", cs.UserJobs, cs.PopJobs)
+	}
+	if cs.UserCPUUsage != 0.65 {
+		t.Errorf("user cpu = %g", cs.UserCPUUsage)
+	}
+	if cs.PopCPUUsage <= cs.UserCPUUsage {
+		t.Error("population cpu should exceed the pathological user's")
+	}
+	if cs.UserMetaDataRate/cs.PopMetaDataRate < 4 {
+		t.Errorf("metadata ratio = %g, want large", cs.UserMetaDataRate/cs.PopMetaDataRate)
+	}
+	if cs.UserOpenClose/cs.PopOpenClose < 40 {
+		t.Errorf("open/close ratio = %g, want enormous", cs.UserOpenClose/cs.PopOpenClose)
+	}
+}
+
+func TestHistograms(t *testing.T) {
+	db := reldb.New()
+	for i := 0; i < 100; i++ {
+		db.Insert(mkRow(fmt.Sprint(i), "u", "wrf.exe",
+			core.Summary{MetaDataRate: float64(i)}, 1+i%8, float64(600+i*60)))
+	}
+	h, err := Histograms(db, 10, reldb.F("exe", "wrf.exe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Jobs != 100 {
+		t.Errorf("jobs = %d", h.Jobs)
+	}
+	for name, hist := range map[string]int{
+		"runtime": h.Runtime.Total(), "nodes": h.Nodes.Total(),
+		"wait": h.Wait.Total(), "maxmd": h.MaxMD.Total(),
+	} {
+		if hist != 100 {
+			t.Errorf("%s histogram total = %d", name, hist)
+		}
+	}
+	if _, err := Histograms(db, 10, reldb.F("bogus", 1)); err == nil {
+		t.Error("bad filter accepted")
+	}
+}
+
+func TestTopUsersBy(t *testing.T) {
+	db := reldb.New()
+	db.Insert(
+		mkRow("1", "alice", "x", core.Summary{MetaDataRate: 100}, 1, 7200),
+		mkRow("2", "alice", "x", core.Summary{MetaDataRate: 300}, 1, 7200),
+		mkRow("3", "bob", "x", core.Summary{MetaDataRate: 1e6}, 1, 7200),
+		mkRow("4", "carol", "x", core.Summary{MetaDataRate: 10}, 1, 7200),
+	)
+	us, err := TopUsersBy(db, "metadatarate", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(us) != 2 || us[0].User != "bob" || us[1].User != "alice" {
+		t.Errorf("top users = %+v", us)
+	}
+	if us[1].Jobs != 2 || us[1].Mean != 200 || us[1].Max != 300 {
+		t.Errorf("alice stats = %+v", us[1])
+	}
+	// k=0 returns all.
+	all, _ := TopUsersBy(db, "metadatarate", 0)
+	if len(all) != 3 {
+		t.Errorf("all users = %d", len(all))
+	}
+	if _, err := TopUsersBy(db, "exe", 1); err == nil {
+		t.Error("string field ranking accepted")
+	}
+}
+
+func TestEnergyStudy(t *testing.T) {
+	db := reldb.New()
+	// Two users: alice runs 2 jobs at 200 W on 4 nodes for 1 h; bob one
+	// job at 300 W on 2 nodes for 2 h.
+	for i := 0; i < 2; i++ {
+		r := mkRow(fmt.Sprintf("a%d", i), "alice", "x",
+			core.Summary{PkgWatts: 200, CoreWatts: 140, DRAMWatts: 20}, 4, 3600)
+		db.Insert(r)
+	}
+	db.Insert(mkRow("b0", "bob", "y",
+		core.Summary{PkgWatts: 300, CoreWatts: 210, DRAMWatts: 30}, 2, 7200))
+
+	es, err := Energy(db, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es.Jobs != 3 {
+		t.Fatalf("jobs = %d", es.Jobs)
+	}
+	// Avg package power: (200+200+300)/3.
+	want := (200.0 + 200 + 300) / 3
+	if es.AvgPkgWatts != want {
+		t.Errorf("avg pkg = %g, want %g", es.AvgPkgWatts, want)
+	}
+	if es.CoreShare < 0.69 || es.CoreShare > 0.71 {
+		t.Errorf("core share = %g", es.CoreShare)
+	}
+	// Energy: alice 2 * 200*4*3600/3.6e6 = 1.6 kWh; bob 300*2*7200/3.6e6 = 1.2 kWh.
+	if es.TotalKWh < 2.79 || es.TotalKWh > 2.81 {
+		t.Errorf("total kWh = %g, want 2.8", es.TotalKWh)
+	}
+	if len(es.TopConsumers) != 2 || es.TopConsumers[0].User != "alice" {
+		t.Errorf("top consumers = %+v", es.TopConsumers)
+	}
+	// Empty selection.
+	empty, err := Energy(db, 1, reldb.F("user", "ghost"))
+	if err != nil || empty.Jobs != 0 {
+		t.Errorf("empty study = %+v, %v", empty, err)
+	}
+}

@@ -1,0 +1,512 @@
+package broker
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"gostats/internal/model"
+	"gostats/internal/schema"
+)
+
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	s := NewServer()
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, addr
+}
+
+func TestPublishConsumeOrder(t *testing.T) {
+	_, addr := startServer(t)
+	pub, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	for i := 0; i < 10; i++ {
+		if err := pub.Publish("q", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cons, err := DialConsumer(addr, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cons.Close()
+	for i := 0; i < 10; i++ {
+		b, err := cons.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) != 1 || b[0] != byte(i) {
+			t.Fatalf("message %d = %v", i, b)
+		}
+	}
+}
+
+func TestConsumerBlocksUntilPublish(t *testing.T) {
+	_, addr := startServer(t)
+	cons, err := DialConsumer(addr, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cons.Close()
+
+	got := make(chan []byte, 1)
+	go func() {
+		b, err := cons.Next()
+		if err == nil {
+			got <- b
+		}
+	}()
+	select {
+	case <-got:
+		t.Fatal("consumer returned before any publish")
+	case <-time.After(50 * time.Millisecond):
+	}
+	pub, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Publish("q", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case b := <-got:
+		if string(b) != "hello" {
+			t.Errorf("got %q", b)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked consumer never woke")
+	}
+}
+
+func TestUnackedMessageRedelivered(t *testing.T) {
+	_, addr := startServer(t)
+	pub, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Publish("q", []byte("precious")); err != nil {
+		t.Fatal(err)
+	}
+
+	// First consumer takes the message without acking, then dies.
+	c1, err := DialConsumer(addr, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c1.NextNoAck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "precious" {
+		t.Fatalf("got %q", b)
+	}
+	c1.Close()
+
+	// Second consumer must receive the redelivery.
+	c2, err := DialConsumer(addr, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	done := make(chan []byte, 1)
+	go func() {
+		if b, err := c2.Next(); err == nil {
+			done <- b
+		}
+	}()
+	select {
+	case b := <-done:
+		if string(b) != "precious" {
+			t.Errorf("redelivered %q", b)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("message lost after consumer crash")
+	}
+}
+
+func TestMultipleQueuesIsolated(t *testing.T) {
+	_, addr := startServer(t)
+	pub, _ := Dial(addr)
+	defer pub.Close()
+	pub.Publish("a", []byte("for-a"))
+	pub.Publish("b", []byte("for-b"))
+
+	ca, err := DialConsumer(addr, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ca.Close()
+	if b, _ := ca.Next(); string(b) != "for-a" {
+		t.Errorf("queue a got %q", b)
+	}
+	cb, err := DialConsumer(addr, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cb.Close()
+	if b, _ := cb.Next(); string(b) != "for-b" {
+		t.Errorf("queue b got %q", b)
+	}
+}
+
+func TestManyProducersOneConsumer(t *testing.T) {
+	s, addr := startServer(t)
+	const producers = 8
+	const perProducer = 50
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < perProducer; i++ {
+				if err := c.Publish("fan", []byte(fmt.Sprintf("%d/%d", p, i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	cons, err := DialConsumer(addr, "fan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cons.Close()
+	seen := map[string]bool{}
+	for i := 0; i < producers*perProducer; i++ {
+		b, err := cons.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[string(b)] {
+			t.Fatalf("duplicate delivery %q", b)
+		}
+		seen[string(b)] = true
+	}
+	wg.Wait()
+	pubCount, delCount := s.QueueCounts("fan")
+	if pubCount != producers*perProducer || delCount != producers*perProducer {
+		t.Errorf("counts = %d/%d", pubCount, delCount)
+	}
+	if s.QueueDepth("fan") != 0 {
+		t.Errorf("depth = %d", s.QueueDepth("fan"))
+	}
+}
+
+func TestCompetingConsumersShareWork(t *testing.T) {
+	_, addr := startServer(t)
+	pub, _ := Dial(addr)
+	defer pub.Close()
+	const n = 40
+	results := make(chan string, n)
+	for k := 0; k < 2; k++ {
+		c, err := DialConsumer(addr, "shared")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		go func() {
+			for {
+				b, err := c.Next()
+				if err != nil {
+					return
+				}
+				results <- string(b)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if err := pub.Publish("shared", []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[string]bool{}
+	for i := 0; i < n; i++ {
+		select {
+		case m := <-results:
+			if seen[m] {
+				t.Fatalf("duplicate %q", m)
+			}
+			seen[m] = true
+		case <-time.After(3 * time.Second):
+			t.Fatalf("only %d of %d messages delivered", i, n)
+		}
+	}
+}
+
+func TestServerCloseUnblocksConsumers(t *testing.T) {
+	s, addr := startServer(t)
+	cons, err := DialConsumer(addr, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := cons.Next()
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	s.Close()
+	select {
+	case err := <-errCh:
+		if err != io.EOF {
+			t.Errorf("err = %v, want EOF", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("consumer still blocked after server close")
+	}
+}
+
+func TestPublishAfterClientClose(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if err := c.Publish("q", []byte("x")); err != ErrClosed {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestQueueDepthUnknown(t *testing.T) {
+	s, _ := startServer(t)
+	if d := s.QueueDepth("nope"); d != 0 {
+		t.Errorf("depth = %d", d)
+	}
+	if p, d := s.QueueCounts("nope"); p != 0 || d != 0 {
+		t.Errorf("counts = %d/%d", p, d)
+	}
+}
+
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	s := model.Snapshot{
+		Time:   1451606400.5,
+		Host:   "c401-101",
+		JobIDs: []string{"1", "2"},
+		Mark:   "begin 1",
+		Records: []model.Record{
+			{Class: schema.ClassCPU, Instance: "0", Values: []uint64{1, 2, 3}},
+			{Class: schema.ClassIB, Instance: "mlx4_0/1", Values: []uint64{1 << 60}},
+		},
+	}
+	b, err := EncodeSnapshot(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSnapshot(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Time != s.Time || got.Host != s.Host || got.Mark != s.Mark {
+		t.Errorf("meta = %+v", got)
+	}
+	if len(got.Records) != 2 || got.Records[1].Values[0] != 1<<60 {
+		t.Errorf("records = %+v", got.Records)
+	}
+}
+
+func TestDecodeSnapshotGarbage(t *testing.T) {
+	if _, err := DecodeSnapshot([]byte("not gob")); err == nil {
+		t.Error("garbage decoded")
+	}
+}
+
+func TestSnapshotPublisherOverNetwork(t *testing.T) {
+	_, addr := startServer(t)
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	p := SnapshotPublisher{C: client}
+	snap := model.Snapshot{Time: 7, Host: "n1", Records: []model.Record{
+		{Class: schema.ClassCPU, Instance: "0", Values: []uint64{42}},
+	}}
+	if err := p.Publish(snap); err != nil {
+		t.Fatal(err)
+	}
+	cons, err := DialConsumer(addr, StatsQueue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cons.Close()
+	b, err := cons.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSnapshot(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Host != "n1" || got.Records[0].Values[0] != 42 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestQueueUnitCancelRace(t *testing.T) {
+	// Unit-level: cancel after a concurrent push must requeue, not lose.
+	q := &queue{}
+	_, w, ok := q.pop()
+	if !ok || w == nil {
+		t.Fatal("expected waiter")
+	}
+	if !q.push([]byte("x")) {
+		t.Fatal("push failed")
+	}
+	// Message is now sitting in the waiter channel; cancel must recover it.
+	q.cancel(w)
+	if q.depth() != 1 {
+		t.Fatalf("depth = %d, message lost", q.depth())
+	}
+	msg, w2, ok := q.pop()
+	if !ok || w2 != nil || string(msg) != "x" {
+		t.Fatalf("recovered = %q", msg)
+	}
+}
+
+func TestQueueUnitCloseDropsPublishes(t *testing.T) {
+	q := &queue{}
+	q.close()
+	if q.push([]byte("x")) {
+		t.Error("push to closed queue succeeded")
+	}
+	if _, _, ok := q.pop(); ok {
+		t.Error("pop from closed queue succeeded")
+	}
+	q.close() // idempotent
+}
+
+func TestQueueUnitRequeueFront(t *testing.T) {
+	q := &queue{}
+	q.push([]byte("a"))
+	q.push([]byte("b"))
+	m, _, _ := q.pop()
+	if string(m) != "a" {
+		t.Fatalf("pop = %q", m)
+	}
+	q.requeue(m)
+	m2, _, _ := q.pop()
+	if string(m2) != "a" {
+		t.Errorf("requeue not at front: %q", m2)
+	}
+}
+
+func TestReliablePublisherSurvivesBrokerRestart(t *testing.T) {
+	srv1 := NewServer()
+	addr, err := srv1.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := NewReliablePublisher(addr, "q")
+	defer pub.Close()
+
+	if err := pub.PublishBytes([]byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	c1, err := DialConsumer(addr, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := c1.Next(); string(b) != "before" {
+		t.Fatalf("got %q", b)
+	}
+	c1.Close()
+	srv1.Close()
+
+	// Broker down: publishes eventually drop (the TCP buffer may absorb
+	// the first few writes before the peer reset surfaces).
+	sawDrop := false
+	for i := 0; i < 20 && !sawDrop; i++ {
+		if err := pub.PublishBytes([]byte("lost")); err != nil {
+			sawDrop = true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !sawDrop {
+		t.Fatal("publisher never noticed the dead broker")
+	}
+
+	// Broker restarts on the same address; the publisher redials.
+	srv2 := NewServer()
+	if _, err := srv2.Listen(addr); err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	var perr error
+	for i := 0; i < 50; i++ {
+		if perr = pub.PublishBytes([]byte("after")); perr == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if perr != nil {
+		t.Fatalf("publish after restart: %v", perr)
+	}
+	c2, err := DialConsumer(addr, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	got := make(chan []byte, 1)
+	go func() {
+		if b, err := c2.Next(); err == nil {
+			got <- b
+		}
+	}()
+	select {
+	case b := <-got:
+		if string(b) != "after" && string(b) != "lost" {
+			t.Errorf("unexpected message %q", b)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("no message after restart")
+	}
+	published, redials, dropped := pub.Stats()
+	if published < 2 || redials < 1 || dropped < 1 {
+		t.Errorf("stats = %d/%d/%d, want >=2/>=1/>=1", published, redials, dropped)
+	}
+}
+
+func TestReliablePublisherSnapshot(t *testing.T) {
+	srv := NewServer()
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	pub := NewReliablePublisher(addr, StatsQueue)
+	defer pub.Close()
+	if err := pub.Publish(model.Snapshot{Time: 5, Host: "n1"}); err != nil {
+		t.Fatal(err)
+	}
+	cons, err := DialConsumer(addr, StatsQueue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cons.Close()
+	b, err := cons.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := DecodeSnapshot(b)
+	if err != nil || snap.Host != "n1" {
+		t.Errorf("snap = %+v err = %v", snap, err)
+	}
+}

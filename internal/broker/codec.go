@@ -1,0 +1,46 @@
+package broker
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"gostats/internal/model"
+)
+
+// StatsQueue is the conventional queue name node daemons publish raw
+// collections to.
+const StatsQueue = "gostats.raw"
+
+// EncodeSnapshot serializes a snapshot for transport.
+func EncodeSnapshot(s model.Snapshot) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return nil, fmt.Errorf("broker: encode snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeSnapshot deserializes a snapshot from transport bytes.
+func DecodeSnapshot(b []byte) (model.Snapshot, error) {
+	var s model.Snapshot
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&s); err != nil {
+		return model.Snapshot{}, fmt.Errorf("broker: decode snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// SnapshotPublisher adapts a Client to the collect.Publisher interface:
+// each snapshot becomes one message on StatsQueue.
+type SnapshotPublisher struct {
+	C *Client
+}
+
+// Publish implements collect.Publisher.
+func (p SnapshotPublisher) Publish(s model.Snapshot) error {
+	b, err := EncodeSnapshot(s)
+	if err != nil {
+		return err
+	}
+	return p.C.Publish(StatsQueue, b)
+}

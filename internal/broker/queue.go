@@ -1,0 +1,130 @@
+package broker
+
+import "sync"
+
+// queue is an unbounded FIFO with blocking consumers. Delivery hand-off
+// is waiter-based: a push while consumers wait bypasses the backlog and
+// lands directly in the oldest waiter's channel.
+type queue struct {
+	mu      sync.Mutex
+	items   [][]byte
+	waiters []chan []byte
+	closed  bool
+
+	published uint64
+	delivered uint64
+}
+
+// push enqueues one message (or hands it straight to a waiter). Pushing
+// to a closed queue drops the message and reports false.
+func (q *queue) push(b []byte) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.published++
+	for len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		// A waiter channel has capacity 1 and is only ever written once;
+		// a cancelled waiter is removed under the same lock, so if it is
+		// still in the list it is live.
+		w <- b
+		q.delivered++
+		return true
+	}
+	q.items = append(q.items, b)
+	return true
+}
+
+// requeue returns a message to the FRONT of the queue (redelivery after a
+// consumer died holding it).
+func (q *queue) requeue(b []byte) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	for len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		w <- b
+		q.delivered++
+		return
+	}
+	q.items = append([][]byte{b}, q.items...)
+}
+
+// pop returns the next message immediately if one is queued; otherwise it
+// registers and returns a waiter channel the caller must receive from.
+// Exactly one of (msg, waiter) is non-nil unless the queue is closed, in
+// which case both are nil and ok is false.
+func (q *queue) pop() (msg []byte, waiter chan []byte, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, nil, false
+	}
+	if len(q.items) > 0 {
+		m := q.items[0]
+		q.items = q.items[1:]
+		q.delivered++
+		return m, nil, true
+	}
+	w := make(chan []byte, 1)
+	q.waiters = append(q.waiters, w)
+	return nil, w, true
+}
+
+// cancel removes a waiter registered by pop. If the waiter was already
+// handed a message in the race window, the message is requeued so it is
+// not lost.
+func (q *queue) cancel(w chan []byte) {
+	q.mu.Lock()
+	for i, x := range q.waiters {
+		if x == w {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			q.mu.Unlock()
+			return
+		}
+	}
+	q.mu.Unlock()
+	// Not in the list: push may have delivered concurrently.
+	select {
+	case b := <-w:
+		q.requeue(b)
+		q.mu.Lock()
+		q.delivered-- // the delivery never reached a consumer
+		q.mu.Unlock()
+	default:
+	}
+}
+
+// close marks the queue closed and releases all waiters with nil.
+func (q *queue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	for _, w := range q.waiters {
+		close(w)
+	}
+	q.waiters = nil
+}
+
+// depth reports the number of backlogged messages.
+func (q *queue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// counts reports (published, delivered) totals.
+func (q *queue) counts() (uint64, uint64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.published, q.delivered
+}

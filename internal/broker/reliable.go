@@ -1,0 +1,98 @@
+package broker
+
+import (
+	"fmt"
+	"sync"
+
+	"gostats/internal/model"
+)
+
+// ReliablePublisher is the publisher the node daemon actually runs: it
+// redials the broker when the connection drops (broker restart, network
+// blip) and keeps publishing. Messages that cannot be delivered after
+// the configured attempts are dropped and counted — the daemon must
+// never block a collection cycle on a dead broker, and a lost interval
+// sample costs one data point, exactly the trade the real deployment
+// makes.
+type ReliablePublisher struct {
+	addr  string
+	queue string
+
+	// MaxAttempts bounds dial+send tries per message (default 3).
+	MaxAttempts int
+
+	mu     sync.Mutex
+	client *Client
+
+	published int
+	redials   int
+	dropped   int
+}
+
+// NewReliablePublisher returns a publisher for the queue at addr. No
+// connection is made until the first publish.
+func NewReliablePublisher(addr, queue string) *ReliablePublisher {
+	return &ReliablePublisher{addr: addr, queue: queue, MaxAttempts: 3}
+}
+
+// PublishBytes sends one raw message, redialing as needed.
+func (p *ReliablePublisher) PublishBytes(body []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	attempts := p.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for try := 0; try < attempts; try++ {
+		if p.client == nil {
+			c, err := Dial(p.addr)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if try > 0 || p.published > 0 {
+				p.redials++
+			}
+			p.client = c
+		}
+		if err := p.client.Publish(p.queue, body); err != nil {
+			lastErr = err
+			p.client.Close()
+			p.client = nil
+			continue
+		}
+		p.published++
+		return nil
+	}
+	p.dropped++
+	return fmt.Errorf("broker: publish dropped after %d attempts: %w", attempts, lastErr)
+}
+
+// Publish implements collect.Publisher: one snapshot per message.
+func (p *ReliablePublisher) Publish(s model.Snapshot) error {
+	body, err := EncodeSnapshot(s)
+	if err != nil {
+		return err
+	}
+	return p.PublishBytes(body)
+}
+
+// Stats reports (published, redials, dropped).
+func (p *ReliablePublisher) Stats() (published, redials, dropped int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.published, p.redials, p.dropped
+}
+
+// Close closes the current connection, if any.
+func (p *ReliablePublisher) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.client == nil {
+		return nil
+	}
+	err := p.client.Close()
+	p.client = nil
+	return err
+}

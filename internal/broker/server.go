@@ -1,0 +1,347 @@
+// Package broker implements the message transport of gostats' daemon
+// mode: a small TCP message broker standing in for RabbitMQ, plus the
+// client library the node daemons and the central consumer use.
+//
+// Semantics (the subset of AMQP the paper's pipeline needs):
+//
+//   - Named queues, created on first use.
+//   - Producers publish frames to a queue.
+//   - Consumers subscribe to a queue with prefetch 1: the server sends
+//     one message and waits for an ack before sending the next.
+//   - A consumer that disconnects holding an unacked message causes
+//     redelivery to the next consumer — collections survive consumer
+//     crashes, which is exactly why the deployment site asked for a
+//     broker instead of the filesystem.
+//
+// The wire protocol is length-delimited gob frames over TCP.
+package broker
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// frame is the single wire message type.
+type frame struct {
+	Op    string // "pub", "sub", "msg", "ack", "err"
+	Queue string
+	Body  []byte
+	Err   string
+}
+
+// Frame op codes.
+const (
+	opPub = "pub"
+	opSub = "sub"
+	opMsg = "msg"
+	opAck = "ack"
+	opErr = "err"
+)
+
+// Server is the broker daemon.
+type Server struct {
+	mu     sync.Mutex
+	ln     net.Listener
+	queues map[string]*queue
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer returns an unstarted broker.
+func NewServer() *Server {
+	return &Server{
+		queues: make(map[string]*queue),
+		conns:  make(map[net.Conn]struct{}),
+	}
+}
+
+// Listen binds the broker to addr ("127.0.0.1:0" picks a free port) and
+// starts serving in the background. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+}
+
+// getQueue returns (creating if needed) the named queue.
+func (s *Server) getQueue(name string) *queue {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := s.queues[name]
+	if q == nil {
+		q = &queue{}
+		s.queues[name] = q
+	}
+	return q
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.dropConn(conn)
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			return
+		}
+		switch f.Op {
+		case opPub:
+			if f.Queue == "" {
+				enc.Encode(frame{Op: opErr, Err: "publish without queue"})
+				return
+			}
+			s.getQueue(f.Queue).push(f.Body)
+		case opSub:
+			if f.Queue == "" {
+				enc.Encode(frame{Op: opErr, Err: "subscribe without queue"})
+				return
+			}
+			s.consumerLoop(conn, enc, dec, s.getQueue(f.Queue))
+			return
+		default:
+			enc.Encode(frame{Op: opErr, Err: fmt.Sprintf("unexpected op %q", f.Op)})
+			return
+		}
+	}
+}
+
+// consumerLoop serves one subscribed connection with prefetch 1.
+func (s *Server) consumerLoop(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, q *queue) {
+	for {
+		msg, waiter, ok := q.pop()
+		if !ok {
+			return // queue closed
+		}
+		if waiter != nil {
+			m, open := <-waiter
+			if !open {
+				return // queue closed while waiting
+			}
+			msg = m
+		}
+		if err := enc.Encode(frame{Op: opMsg, Body: msg}); err != nil {
+			q.requeue(msg)
+			return
+		}
+		var ack frame
+		if err := dec.Decode(&ack); err != nil || ack.Op != opAck {
+			q.requeue(msg)
+			return
+		}
+	}
+}
+
+// QueueDepth reports the backlog of a queue (0 for unknown queues).
+func (s *Server) QueueDepth(name string) int {
+	s.mu.Lock()
+	q := s.queues[name]
+	s.mu.Unlock()
+	if q == nil {
+		return 0
+	}
+	return q.depth()
+}
+
+// QueueCounts reports (published, delivered) for a queue.
+func (s *Server) QueueCounts(name string) (published, delivered uint64) {
+	s.mu.Lock()
+	q := s.queues[name]
+	s.mu.Unlock()
+	if q == nil {
+		return 0, 0
+	}
+	return q.counts()
+}
+
+// Close shuts the broker down: stops accepting, closes every queue and
+// connection, and waits for handlers to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for _, q := range s.queues {
+		q.close()
+	}
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// ErrClosed is returned by client operations on a closed connection.
+var ErrClosed = errors.New("broker: connection closed")
+
+// Client is a broker connection for publishing.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+// Dial connects to a broker for publishing.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, enc: gob.NewEncoder(conn)}, nil
+}
+
+// Publish sends one message to the named queue.
+func (c *Client) Publish(queueName string, body []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return ErrClosed
+	}
+	if err := c.enc.Encode(frame{Op: opPub, Queue: queueName, Body: body}); err != nil {
+		return fmt.Errorf("broker: publish: %w", err)
+	}
+	return nil
+}
+
+// Close closes the publishing connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// Consumer is a subscribed broker connection.
+type Consumer struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// DialConsumer connects to a broker and subscribes to a queue.
+func DialConsumer(addr, queueName string) (*Consumer, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Consumer{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	if err := c.enc.Encode(frame{Op: opSub, Queue: queueName}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("broker: subscribe: %w", err)
+	}
+	return c, nil
+}
+
+// Next blocks for the next message and acknowledges it. It returns
+// io.EOF when the broker or connection shuts down cleanly; transport
+// faults surface as errors rather than being mistaken for shutdown.
+func (c *Consumer) Next() ([]byte, error) {
+	var f frame
+	if err := c.dec.Decode(&f); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || isConnReset(err) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("broker: consume: %w", err)
+	}
+	switch f.Op {
+	case opMsg:
+		if err := c.enc.Encode(frame{Op: opAck}); err != nil {
+			return nil, fmt.Errorf("broker: ack: %w", err)
+		}
+		return f.Body, nil
+	case opErr:
+		return nil, fmt.Errorf("broker: server error: %s", f.Err)
+	default:
+		return nil, fmt.Errorf("broker: unexpected frame %q", f.Op)
+	}
+}
+
+// NextNoAck blocks for the next message WITHOUT acknowledging; the
+// caller must Ack (or disconnect, causing redelivery). This exposes the
+// at-least-once semantics for tests and crash-tolerant consumers.
+func (c *Consumer) NextNoAck() ([]byte, error) {
+	var f frame
+	if err := c.dec.Decode(&f); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || isConnReset(err) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("broker: consume: %w", err)
+	}
+	if f.Op != opMsg {
+		return nil, fmt.Errorf("broker: unexpected frame %q", f.Op)
+	}
+	return f.Body, nil
+}
+
+// Ack acknowledges the message most recently returned by NextNoAck.
+func (c *Consumer) Ack() error {
+	if err := c.enc.Encode(frame{Op: opAck}); err != nil {
+		return fmt.Errorf("broker: ack: %w", err)
+	}
+	return nil
+}
+
+// Close closes the consumer connection. An unacked in-flight message is
+// redelivered to another consumer.
+func (c *Consumer) Close() error { return c.conn.Close() }
+
+// isConnReset reports whether the error is a peer reset/abort — the
+// normal signature of the broker (or the OS) tearing the socket down.
+func isConnReset(err error) bool {
+	var oe *net.OpError
+	return errors.As(err, &oe)
+}

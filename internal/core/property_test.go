@@ -1,0 +1,184 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gostats/internal/model"
+	"gostats/internal/schema"
+)
+
+// randomJob builds a JobData with hosts of random (monotone) counter
+// series, exercising the metric engine over arbitrary-but-valid inputs.
+func randomJob(rng *rand.Rand, hosts, samples int) *model.JobData {
+	jd := model.NewJobData("prop")
+	for h := 0; h < hosts; h++ {
+		host := string(rune('a' + h))
+		hd := jd.Host(host)
+		// cpu: user/system/idle jiffy streams.
+		var user, sys, idle uint64
+		userRate := uint64(rng.Intn(50000) + 1)
+		sysRate := uint64(rng.Intn(5000))
+		idleRate := uint64(rng.Intn(50000))
+		// mdc: request stream.
+		var reqs, wait uint64
+		reqRate := uint64(rng.Intn(100000))
+		for i := 0; i < samples; i++ {
+			t := float64(i) * 600
+			hd.Append(t, model.Record{Class: schema.ClassCPU, Instance: "0",
+				Values: []uint64{user, 0, sys, idle, 0, 0, 0}})
+			hd.Append(t, model.Record{Class: schema.ClassMDC, Instance: "m0",
+				Values: []uint64{reqs, wait}})
+			user += userRate
+			sys += sysRate
+			idle += idleRate
+			reqs += reqRate
+			wait += reqRate * 100
+		}
+	}
+	return jd
+}
+
+// Property: metric bounds hold for any valid input — usage fractions and
+// imbalance ratios live in [0,1], rates are non-negative.
+func TestQuickMetricBounds(t *testing.T) {
+	reg := schema.DefaultRegistry()
+	f := func(seed int64, hostsRaw, samplesRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		hosts := int(hostsRaw)%6 + 1
+		samples := int(samplesRaw)%10 + 2
+		s, err := Compute(randomJob(rng, hosts, samples), reg)
+		if err != nil {
+			return false
+		}
+		if s.CPUUsage < 0 || s.CPUUsage > 1 {
+			return false
+		}
+		if s.Idle < 0 || s.Idle > 1 {
+			return false
+		}
+		if s.Catastrophe < 0 || s.Catastrophe > 1 {
+			return false
+		}
+		if s.MDCReqs < 0 || s.MetaDataRate < 0 || s.MDCWait < 0 {
+			return false
+		}
+		// Maximum >= average for the same underlying counter: the peak
+		// node-summed interval rate cannot be below nodes*average... but
+		// it IS at least the per-node average when every host has the
+		// same sample count, so check the weaker invariant:
+		return s.MetaDataRate >= s.MDCReqs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: host order does not matter — Compute is a set reduction.
+func TestQuickHostPermutationInvariance(t *testing.T) {
+	reg := schema.DefaultRegistry()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		jd := randomJob(rng, 4, 5)
+		s1, err := Compute(jd, reg)
+		if err != nil {
+			return false
+		}
+		// Rebuild with hosts inserted in reverse order.
+		rev := model.NewJobData("prop")
+		names := jd.HostNames()
+		for i := len(names) - 1; i >= 0; i-- {
+			rev.Hosts[names[i]] = jd.Hosts[names[i]]
+		}
+		s2, err := Compute(rev, reg)
+		if err != nil {
+			return false
+		}
+		return s1.CPUUsage == s2.CPUUsage && s1.MDCReqs == s2.MDCReqs &&
+			s1.MetaDataRate == s2.MetaDataRate && s1.Idle == s2.Idle
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: doubling every counter delta doubles ARC rates (linearity)
+// and leaves fraction metrics unchanged.
+func TestQuickRateLinearity(t *testing.T) {
+	reg := schema.DefaultRegistry()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		jd := randomJob(rng, 2, 4)
+		doubled := model.NewJobData("prop")
+		for host, hd := range jd.Hosts {
+			dh := doubled.Host(host)
+			for _, byInst := range hd.Series {
+				for _, ser := range byInst {
+					for _, smp := range ser.Samples {
+						vals := make([]uint64, len(smp.Values))
+						for i, v := range smp.Values {
+							vals[i] = 2 * v
+						}
+						dh.Append(smp.Time, model.Record{
+							Class: ser.Class, Instance: ser.Instance, Values: vals})
+					}
+				}
+			}
+		}
+		s1, err := Compute(jd, reg)
+		if err != nil {
+			return false
+		}
+		s2, err := Compute(doubled, reg)
+		if err != nil {
+			return false
+		}
+		if !close(s2.MDCReqs, 2*s1.MDCReqs, 1e-6*(1+s1.MDCReqs)) {
+			return false
+		}
+		if !close(s2.MetaDataRate, 2*s1.MetaDataRate, 1e-6*(1+s1.MetaDataRate)) {
+			return false
+		}
+		// Fractions are scale-free.
+		return close(s2.CPUUsage, s1.CPUUsage, 1e-9) && close(s2.Idle, s1.Idle, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding a completely idle host can only lower (or keep) the
+// idle balance metric and the per-node average rates.
+func TestQuickIdleHostMonotonicity(t *testing.T) {
+	reg := schema.DefaultRegistry()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		jd := randomJob(rng, 3, 4)
+		s1, err := Compute(jd, reg)
+		if err != nil {
+			return false
+		}
+		// Clone plus an idle host (idle jiffies only).
+		withIdle := model.NewJobData("prop")
+		for host, hd := range jd.Hosts {
+			withIdle.Hosts[host] = hd
+		}
+		ih := withIdle.Host("zz-idle")
+		for i := 0; i < 4; i++ {
+			ih.Append(float64(i)*600, model.Record{Class: schema.ClassCPU, Instance: "0",
+				Values: []uint64{0, 0, 0, uint64(i) * 60000, 0, 0, 0}})
+		}
+		s2, err := Compute(withIdle, reg)
+		if err != nil {
+			return false
+		}
+		if s2.Idle > s1.Idle+1e-12 {
+			return false
+		}
+		return s2.MDCReqs <= s1.MDCReqs+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

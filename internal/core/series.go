@@ -1,0 +1,143 @@
+package core
+
+import (
+	"gostats/internal/model"
+	"gostats/internal/schema"
+)
+
+// NodeSeries is one node's line on a job detail plot.
+type NodeSeries struct {
+	Host   string
+	Values []float64 // one value per sampling interval
+}
+
+// Panel is one plot of the job detail page: a named quantity with one
+// line per node, all aligned to Times.
+type Panel struct {
+	Name  string
+	Unit  string
+	Times []float64 // interval end times (simulated epoch seconds)
+	Nodes []NodeSeries
+}
+
+// JobSeries is the full set of Fig 5 panels for one job: the six
+// quantities the paper plots per node over time.
+type JobSeries struct {
+	JobID  string
+	Panels []Panel
+}
+
+// TimeSeries derives the Fig 5 panels from assembled job data:
+// Gigaflops, memory bandwidth (GB/s), memory usage (GB), Lustre
+// filesystem bandwidth (MB/s), internode Infiniband traffic (MB/s), and
+// CPU user fraction — per node, per sampling interval.
+func TimeSeries(jd *model.JobData, reg *schema.Registry) (*JobSeries, error) {
+	hosts := jd.HostNames()
+	if len(hosts) == 0 {
+		return nil, ErrInsufficient
+	}
+	js := &JobSeries{JobID: jd.JobID}
+	panels := []struct {
+		name, unit string
+		f          func(h *hostReducer) []float64
+	}{
+		{"Gigaflops", "GF/s", func(h *hostReducer) []float64 {
+			scalar := h.intervalRates(schema.ClassPMC, schema.EvPMCFPScalar)
+			vector := h.intervalRates(schema.ClassPMC, schema.EvPMCFPVector)
+			out := make([]float64, min(len(scalar), len(vector)))
+			for i := range out {
+				out[i] = (scalar[i] + VecWidth*vector[i]) / 1e9
+			}
+			return out
+		}},
+		{"Memory Bandwidth", "GB/s", func(h *hostReducer) []float64 {
+			rd := h.intervalRates(schema.ClassIMC, schema.EvIMCCASReads)
+			wr := h.intervalRates(schema.ClassIMC, schema.EvIMCCASWrites)
+			out := make([]float64, min(len(rd), len(wr)))
+			for i := range out {
+				out[i] = 64 * (rd[i] + wr[i]) / 1e9
+			}
+			return out
+		}},
+		{"Memory Usage", "GB", func(h *hostReducer) []float64 {
+			g := h.gaugeSeries(schema.ClassMem, schema.EvMemUsed)
+			out := make([]float64, 0, len(g))
+			// Gauge series has one entry per sample; panels are
+			// per-interval, so drop the first sample to align.
+			for i, v := range g {
+				if i == 0 {
+					continue
+				}
+				out = append(out, v/(1<<30))
+			}
+			return out
+		}},
+		{"Lustre Bandwidth", "MB/s", func(h *hostReducer) []float64 {
+			rx := h.intervalRates(schema.ClassLnet, schema.EvLnetRxBytes)
+			tx := h.intervalRates(schema.ClassLnet, schema.EvLnetTxBytes)
+			out := make([]float64, min(len(rx), len(tx)))
+			for i := range out {
+				out[i] = (rx[i] + tx[i]) / 1e6
+			}
+			return out
+		}},
+		{"Internode IB (MPI)", "MB/s", func(h *hostReducer) []float64 {
+			ib := sumSeries(
+				h.intervalRates(schema.ClassIB, schema.EvIBRxBytes),
+				h.intervalRates(schema.ClassIB, schema.EvIBTxBytes))
+			lnet := sumSeries(
+				h.intervalRates(schema.ClassLnet, schema.EvLnetRxBytes),
+				h.intervalRates(schema.ClassLnet, schema.EvLnetTxBytes))
+			mpi := subSeriesClamped(ib, lnet)
+			for i := range mpi {
+				mpi[i] /= 1e6
+			}
+			return mpi
+		}},
+		{"CPU User Fraction", "", func(h *hostReducer) []float64 {
+			user := h.intervalRates(schema.ClassCPU, schema.EvCPUUser)
+			total := h.cpuTotalIntervalRates()
+			out := make([]float64, min(len(user), len(total)))
+			for i := range out {
+				if total[i] > 0 {
+					out[i] = user[i] / total[i]
+				}
+			}
+			return out
+		}},
+	}
+
+	times := sampleTimes(jd.Hosts[hosts[0]])
+	for _, p := range panels {
+		panel := Panel{Name: p.name, Unit: p.unit, Times: times}
+		for _, host := range hosts {
+			h := newHostReducer(jd.Hosts[host], reg)
+			panel.Nodes = append(panel.Nodes, NodeSeries{Host: host, Values: p.f(h)})
+		}
+		js.Panels = append(js.Panels, panel)
+	}
+	return js, nil
+}
+
+// sampleTimes extracts the host's interval end times from its cpu series.
+func sampleTimes(hd *model.HostData) []float64 {
+	byInst := hd.Series[schema.ClassCPU]
+	for _, s := range byInst {
+		out := make([]float64, 0, len(s.Samples))
+		for i, smp := range s.Samples {
+			if i == 0 {
+				continue
+			}
+			out = append(out, smp.Time)
+		}
+		return out
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

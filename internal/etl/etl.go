@@ -1,0 +1,257 @@
+// Package etl wires the pipeline stages together: run (or read) raw
+// per-host data, map it to jobs, compute Table I metrics, and ingest job
+// rows into the relational store. It is the programmatic equivalent of
+// the nightly job_etl cron the paper's deployment runs.
+package etl
+
+import (
+	"runtime"
+	"sync"
+
+	"gostats/internal/acct"
+
+	"gostats/internal/chip"
+	"gostats/internal/cluster"
+	"gostats/internal/core"
+	"gostats/internal/jobmap"
+	"gostats/internal/model"
+	"gostats/internal/rawfile"
+	"gostats/internal/reldb"
+	"gostats/internal/schema"
+	"gostats/internal/workload"
+)
+
+// BuildRow reduces one job run to its database row using the default
+// (AVX) vector width.
+func BuildRow(run *cluster.JobRun, reg *schema.Registry) (*reldb.JobRow, error) {
+	return BuildRowWith(run, reg, core.VecWidth)
+}
+
+// BuildRowWith is BuildRow with the architecture's vector width (see
+// chip.Descriptor.VecWidth).
+func BuildRowWith(run *cluster.JobRun, reg *schema.Registry, vecWidth int) (*reldb.JobRow, error) {
+	sum, err := core.ComputeWith(run.JobData(), reg, vecWidth)
+	if err != nil {
+		return nil, err
+	}
+	spec := run.Spec
+	return &reldb.JobRow{
+		JobID:      spec.JobID,
+		User:       spec.User,
+		Account:    spec.Account,
+		Exe:        spec.Exe,
+		JobName:    spec.JobName,
+		Queue:      spec.Queue,
+		Status:     string(spec.Status),
+		Nodes:      spec.Nodes,
+		Wayness:    spec.Wayness,
+		Hosts:      run.Hosts,
+		SubmitTime: spec.SubmitAt,
+		StartTime:  run.StartTime,
+		EndTime:    run.EndTime,
+		Metrics:    *sum,
+	}, nil
+}
+
+// FleetStats reports what a fleet run did.
+type FleetStats struct {
+	Jobs        int
+	Failed      int     // jobs that errored in simulation or reduction
+	CollectCost float64 // total simulated collector seconds
+	NodeSeconds float64 // total simulated node-seconds of work
+}
+
+// RunFleet simulates every spec (each on dedicated nodes), computes its
+// metrics and inserts the rows into a fresh DB. Jobs are distributed
+// over a worker pool; results are deterministic in (specs, cfg,
+// interval, seed) regardless of worker count because each job's RNG is
+// derived from its id.
+func RunFleet(specs []workload.Spec, cfg chip.NodeConfig, interval float64, seed int64, workers int) (*reldb.DB, FleetStats, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	db := reldb.New()
+	reg := cfg.Registry()
+	var (
+		mu    sync.Mutex
+		stats FleetStats
+		wg    sync.WaitGroup
+	)
+	jobs := make(chan workload.Spec)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for spec := range jobs {
+				run, err := cluster.RunJob(spec, cfg, interval, seed)
+				if err != nil {
+					mu.Lock()
+					stats.Failed++
+					mu.Unlock()
+					continue
+				}
+				row, err := BuildRowWith(run, reg, cfg.Desc.VecWidth)
+				if err != nil {
+					mu.Lock()
+					stats.Failed++
+					mu.Unlock()
+					continue
+				}
+				mu.Lock()
+				db.Insert(row)
+				stats.Jobs++
+				stats.CollectCost += run.CollectCost
+				stats.NodeSeconds += float64(spec.Nodes) * spec.Runtime
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, s := range specs {
+		jobs <- s
+	}
+	close(jobs)
+	wg.Wait()
+	return db, stats, nil
+}
+
+// Meta is the scheduler accounting record the store-ingestion path joins
+// against (the paper gets this from the batch system's logs).
+type Meta struct {
+	User    string
+	Account string
+	Exe     string
+	JobName string
+	Queue   string
+	Status  string
+	Nodes   int
+	Wayness int
+	Submit  float64
+}
+
+// MetaFromAcct converts a scheduler accounting record into the join
+// table shape.
+func MetaFromAcct(r acct.Record) Meta {
+	return Meta{
+		User: r.User, Account: r.Account, Exe: r.Exe, JobName: r.JobName,
+		Queue: r.Queue, Status: r.State, Nodes: r.Nodes, Wayness: r.Wayness,
+		Submit: r.Submit,
+	}
+}
+
+// MetaFromSpec derives accounting metadata from a workload spec.
+func MetaFromSpec(s workload.Spec) Meta {
+	return Meta{
+		User: s.User, Account: s.Account, Exe: s.Exe, JobName: s.JobName,
+		Queue: s.Queue, Status: string(s.Status), Nodes: s.Nodes,
+		Wayness: s.Wayness, Submit: s.SubmitAt,
+	}
+}
+
+// IngestStore reads every archived host file in a central raw store,
+// maps snapshots to jobs, reduces complete jobs to rows, joins the
+// accounting metadata, and inserts into db. Jobs missing metadata are
+// ingested with blank accounting fields rather than dropped — data
+// beats completeness here, as in the real system. It returns the ids
+// ingested.
+func IngestStore(st *rawfile.Store, reg *schema.Registry, meta map[string]Meta, db *reldb.DB) ([]string, error) {
+	m, err := jobmap.FromStore(st)
+	if err != nil {
+		return nil, err
+	}
+	var ingested []string
+	for _, id := range m.JobIDs() {
+		jd := m.Jobs()[id]
+		sum, err := core.Compute(jd, reg)
+		if err != nil {
+			// A job with a single sample (e.g. node died mid-job) cannot
+			// be reduced; skip it rather than fail the batch.
+			continue
+		}
+		row := &reldb.JobRow{JobID: id, Hosts: jd.HostNames(), Metrics: *sum}
+		if b, e, ok := m.Bounds(id); ok {
+			row.StartTime, row.EndTime = b, e
+		} else {
+			// Job missing a begin or end mark (e.g. still running when
+			// the window closed): fall back to the observed sample span.
+			row.StartTime, row.EndTime = observedSpan(jd)
+		}
+		if md, ok := meta[id]; ok {
+			row.User, row.Account, row.Exe, row.JobName = md.User, md.Account, md.Exe, md.JobName
+			row.Queue, row.Status = md.Queue, md.Status
+			row.Nodes, row.Wayness = md.Nodes, md.Wayness
+			row.SubmitTime = md.Submit
+		}
+		if row.Status == "" {
+			row.Status = "RUNNING"
+		}
+		if row.Nodes == 0 {
+			row.Nodes = len(jd.Hosts)
+		}
+		db.Insert(row)
+		ingested = append(ingested, id)
+	}
+	return ingested, nil
+}
+
+// observedSpan returns the earliest and latest sample times across a
+// job's hosts.
+func observedSpan(jd *model.JobData) (first, last float64) {
+	started := false
+	for _, hd := range jd.Hosts {
+		for _, byInst := range hd.Series {
+			for _, s := range byInst {
+				if len(s.Samples) == 0 {
+					continue
+				}
+				f := s.Samples[0].Time
+				l := s.Samples[len(s.Samples)-1].Time
+				if !started || f < first {
+					first = f
+				}
+				if !started || l > last {
+					last = l
+				}
+				started = true
+			}
+		}
+	}
+	return first, last
+}
+
+// DefaultNodeConfig is the node type fleets run on unless a spec says
+// otherwise.
+func DefaultNodeConfig(queue string) chip.NodeConfig {
+	if queue == "largemem" {
+		return chip.LargeMemNode()
+	}
+	return chip.StampedeNode()
+}
+
+// RunFleetMixed is RunFleet but routes largemem-queue jobs to largemem
+// nodes, as the scheduler does.
+func RunFleetMixed(specs []workload.Spec, interval float64, seed int64, workers int) (*reldb.DB, FleetStats, error) {
+	var normal, large []workload.Spec
+	for _, s := range specs {
+		if s.Queue == "largemem" {
+			large = append(large, s)
+		} else {
+			normal = append(normal, s)
+		}
+	}
+	db, stats, err := RunFleet(normal, chip.StampedeNode(), interval, seed, workers)
+	if err != nil {
+		return nil, stats, err
+	}
+	if len(large) > 0 {
+		db2, stats2, err := RunFleet(large, chip.LargeMemNode(), interval, seed, workers)
+		if err != nil {
+			return nil, stats, err
+		}
+		db.Insert(db2.All()...)
+		stats.Jobs += stats2.Jobs
+		stats.Failed += stats2.Failed
+		stats.CollectCost += stats2.CollectCost
+		stats.NodeSeconds += stats2.NodeSeconds
+	}
+	return db, stats, nil
+}

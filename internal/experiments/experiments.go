@@ -1,0 +1,142 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from the simulated substrate. Each function returns a
+// Result whose rows pair the paper's reported value with the value this
+// reproduction measures; cmd/experiments prints them all, and the root
+// bench_test.go exposes each as a testing.B benchmark.
+//
+// Experiment ids follow DESIGN.md §4 (E1..E12).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Row is one line of an experiment's paper-vs-measured table.
+type Row struct {
+	Label    string
+	Paper    string // what the paper reports ("-" when qualitative)
+	Measured string
+	Note     string
+}
+
+// Result is one experiment's outcome.
+type Result struct {
+	ID    string
+	Title string
+	Rows  []Row
+	// Detail carries rendered extras (ASCII histograms, series dumps).
+	Detail string
+}
+
+// String renders the result as a fixed-width report table.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	w1, w2, w3 := len("metric"), len("paper"), len("measured")
+	for _, row := range r.Rows {
+		w1 = maxInt(w1, len(row.Label))
+		w2 = maxInt(w2, len(row.Paper))
+		w3 = maxInt(w3, len(row.Measured))
+	}
+	fmt.Fprintf(&b, "  %-*s  %-*s  %-*s  %s\n", w1, "metric", w2, "paper", w3, "measured", "note")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-*s  %-*s  %-*s  %s\n", w1, row.Label, w2, row.Paper, w3, row.Measured, row.Note)
+	}
+	if r.Detail != "" {
+		b.WriteString(r.Detail)
+		if !strings.HasSuffix(r.Detail, "\n") {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Scale sets the size of the synthetic populations. The paper's numbers
+// come from a 6400-node production system over a quarter; Full scales
+// that down to what a workstation simulates in minutes while preserving
+// the population proportions, and Small is for tests and benchmarks.
+type Scale struct {
+	Seed      int64
+	Workers   int
+	FleetJobs int     // E9/E10 production population
+	WRFJobs   int     // E6 two-week WRF population (paper: 558)
+	WRFQJobs  int     // E8 quarterly WRF population (paper: 16,741)
+	WRFQPatho int     // E8 pathological jobs (paper: 105)
+	Nodes     int     // E3/E4 cluster size
+	SimSpan   float64 // E3/E4 simulated seconds
+	Interval  float64 // sampling interval
+}
+
+// Small returns the test/bench scale.
+func Small() Scale {
+	return Scale{
+		Seed: 1, Workers: 0,
+		FleetJobs: 250,
+		WRFJobs:   80,
+		WRFQJobs:  160, WRFQPatho: 1,
+		Nodes: 8, SimSpan: 86400, Interval: 600,
+	}
+}
+
+// Full returns the EXPERIMENTS.md scale.
+func Full() Scale {
+	return Scale{
+		Seed: 1, Workers: 0,
+		FleetJobs: 4000,
+		WRFJobs:   558,
+		WRFQJobs:  1700, WRFQPatho: 11, // same ~0.63% share as 105/16,741
+		Nodes: 16, SimSpan: 2 * 86400, Interval: 600,
+	}
+}
+
+// All runs every experiment at the given scale, in id order.
+func All(sc Scale) ([]*Result, error) {
+	type fn struct {
+		name string
+		f    func(Scale) (*Result, error)
+	}
+	fns := []fn{
+		{"E1", TableI},
+		{"E2", Overhead},
+		{"E3", CronMode},
+		{"E4", DaemonMode},
+		{"E5", PortalQuery},
+		{"E6", WRFHistograms},
+		{"E7", JobTimeseries},
+		{"E8", WRFCaseStudy},
+		{"E9", IOCorrelations},
+		{"E10", PopulationSurvey},
+		{"E11", TSDBInterference},
+		{"E12", SharedNode},
+	}
+	var out []*Result
+	for _, e := range fns {
+		r, err := e.f(sc)
+		if err != nil {
+			return out, fmt.Errorf("experiments: %s: %w", e.name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// fmtF renders a float compactly for tables.
+func fmtF(v float64) string { return fmt.Sprintf("%.4g", v) }
+
+// fmtPct renders a fraction as a percentage, keeping significance for
+// tiny values like the 0.015% collector overhead.
+func fmtPct(v float64) string {
+	p := 100 * v
+	if p != 0 && p < 0.1 {
+		return fmt.Sprintf("%.3g%%", p)
+	}
+	return fmt.Sprintf("%.1f%%", p)
+}

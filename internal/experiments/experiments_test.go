@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment suite is exercised end-to-end at the small scale. Each
+// experiment's internal shape checks (who wins, by what factor) are what
+// make these tests meaningful — an experiment that produces the wrong
+// shape returns an error.
+
+func small(t *testing.T) Scale {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiment suite skipped in -short mode")
+	}
+	return Small()
+}
+
+func TestTableI(t *testing.T) {
+	r, err := TableI(small(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) < 27 {
+		t.Errorf("Table I rows = %d, want every metric", len(r.Rows))
+	}
+	if !strings.Contains(r.String(), "VecPercent") {
+		t.Error("render missing VecPercent")
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	r, err := Overhead(small(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Errorf("rows = %d", len(r.Rows))
+	}
+}
+
+func TestCronMode(t *testing.T) {
+	r, err := CronMode(small(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Data loss on node failure is the defining property of Fig 1.
+	found := false
+	for _, row := range r.Rows {
+		if strings.Contains(row.Label, "lost") && row.Measured != "0" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("cron mode reported no loss")
+	}
+}
+
+func TestDaemonMode(t *testing.T) {
+	r, err := DaemonMode(small(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if strings.Contains(row.Label, "lost") && row.Measured != "0" {
+			t.Errorf("daemon mode lost data: %+v", row)
+		}
+	}
+}
+
+func TestPortalQuery(t *testing.T) {
+	if _, err := PortalQuery(small(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWRFHistograms(t *testing.T) {
+	r, err := WRFHistograms(small(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Detail, "max metadata reqs") {
+		t.Error("histogram detail missing")
+	}
+}
+
+func TestJobTimeseries(t *testing.T) {
+	r, err := JobTimeseries(small(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Detail, "CPU user fraction per node") {
+		t.Error("series detail missing")
+	}
+}
+
+func TestWRFCaseStudy(t *testing.T) {
+	if _, err := WRFCaseStudy(small(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIOCorrelations(t *testing.T) {
+	if _, err := IOCorrelations(small(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPopulationSurvey(t *testing.T) {
+	if _, err := PopulationSurvey(small(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTSDBInterference(t *testing.T) {
+	if _, err := TSDBInterference(small(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedNode(t *testing.T) {
+	if _, err := SharedNode(small(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllRunsEveryExperiment(t *testing.T) {
+	sc := small(t)
+	results, err := All(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 12 {
+		t.Fatalf("results = %d, want 12", len(results))
+	}
+	ids := map[string]bool{}
+	for _, r := range results {
+		ids[r.ID] = true
+		if r.Title == "" || len(r.Rows) == 0 {
+			t.Errorf("%s: empty result", r.ID)
+		}
+		if r.String() == "" {
+			t.Errorf("%s: empty render", r.ID)
+		}
+	}
+	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"} {
+		if !ids[want] {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+}

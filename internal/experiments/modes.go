@@ -1,0 +1,310 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"gostats/internal/broker"
+	"gostats/internal/chip"
+	"gostats/internal/cluster"
+	"gostats/internal/collect"
+	"gostats/internal/hwsim"
+	"gostats/internal/model"
+	"gostats/internal/rawfile"
+	"gostats/internal/realtime"
+	"gostats/internal/workload"
+)
+
+// modeJobs builds the job stream both mode experiments run: enough short
+// WRF-class jobs to keep the cluster busy across the simulated span.
+func modeJobs(sc Scale) []workload.Spec {
+	n := sc.Nodes * int(sc.SimSpan/7200)
+	specs := make([]workload.Spec, 0, n)
+	for i := 0; i < n; i++ {
+		specs = append(specs, workload.Spec{
+			JobID: fmt.Sprintf("m%04d", i), User: "u001", Exe: "wrf.exe",
+			Queue: "normal", Nodes: 1 + i%2, Wayness: 16,
+			SubmitAt: float64(i) * sc.SimSpan / float64(n),
+			Runtime:  3600,
+			Status:   workload.StatusCompleted,
+			Model:    workload.Steady{Label: "wrf", P: workload.WRFProfile("u001")},
+		})
+	}
+	return specs
+}
+
+// CronMode (E3) runs the Fig 1 pipeline: node-local spools, daily
+// random-time rsync, and a node failure that loses the unsynced day.
+func CronMode(sc Scale) (*Result, error) {
+	tmp, err := os.MkdirTemp("", "gostats-cron")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+	store, err := rawfile.NewStore(filepath.Join(tmp, "central"))
+	if err != nil {
+		return nil, err
+	}
+
+	eng, err := cluster.NewEngine(sc.Nodes, chip.StampedeNode(), sc.Interval, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	collected := map[string]int{}
+	spoolOf := func(host string) string { return filepath.Join(tmp, "spool", host) }
+	eng.NewSink = func(n *hwsim.Node, col *collect.Collector) (cluster.Sink, error) {
+		logger, err := rawfile.NewNodeLogger(spoolOf(n.Host()), col.Header())
+		if err != nil {
+			return nil, err
+		}
+		host := n.Host()
+		return &cronSink{logger: logger, onLog: func() { collected[host]++ }}, nil
+	}
+	if err := eng.Start(); err != nil {
+		return nil, err
+	}
+	syncTimes := map[string][]float64{}
+	eng.SyncHook = func(host string, now float64) error {
+		syncTimes[host] = append(syncTimes[host], now)
+		return store.SyncFrom(host, spoolOf(host))
+	}
+	eng.Submit(modeJobs(sc)...)
+
+	// Run to 60% of the span, then kill one node (spool and all).
+	if err := eng.Run(0.6 * sc.SimSpan); err != nil {
+		return nil, err
+	}
+	victim := eng.Nodes()[0]
+	collectedAtFailure := collected[victim]
+	eng.FailNode(victim)
+	if err := os.RemoveAll(spoolOf(victim)); err != nil {
+		return nil, err
+	}
+	if err := eng.Run(sc.SimSpan); err != nil {
+		return nil, err
+	}
+	if err := eng.Close(); err != nil {
+		return nil, err
+	}
+	// Healthy nodes get their next-morning sync; the dead one cannot.
+	for _, host := range eng.Nodes() {
+		if host == victim {
+			continue
+		}
+		if err := store.SyncFrom(host, spoolOf(host)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Measure: central availability, loss on the dead node, average lag.
+	totalCollected, totalCentral := 0, 0
+	for _, host := range eng.Nodes() {
+		totalCollected += collected[host]
+		snaps, err := store.ReadHost(host)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return nil, err
+		}
+		totalCentral += len(snaps)
+	}
+	victimCentral := 0
+	if snaps, err := store.ReadHost(victim); err == nil {
+		victimCentral = len(snaps)
+	}
+	lost := collectedAtFailure - victimCentral
+
+	// Lag: distance from each collection to its host's next daily sync;
+	// with syncs uniform over the day the expectation is ~12 h.
+	var lagSum float64
+	var lagN int
+	for _, host := range eng.Nodes() {
+		if host == victim {
+			continue
+		}
+		ts := syncTimes[host]
+		if len(ts) == 0 {
+			continue
+		}
+		// Approximate per-snapshot lag using the sync schedule period.
+		first := ts[0]
+		for t := first - 86400; t < sc.SimSpan; t += sc.Interval {
+			if t < 0 {
+				continue
+			}
+			next := first
+			for next < t {
+				next += 86400
+			}
+			lagSum += next - t
+			lagN++
+		}
+	}
+	avgLagH := 0.0
+	if lagN > 0 {
+		avgLagH = lagSum / float64(lagN) / 3600
+	}
+
+	res := &Result{ID: "E3", Title: "Fig 1 — cron mode: daily rsync pipeline"}
+	res.Rows = []Row{
+		{"collections performed", "-", fmt.Sprintf("%d", totalCollected),
+			fmt.Sprintf("%d nodes over %.1f simulated days", sc.Nodes, sc.SimSpan/86400)},
+		{"available centrally after daily sync", "all of previous day", fmt.Sprintf("%d", totalCentral), ""},
+		{"mean data-availability lag", "hours (up to a day)", fmt.Sprintf("%.1f h", avgLagH), "time to next random daily sync"},
+		{"snapshots lost to node failure", "unsynced day lost", fmt.Sprintf("%d", lost),
+			fmt.Sprintf("node %s died at 60%% of span", victim)},
+	}
+	if lost <= 0 {
+		return nil, fmt.Errorf("cron mode: expected data loss on node failure, got %d", lost)
+	}
+	return res, nil
+}
+
+// cronSink adapts a NodeLogger to the engine sink interface.
+type cronSink struct {
+	logger *rawfile.NodeLogger
+	onLog  func()
+}
+
+func (s *cronSink) Handle(snap model.Snapshot) error {
+	s.onLog()
+	return s.logger.Log(snap)
+}
+
+func (s *cronSink) Close() error { return s.logger.Close() }
+
+// DaemonMode (E4) runs the Fig 2 pipeline: every collection published to
+// the broker and archived centrally in real time; the same node failure
+// loses nothing already collected.
+func DaemonMode(sc Scale) (*Result, error) {
+	tmp, err := os.MkdirTemp("", "gostats-daemon")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+	store, err := rawfile.NewStore(filepath.Join(tmp, "central"))
+	if err != nil {
+		return nil, err
+	}
+
+	srv := broker.NewServer()
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	eng, err := cluster.NewEngine(sc.Nodes, chip.StampedeNode(), sc.Interval, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	headers := map[string]rawfile.Header{}
+	var headersMu sync.Mutex
+	collected := 0
+	eng.NewSink = func(n *hwsim.Node, col *collect.Collector) (cluster.Sink, error) {
+		client, err := broker.Dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		headersMu.Lock()
+		headers[n.Host()] = col.Header()
+		headersMu.Unlock()
+		pub := broker.SnapshotPublisher{C: client}
+		return &daemonSink{pub: pub, client: client, onPub: func() { collected++ }}, nil
+	}
+	if err := eng.Start(); err != nil {
+		return nil, err
+	}
+
+	cons, err := broker.DialConsumer(addr, broker.StatsQueue)
+	if err != nil {
+		return nil, err
+	}
+	mon := realtime.NewMonitor(chip.StampedeNode().Registry(), realtime.DefaultRules())
+	listener := &realtime.Listener{
+		Cons:    cons,
+		Monitor: mon,
+		Store:   store,
+		Headers: func(host string) rawfile.Header {
+			headersMu.Lock()
+			defer headersMu.Unlock()
+			return headers[host]
+		},
+	}
+	listenDone := make(chan error, 1)
+	go func() { listenDone <- listener.Run() }()
+
+	eng.Submit(modeJobs(sc)...)
+	if err := eng.Run(0.6 * sc.SimSpan); err != nil {
+		return nil, err
+	}
+	victim := eng.Nodes()[0]
+	eng.FailNode(victim)
+	if err := eng.Run(sc.SimSpan); err != nil {
+		return nil, err
+	}
+	if err := eng.Close(); err != nil {
+		return nil, err
+	}
+	// Drain: the queue-depth reaching zero is not enough (a message can
+	// be in flight between the queue and the archive write), so wait
+	// until the listener has consumed everything published.
+	deadline := time.Now().Add(120 * time.Second)
+	for listener.Processed() < collected && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	srv.Close()
+	if err := <-listenDone; err != nil {
+		return nil, err
+	}
+
+	totalCentral := 0
+	victimCentral := 0
+	for _, host := range eng.Nodes() {
+		snaps, err := store.ReadHost(host)
+		if err != nil {
+			continue
+		}
+		totalCentral += len(snaps)
+		if host == victim {
+			victimCentral = len(snaps)
+		}
+	}
+	lost := collected - totalCentral
+
+	res := &Result{ID: "E4", Title: "Fig 2 — daemon mode: broker pipeline, real-time"}
+	res.Rows = []Row{
+		{"collections published", "-", fmt.Sprintf("%d", collected),
+			fmt.Sprintf("%d nodes over %.1f simulated days", sc.Nodes, sc.SimSpan/86400)},
+		{"available centrally", "immediately", fmt.Sprintf("%d", totalCentral), "archived as consumed"},
+		{"mean data-availability lag", "real time (seconds)", "0 s simulated", "consumer keeps up with the stream"},
+		{"snapshots lost to node failure", "none already sent", fmt.Sprintf("%d", lost),
+			fmt.Sprintf("node %s died at 60%% of span; %d of its snapshots safe", victim, victimCentral)},
+		{"listener processed", "-", fmt.Sprintf("%d", listener.Processed()), ""},
+	}
+	if lost != 0 {
+		return nil, fmt.Errorf("daemon mode: lost %d snapshots, want 0", lost)
+	}
+	return res, nil
+}
+
+// daemonSink adapts a broker publisher to the engine sink interface.
+type daemonSink struct {
+	pub    broker.SnapshotPublisher
+	client *broker.Client
+	onPub  func()
+}
+
+func (s *daemonSink) Handle(snap model.Snapshot) error {
+	if err := s.pub.Publish(snap); err != nil {
+		return err
+	}
+	s.onPub()
+	return nil
+}
+
+func (s *daemonSink) Close() error { return s.client.Close() }

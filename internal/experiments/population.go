@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"gostats/internal/analysis"
+	"gostats/internal/etl"
+	"gostats/internal/reldb"
+	"gostats/internal/workload"
+)
+
+// Population builds are the expensive part of the experiment suite, and
+// several experiments share one (E5/E6 share the two-week WRF window,
+// E9/E10 share the quarter fleet). Memoize per scale.
+var (
+	popMu      sync.Mutex
+	wrfCache   = map[Scale]*reldb.DB{}
+	wrfQCache  = map[Scale]*reldb.DB{}
+	fleetCache = map[Scale]*reldb.DB{}
+)
+
+// wrfWindowDB builds (or returns) the E5/E6 population: the paper's
+// "wrf.exe, Jan 1-14, runtime > 10 min" search result set of 558 jobs,
+// including the metadata-storm outliers.
+func wrfWindowDB(sc Scale) (*reldb.DB, error) {
+	popMu.Lock()
+	defer popMu.Unlock()
+	if db, ok := wrfCache[sc]; ok {
+		return db, nil
+	}
+	patho := sc.WRFJobs / 60 // a small outlier population, ~1.7%
+	if patho < 1 {
+		patho = 1
+	}
+	specs := workload.GenerateWRF(workload.WRFOpts{
+		Seed: sc.Seed, Jobs: sc.WRFJobs, PathoJobs: patho, PathoUser: "u042",
+		StartAt: 1451606400, // Jan 1 2016
+		SpanSec: 13 * 86400,
+	})
+	db, st, err := etl.RunFleetMixed(specs, sc.Interval, sc.Seed, sc.Workers)
+	if err != nil {
+		return nil, err
+	}
+	if st.Failed > 0 {
+		return nil, fmt.Errorf("wrf window: %d jobs failed to simulate", st.Failed)
+	}
+	wrfCache[sc] = db
+	return db, nil
+}
+
+// wrfQuarterDB builds the E8 population: the quarter's WRF jobs (paper:
+// 16,741 with 105 pathological), scaled.
+func wrfQuarterDB(sc Scale) (*reldb.DB, error) {
+	popMu.Lock()
+	defer popMu.Unlock()
+	if db, ok := wrfQCache[sc]; ok {
+		return db, nil
+	}
+	specs := workload.GenerateWRF(workload.WRFOpts{
+		Seed: sc.Seed + 100, Jobs: sc.WRFQJobs, PathoJobs: sc.WRFQPatho,
+		PathoUser: "u042", StartAt: 1443657600, SpanSec: 90 * 86400,
+	})
+	db, st, err := etl.RunFleetMixed(specs, sc.Interval, sc.Seed, sc.Workers)
+	if err != nil {
+		return nil, err
+	}
+	if st.Failed > 0 {
+		return nil, fmt.Errorf("wrf quarter: %d jobs failed to simulate", st.Failed)
+	}
+	wrfQCache[sc] = db
+	return db, nil
+}
+
+// fleetDB builds the E9/E10 population: the scaled production quarter
+// (paper: 404,002 jobs; 110,438 after the production filter).
+func fleetDB(sc Scale) (*reldb.DB, error) {
+	popMu.Lock()
+	defer popMu.Unlock()
+	if db, ok := fleetCache[sc]; ok {
+		return db, nil
+	}
+	specs := workload.GenerateFleet(workload.FleetOpts{
+		Seed: sc.Seed + 200, Jobs: sc.FleetJobs,
+		StartAt: 1443657600, SpanSec: 90 * 86400,
+	})
+	db, st, err := etl.RunFleetMixed(specs, sc.Interval, sc.Seed, sc.Workers)
+	if err != nil {
+		return nil, err
+	}
+	if st.Failed > 0 {
+		return nil, fmt.Errorf("fleet: %d jobs failed to simulate", st.Failed)
+	}
+	fleetCache[sc] = db
+	return db, nil
+}
+
+// WRFHistograms (E6) regenerates the Fig 4 histogram quartet for the WRF
+// window query and attributes the metadata outliers to their user.
+func WRFHistograms(sc Scale) (*Result, error) {
+	db, err := wrfWindowDB(sc)
+	if err != nil {
+		return nil, err
+	}
+	filters := []reldb.Filter{reldb.F("exe", "wrf.exe"), reldb.F("runtime__gte", 600.0)}
+	h, err := analysis.Histograms(db, 20, filters...)
+	if err != nil {
+		return nil, err
+	}
+	top, err := analysis.TopUsersBy(db, "metadatarate", 3, filters...)
+	if err != nil {
+		return nil, err
+	}
+	if len(top) == 0 {
+		return nil, fmt.Errorf("histograms: no users ranked")
+	}
+	res := &Result{ID: "E6", Title: "Fig 4 — histograms for the WRF window query"}
+	paperJobs := "558"
+	res.Rows = []Row{
+		{"jobs returned by query", paperJobs, fmt.Sprintf("%d", h.Jobs),
+			fmt.Sprintf("scaled window of %d jobs", sc.WRFJobs)},
+		{"metadata outliers attributable to one user", "yes (one user)", top[0].User,
+			fmt.Sprintf("mean MetaDataRate %.4g/s over %d jobs", top[0].Mean, top[0].Jobs)},
+		{"outlier vs next user's mean", "orders of magnitude", fmtF(ratioSafe(top[0].Mean, nextMean(top))), ""},
+	}
+	res.Detail = h.Runtime.Render("  runtime (s)", 40) +
+		h.Nodes.Render("  nodes", 40) +
+		h.Wait.Render("  queue wait (s)", 40) +
+		h.MaxMD.Render("  max metadata reqs (/s)", 40)
+	if top[0].User != "u042" {
+		return nil, fmt.Errorf("histograms: outlier attributed to %s, want u042", top[0].User)
+	}
+	return res, nil
+}
+
+func nextMean(us []analysis.UserStat) float64 {
+	if len(us) < 2 {
+		return 0
+	}
+	return us[1].Mean
+}
+
+func ratioSafe(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// WRFCaseStudy (E8) reproduces the §V-B quarterly comparison of the
+// pathological user against the WRF population.
+func WRFCaseStudy(sc Scale) (*Result, error) {
+	db, err := wrfQuarterDB(sc)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := analysis.WRFStudy(db, "wrf.exe", "u042")
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{ID: "E8", Title: "§V-B — WRF metadata case study (user vs population)"}
+	res.Rows = []Row{
+		{"user's jobs in quarter", "105", fmt.Sprintf("%d", cs.UserJobs),
+			fmt.Sprintf("of %d WRF jobs (paper: 16,741)", cs.PopJobs)},
+		{"user CPU_Usage", "67%", fmtPct(cs.UserCPUUsage), ""},
+		{"population CPU_Usage", "80%", fmtPct(cs.PopCPUUsage), ""},
+		{"user MetaDataRate", "563,905/s", fmtF(cs.UserMetaDataRate) + "/s", ""},
+		{"population MetaDataRate", "3,870/s", fmtF(cs.PopMetaDataRate) + "/s", ""},
+		{"user LLiteOpenClose", "30,884/s", fmtF(cs.UserOpenClose) + "/s", ""},
+		{"general population LLiteOpenClose", "2/s", fmtF(cs.PopExclOpenClose) + "/s", "population excluding the user"},
+	}
+	// Shape checks: the user must be slower and enormously noisier.
+	if cs.UserCPUUsage >= cs.PopCPUUsage {
+		return nil, fmt.Errorf("case study: user CPU %g !< pop %g", cs.UserCPUUsage, cs.PopCPUUsage)
+	}
+	if cs.UserMetaDataRate < 50*cs.PopMetaDataRate {
+		return nil, fmt.Errorf("case study: metadata ratio too small: %g vs %g",
+			cs.UserMetaDataRate, cs.PopMetaDataRate)
+	}
+	return res, nil
+}
+
+// IOCorrelations (E9) reproduces the §V-B correlation study over the
+// production population.
+func IOCorrelations(sc Scale) (*Result, error) {
+	db, err := fleetDB(sc)
+	if err != nil {
+		return nil, err
+	}
+	c, err := analysis.IOCorrelations(db, analysis.ProductionFilters()...)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{ID: "E9", Title: "§V-B — CPU_Usage vs I/O correlations over production jobs"}
+	res.Rows = []Row{
+		{"production jobs", "110,438", fmt.Sprintf("%d", c.N),
+			fmt.Sprintf("scaled fleet of %d jobs", sc.FleetJobs)},
+		{"r(CPU_Usage, MDCReqs)", "-0.11", fmtF(c.MDCReqs), ""},
+		{"r(CPU_Usage, OSCReqs)", "-0.20", fmtF(c.OSCReqs), ""},
+		{"r(CPU_Usage, LnetAveBW)", "-0.19", fmtF(c.LnetAveBW), ""},
+	}
+	for name, r := range map[string]float64{"MDCReqs": c.MDCReqs, "OSCReqs": c.OSCReqs, "LnetAveBW": c.LnetAveBW} {
+		if r > -0.02 || r < -0.6 {
+			return nil, fmt.Errorf("correlations: r(%s) = %g outside the paper's weak-negative band", name, r)
+		}
+	}
+	return res, nil
+}
+
+// PopulationSurvey (E10) reproduces the §V-A fleet characterization
+// fractions.
+func PopulationSurvey(sc Scale) (*Result, error) {
+	db, err := fleetDB(sc)
+	if err != nil {
+		return nil, err
+	}
+	s, err := analysis.PopulationSurvey(db)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{ID: "E10", Title: "§V-A — population characterization"}
+	res.Rows = []Row{
+		{"jobs surveyed", "404,002", fmt.Sprintf("%d", s.Total), "scaled quarter"},
+		{"jobs with MIC_Usage > 1%", "1.3%", fmtPct(s.MICUsers), "Phi uptake is rare"},
+		{"jobs with VecPercent > 1%", "52%", fmtPct(s.Vec1), ""},
+		{"jobs with VecPercent > 50%", "25%", fmtPct(s.Vec50), ""},
+		{"jobs using > 20 GB per node", "3%", fmtPct(s.Mem20GB), ""},
+		{"multi-node jobs with idle nodes", ">2%", fmtPct(s.IdleNodes), "of all jobs"},
+	}
+	checks := []struct {
+		name   string
+		got    float64
+		lo, hi float64
+	}{
+		{"mic", s.MICUsers, 0.004, 0.035},
+		{"vec1", s.Vec1, 0.35, 0.65},
+		{"vec50", s.Vec50, 0.15, 0.35},
+		{"mem20", s.Mem20GB, 0.01, 0.08},
+		{"idle", s.IdleNodes, 0.005, 0.06},
+	}
+	for _, c := range checks {
+		if c.got < c.lo || c.got > c.hi {
+			return nil, fmt.Errorf("survey: %s = %g outside [%g, %g]", c.name, c.got, c.lo, c.hi)
+		}
+	}
+	return res, nil
+}

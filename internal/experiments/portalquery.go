@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"gostats/internal/chip"
+	"gostats/internal/portal"
+)
+
+// PortalQuery (E5) drives the web portal's canonical search (Fig 3):
+// all jobs running wrf.exe over 10 minutes in runtime in the two-week
+// window — the query whose result page carries the Fig 4 histograms.
+func PortalQuery(sc Scale) (*Result, error) {
+	db, err := wrfWindowDB(sc)
+	if err != nil {
+		return nil, err
+	}
+	srv := portal.NewServer(db, chip.StampedeNode().Registry(), nil)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	url := ts.URL + "/api/jobs?exe=wrf.exe&field1=runtime&op1=gte&val1=600"
+	start := time.Now()
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	latency := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("portal query status %d", resp.StatusCode)
+	}
+	var rows []map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+		return nil, err
+	}
+
+	// The HTML result page must render too (histograms included).
+	htmlURL := ts.URL + "/jobs?exe=wrf.exe&field1=runtime&op1=gte&val1=600"
+	hstart := time.Now()
+	hresp, err := http.Get(htmlURL)
+	if err != nil {
+		return nil, err
+	}
+	hresp.Body.Close()
+	htmlLatency := time.Since(hstart)
+	if hresp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("portal html status %d", hresp.StatusCode)
+	}
+
+	res := &Result{ID: "E5", Title: "Fig 3 — portal query surface (wrf.exe, runtime >= 600 s)"}
+	res.Rows = []Row{
+		{"jobs returned", "558", fmt.Sprintf("%d", len(rows)),
+			fmt.Sprintf("scaled window of %d jobs", sc.WRFJobs)},
+		{"JSON query latency", "-", latency.Round(time.Microsecond).String(), ""},
+		{"HTML page latency (incl. Fig 4 SVGs)", "-", htmlLatency.Round(time.Microsecond).String(), ""},
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("portal query returned no jobs")
+	}
+	return res, nil
+}

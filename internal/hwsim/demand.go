@@ -1,0 +1,128 @@
+package hwsim
+
+// Demand expresses what the software running on a node asks of its
+// hardware during one simulation interval, as rates (per second) and
+// levels. The workload package produces Demand values; Node.Advance
+// translates them into counter increments on every simulated device.
+type Demand struct {
+	// CPU
+	CPUUserFrac   float64 // fraction of core-time spent in user space [0,1]
+	CPUSysFrac    float64 // fraction in system space
+	CPUIOWaitFrac float64 // fraction blocked on I/O
+	IPC           float64 // instructions retired per busy cycle
+
+	// Floating point
+	FlopsRate float64 // node-wide floating point operations per second
+	VecFrac   float64 // fraction of FP instructions that are vector ops [0,1]
+
+	// Cache
+	LoadRate   float64 // retired loads per second, node-wide
+	L1HitFrac  float64 // of loads, fraction hitting L1
+	L2HitFrac  float64 // fraction hitting L2
+	LLCHitFrac float64 // fraction hitting LLC
+
+	// Memory
+	MemBW   float64 // bytes/second through the memory controllers
+	MemUsed uint64  // resident bytes on the node (gauge level)
+
+	// Lustre
+	MDCReqRate    float64 // metadata requests per second
+	MDCWaitUs     float64 // mean microseconds per metadata request
+	OSCReqRate    float64 // object storage requests per second
+	OSCWaitUs     float64 // mean microseconds per OSC request
+	LustreReadBW  float64 // bytes/second read from Lustre
+	LustreWriteBW float64 // bytes/second written to Lustre
+	OpenCloseRate float64 // file opens+closes per second
+
+	// Networks
+	IBBW      float64 // MPI bytes/second each direction over IB
+	IBPktSize float64 // mean bytes per IB packet (0 -> default 2048)
+	EthBW     float64 // bytes/second over the GigE interface
+
+	// Coprocessor
+	MICFrac float64 // Xeon Phi utilization [0,1]
+
+	// Misc
+	BlockBW     float64 // bytes/second to local disk
+	PgFaultRate float64 // page faults per second
+	Watts       float64 // package power draw; 0 derives from activity
+
+	// Per-process view for the procfs (ps) device.
+	Processes []Process
+}
+
+// Process describes one entry of the simulated /proc process table.
+type Process struct {
+	PID     int
+	Exe     string
+	Owner   string
+	VmSize  uint64 // virtual size, bytes
+	VmRSS   uint64 // resident set, bytes
+	VmLck   uint64 // locked memory, bytes
+	VmData  uint64
+	VmStk   uint64
+	VmExe   uint64
+	Threads int
+	CPUAff  uint64 // affinity bitmask
+	MemAff  uint64 // NUMA node bitmask
+}
+
+// IdleDemand returns the demand of a node running only the OS: everything
+// idle, a sliver of system time, baseline memory.
+func IdleDemand() Demand {
+	return Demand{
+		CPUSysFrac: 0.002,
+		IPC:        0.8,
+		MemUsed:    2 << 30, // OS + filesystem cache floor
+		Watts:      90,      // idle package power, both sockets
+	}
+}
+
+// clamp01 bounds x into [0,1].
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// sanitize bounds the fractional fields so a buggy or adversarial
+// workload model cannot drive the counters backwards or past physical
+// limits.
+func (d Demand) sanitize() Demand {
+	d.CPUUserFrac = clamp01(d.CPUUserFrac)
+	d.CPUSysFrac = clamp01(d.CPUSysFrac)
+	d.CPUIOWaitFrac = clamp01(d.CPUIOWaitFrac)
+	if tot := d.CPUUserFrac + d.CPUSysFrac + d.CPUIOWaitFrac; tot > 1 {
+		d.CPUUserFrac /= tot
+		d.CPUSysFrac /= tot
+		d.CPUIOWaitFrac /= tot
+	}
+	d.VecFrac = clamp01(d.VecFrac)
+	d.L1HitFrac = clamp01(d.L1HitFrac)
+	d.L2HitFrac = clamp01(d.L2HitFrac)
+	d.LLCHitFrac = clamp01(d.LLCHitFrac)
+	if tot := d.L1HitFrac + d.L2HitFrac + d.LLCHitFrac; tot > 1 {
+		d.L1HitFrac /= tot
+		d.L2HitFrac /= tot
+		d.LLCHitFrac /= tot
+	}
+	d.MICFrac = clamp01(d.MICFrac)
+	if d.IPC < 0 {
+		d.IPC = 0
+	}
+	for _, f := range []*float64{
+		&d.FlopsRate, &d.LoadRate, &d.MemBW, &d.MDCReqRate, &d.MDCWaitUs,
+		&d.OSCReqRate, &d.OSCWaitUs, &d.LustreReadBW, &d.LustreWriteBW,
+		&d.OpenCloseRate, &d.IBBW, &d.EthBW, &d.BlockBW, &d.PgFaultRate,
+		&d.Watts, &d.IBPktSize,
+	} {
+		if *f < 0 {
+			*f = 0
+		}
+	}
+	return d
+}

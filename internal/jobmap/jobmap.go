@@ -1,0 +1,130 @@
+// Package jobmap maps raw per-host collections to jobs — the first ETL
+// stage after collection (§IV-A: "TACC Stats maps the raw output from
+// each node to job ids").
+//
+// Every snapshot carries the ids of the jobs running on its host at
+// collection time (the scheduler's prolog supplies the label, exactly as
+// in the paper). A snapshot labeled with several jobs — a shared node —
+// contributes to each of them; disentangling per-job attribution on
+// shared nodes is the preload package's concern, not this one's.
+package jobmap
+
+import (
+	"sort"
+
+	"gostats/internal/model"
+	"gostats/internal/rawfile"
+)
+
+// Mapper incrementally assembles JobData from a stream of snapshots.
+// It is not safe for concurrent use; wrap it if feeding from multiple
+// goroutines.
+type Mapper struct {
+	jobs map[string]*model.JobData
+	// bounds tracks observed begin/end marks per job for diagnostics.
+	begins map[string]float64
+	ends   map[string]float64
+}
+
+// New returns an empty Mapper.
+func New() *Mapper {
+	return &Mapper{
+		jobs:   make(map[string]*model.JobData),
+		begins: make(map[string]float64),
+		ends:   make(map[string]float64),
+	}
+}
+
+// Add folds one snapshot into every job it is labeled with. Unlabeled
+// snapshots (idle nodes) are dropped — they belong to no job.
+func (m *Mapper) Add(s model.Snapshot) {
+	for _, id := range s.JobIDs {
+		jd := m.jobs[id]
+		if jd == nil {
+			jd = model.NewJobData(id)
+			m.jobs[id] = jd
+		}
+		h := jd.Host(s.Host)
+		for _, r := range s.Records {
+			h.Append(s.Time, r)
+		}
+	}
+	switch {
+	case len(s.Mark) > 6 && s.Mark[:6] == "begin ":
+		m.begins[s.Mark[6:]] = s.Time
+	case len(s.Mark) > 4 && s.Mark[:4] == "end ":
+		m.ends[s.Mark[4:]] = s.Time
+	}
+}
+
+// AddAll folds a batch of snapshots.
+func (m *Mapper) AddAll(snaps []model.Snapshot) {
+	for _, s := range snaps {
+		m.Add(s)
+	}
+}
+
+// Jobs returns the assembled per-job data, keyed by job id.
+func (m *Mapper) Jobs() map[string]*model.JobData { return m.jobs }
+
+// JobIDs returns the assembled job ids in sorted order.
+func (m *Mapper) JobIDs() []string {
+	ids := make([]string, 0, len(m.jobs))
+	for id := range m.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Bounds returns the begin/end mark times observed for a job; ok
+// reports whether both marks were seen (a complete job).
+func (m *Mapper) Bounds(id string) (begin, end float64, ok bool) {
+	b, okB := m.begins[id]
+	e, okE := m.ends[id]
+	return b, e, okB && okE
+}
+
+// Complete reports the ids of jobs with both begin and end marks.
+func (m *Mapper) Complete() []string {
+	var ids []string
+	for id := range m.jobs {
+		if _, _, ok := m.Bounds(id); ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// FromSnapshots assembles job data from a snapshot slice in one call.
+func FromSnapshots(snaps []model.Snapshot) map[string]*model.JobData {
+	m := New()
+	m.AddAll(snaps)
+	return m.Jobs()
+}
+
+// FromStore assembles job data from every host archived in a central raw
+// store — the daily batch path of cron mode.
+func FromStore(st *rawfile.Store) (*Mapper, error) {
+	m := New()
+	hosts, err := st.Hosts()
+	if err != nil {
+		return nil, err
+	}
+	for _, h := range hosts {
+		snaps, err := st.ReadHost(h)
+		if err != nil {
+			// A host file damaged by mid-write node death: recover the
+			// intact prefix rather than losing the host's whole archive.
+			var recovered int
+			snaps, recovered, err = st.ReadHostLenient(h)
+			if err != nil {
+				return nil, err
+			}
+			_ = recovered
+		}
+		m.AddAll(snaps)
+	}
+	return m, nil
+}

@@ -1,0 +1,131 @@
+package jobmap
+
+import (
+	"testing"
+
+	"gostats/internal/chip"
+	"gostats/internal/collect"
+	"gostats/internal/hwsim"
+	"gostats/internal/model"
+	"gostats/internal/rawfile"
+	"gostats/internal/schema"
+)
+
+func snap(t float64, host string, mark string, jobs ...string) model.Snapshot {
+	return model.Snapshot{
+		Time: t, Host: host, JobIDs: jobs, Mark: mark,
+		Records: []model.Record{
+			{Class: schema.ClassCPU, Instance: "0", Values: []uint64{uint64(t), 0, 0, 0, 0, 0, 0}},
+		},
+	}
+}
+
+func TestMapperRoutesByJobLabel(t *testing.T) {
+	m := New()
+	m.Add(snap(0, "a", "begin 1", "1"))
+	m.Add(snap(600, "a", "", "1"))
+	m.Add(snap(600, "b", "", "2"))
+	m.Add(snap(1200, "a", "end 1", "1"))
+
+	jobs := m.Jobs()
+	if len(jobs) != 2 {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+	j1 := jobs["1"]
+	if len(j1.Hosts) != 1 || len(j1.Hosts["a"].Series[schema.ClassCPU]["0"].Samples) != 3 {
+		t.Errorf("job 1 data wrong: %+v", j1.HostNames())
+	}
+	if got := m.JobIDs(); len(got) != 2 || got[0] != "1" || got[1] != "2" {
+		t.Errorf("ids = %v", got)
+	}
+}
+
+func TestMapperSharedNodeContributesToAllJobs(t *testing.T) {
+	m := New()
+	m.Add(snap(0, "a", "", "1", "2"))
+	m.Add(snap(600, "a", "", "1", "2"))
+	jobs := m.Jobs()
+	for _, id := range []string{"1", "2"} {
+		if jobs[id] == nil || len(jobs[id].Hosts["a"].Series[schema.ClassCPU]["0"].Samples) != 2 {
+			t.Errorf("job %s missing shared-node data", id)
+		}
+	}
+}
+
+func TestMapperDropsUnlabeledSnapshots(t *testing.T) {
+	m := New()
+	m.Add(snap(0, "a", ""))
+	if len(m.Jobs()) != 0 {
+		t.Error("idle snapshot created a job")
+	}
+}
+
+func TestMapperBoundsAndComplete(t *testing.T) {
+	m := New()
+	m.Add(snap(100, "a", "begin 5", "5"))
+	m.Add(snap(700, "a", "end 5", "5"))
+	m.Add(snap(100, "b", "begin 6", "6")) // never ends
+	b, e, ok := m.Bounds("5")
+	if !ok || b != 100 || e != 700 {
+		t.Errorf("bounds = %g/%g/%v", b, e, ok)
+	}
+	if _, _, ok := m.Bounds("6"); ok {
+		t.Error("incomplete job reported complete bounds")
+	}
+	if got := m.Complete(); len(got) != 1 || got[0] != "5" {
+		t.Errorf("complete = %v", got)
+	}
+}
+
+func TestFromSnapshots(t *testing.T) {
+	jobs := FromSnapshots([]model.Snapshot{
+		snap(0, "a", "", "9"),
+		snap(600, "a", "", "9"),
+	})
+	if len(jobs) != 1 || jobs["9"] == nil {
+		t.Fatalf("jobs = %v", jobs)
+	}
+}
+
+func TestFromStoreEndToEnd(t *testing.T) {
+	// Cron-mode round trip: collect on two nodes, spool, sync, map.
+	st, err := rawfile.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, host := range []string{"c401-101", "c401-102"} {
+		n, err := hwsim.NewNode(host, chip.StampedeNode(), int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		col := collect.New(n)
+		agent, err := collect.NewCronAgent(col, t.TempDir()+"/"+host)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := agent.Tick(100, []string{"77"}, collect.JobMark(collect.MarkBegin, "77")); err != nil {
+			t.Fatal(err)
+		}
+		n.Advance(600, hwsim.Demand{CPUUserFrac: 0.5, IPC: 1})
+		if err := agent.Tick(700, []string{"77"}, collect.JobMark(collect.MarkEnd, "77")); err != nil {
+			t.Fatal(err)
+		}
+		if err := agent.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.SyncFrom(host, agent.Logger.Dir()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := FromStore(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jd := m.Jobs()["77"]
+	if jd == nil || len(jd.Hosts) != 2 {
+		t.Fatalf("job data = %+v", jd)
+	}
+	if got := m.Complete(); len(got) != 1 {
+		t.Errorf("complete = %v", got)
+	}
+}

@@ -1,0 +1,178 @@
+// Package model defines the shared in-memory data types that flow through
+// the gostats pipeline: a Record is one device reading, a Snapshot is all
+// records taken on one host at one instant.
+//
+// Time is represented as float64 seconds on the simulated cluster clock
+// (unix-epoch-like). Using a plain float keeps the simulator deterministic
+// and serialization trivial, and matches the raw file format's timestamp
+// lines.
+package model
+
+import (
+	"sort"
+
+	"gostats/internal/schema"
+)
+
+// Record is one device instance reading: a value vector positionally
+// matched against the schema of its class.
+type Record struct {
+	Class    schema.Class
+	Instance string
+	Values   []uint64
+}
+
+// Clone returns a deep copy of the record.
+func (r Record) Clone() Record {
+	v := make([]uint64, len(r.Values))
+	copy(v, r.Values)
+	return Record{Class: r.Class, Instance: r.Instance, Values: v}
+}
+
+// Snapshot is everything collected on one host at one time.
+type Snapshot struct {
+	Time   float64 // simulated unix seconds
+	Host   string
+	JobIDs []string // jobs running on the host at collection time
+	// Mark tags special collections: "begin %jobid", "end %jobid",
+	// "procdump" (shared-node process signal), or "" for interval
+	// collections. Mirrors the raw format's % marker lines.
+	Mark    string
+	Records []Record
+}
+
+// Clone returns a deep copy of the snapshot.
+func (s Snapshot) Clone() Snapshot {
+	out := s
+	out.JobIDs = append([]string(nil), s.JobIDs...)
+	out.Records = make([]Record, len(s.Records))
+	for i, r := range s.Records {
+		out.Records[i] = r.Clone()
+	}
+	return out
+}
+
+// RecordsOf returns the snapshot's records of the given class, in
+// instance order.
+func (s Snapshot) RecordsOf(c schema.Class) []Record {
+	var out []Record
+	for _, r := range s.Records {
+		if r.Class == c {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Instance < out[j].Instance })
+	return out
+}
+
+// HasJob reports whether the snapshot is labeled with the given job id.
+func (s Snapshot) HasJob(id string) bool {
+	for _, j := range s.JobIDs {
+		if j == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Sample is one timestamped value vector in a per-job, per-host,
+// per-instance series (the unit the metric engine consumes).
+type Sample struct {
+	Time   float64
+	Values []uint64
+}
+
+// Series is an ordered-by-time list of samples for one device instance.
+type Series struct {
+	Class    schema.Class
+	Instance string
+	Samples  []Sample
+}
+
+// Duration returns the time span covered by the series (0 for fewer than
+// two samples).
+func (s *Series) Duration() float64 {
+	if len(s.Samples) < 2 {
+		return 0
+	}
+	return s.Samples[len(s.Samples)-1].Time - s.Samples[0].Time
+}
+
+// HostData holds every series collected for one host during one job.
+type HostData struct {
+	Host   string
+	Series map[schema.Class]map[string]*Series // class -> instance -> series
+}
+
+// NewHostData returns an empty HostData for host.
+func NewHostData(host string) *HostData {
+	return &HostData{Host: host, Series: make(map[schema.Class]map[string]*Series)}
+}
+
+// Append adds one record at the given time to the host's series.
+func (h *HostData) Append(t float64, r Record) {
+	byInst := h.Series[r.Class]
+	if byInst == nil {
+		byInst = make(map[string]*Series)
+		h.Series[r.Class] = byInst
+	}
+	s := byInst[r.Instance]
+	if s == nil {
+		s = &Series{Class: r.Class, Instance: r.Instance}
+		byInst[r.Instance] = s
+	}
+	v := make([]uint64, len(r.Values))
+	copy(v, r.Values)
+	s.Samples = append(s.Samples, Sample{Time: t, Values: v})
+}
+
+// Instances returns the sorted instance names present for a class.
+func (h *HostData) Instances(c schema.Class) []string {
+	byInst := h.Series[c]
+	names := make([]string, 0, len(byInst))
+	for n := range byInst {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// JobData is the fully assembled per-job dataset: one HostData per node
+// the job ran on.
+type JobData struct {
+	JobID string
+	Hosts map[string]*HostData
+}
+
+// NewJobData returns an empty JobData for the job id.
+func NewJobData(id string) *JobData {
+	return &JobData{JobID: id, Hosts: make(map[string]*HostData)}
+}
+
+// Host returns (creating if needed) the HostData for host.
+func (j *JobData) Host(host string) *HostData {
+	h := j.Hosts[host]
+	if h == nil {
+		h = NewHostData(host)
+		j.Hosts[host] = h
+	}
+	return h
+}
+
+// HostNames returns the job's hosts in sorted order.
+func (j *JobData) HostNames() []string {
+	names := make([]string, 0, len(j.Hosts))
+	for n := range j.Hosts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AddSnapshot folds a snapshot into the job's per-host series.
+func (j *JobData) AddSnapshot(s Snapshot) {
+	h := j.Host(s.Host)
+	for _, r := range s.Records {
+		h.Append(s.Time, r)
+	}
+}

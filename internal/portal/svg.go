@@ -1,0 +1,154 @@
+package portal
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"gostats/internal/core"
+	"gostats/internal/stats"
+)
+
+// Plot geometry shared by the SVG renderers.
+const (
+	plotW, plotH     = 640, 180
+	marginL, marginB = 70, 24
+	marginT, marginR = 18, 12
+)
+
+// palette cycles line colors per node, matching the multi-line-per-plot
+// style of the paper's Fig 5.
+var palette = []string{
+	"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+	"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+}
+
+// fmtTick renders an axis tick value compactly.
+func fmtTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e9:
+		return fmt.Sprintf("%.3gG", v/1e9)
+	case av >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// PanelSVG renders one Fig 5 panel: one line per node over time.
+func PanelSVG(p core.Panel) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		plotW, plotH, plotW, plotH)
+	title := p.Name
+	if p.Unit != "" {
+		title += " (" + p.Unit + ")"
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="13" font-size="12" font-family="sans-serif">%s</text>`, marginL, title)
+
+	innerW := plotW - marginL - marginR
+	innerH := plotH - marginT - marginB
+
+	// Data ranges.
+	tMin, tMax := math.Inf(1), math.Inf(-1)
+	vMax := 0.0
+	for _, t := range p.Times {
+		tMin = math.Min(tMin, t)
+		tMax = math.Max(tMax, t)
+	}
+	for _, ns := range p.Nodes {
+		for _, v := range ns.Values {
+			vMax = math.Max(vMax, v)
+		}
+	}
+	if len(p.Times) == 0 || math.IsInf(tMin, 1) {
+		b.WriteString(`<text x="300" y="90" font-size="12">no data</text></svg>`)
+		return b.String()
+	}
+	if vMax == 0 {
+		vMax = 1
+	}
+	if tMax == tMin {
+		tMax = tMin + 1
+	}
+	x := func(t float64) float64 {
+		return float64(marginL) + (t-tMin)/(tMax-tMin)*float64(innerW)
+	}
+	y := func(v float64) float64 {
+		return float64(marginT) + (1-v/vMax)*float64(innerH)
+	}
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`,
+		marginL, plotH-marginB, plotW-marginR, plotH-marginB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`,
+		marginL, marginT, marginL, plotH-marginB)
+	// Y ticks at 0, 1/2, max.
+	for _, f := range []float64{0, 0.5, 1} {
+		v := vMax * f
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="10" text-anchor="end" font-family="sans-serif">%s</text>`,
+			marginL-4, y(v)+3, fmtTick(v))
+	}
+	// X ticks at start/end (minutes since start).
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" font-family="sans-serif">0</text>`,
+		marginL, plotH-8)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" text-anchor="end" font-family="sans-serif">%s min</text>`,
+		plotW-marginR, plotH-8, fmtTick((tMax-tMin)/60))
+
+	// One polyline per node.
+	for i, ns := range p.Nodes {
+		color := palette[i%len(palette)]
+		var pts []string
+		for k, v := range ns.Values {
+			if k >= len(p.Times) {
+				break
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x(p.Times[k]), y(v)))
+		}
+		if len(pts) == 1 {
+			// A single point renders as a dot.
+			fmt.Fprintf(&b, `<circle cx="%s" r="2.5" fill="%s"/>`,
+				strings.Replace(pts[0], ",", `" cy="`, 1), color)
+			continue
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.2" points="%s"/>`,
+			color, strings.Join(pts, " "))
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// HistogramSVG renders one Fig 4 histogram as an SVG bar chart.
+func HistogramSVG(h *stats.Histogram, title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		plotW/2, plotH, plotW/2, plotH)
+	fmt.Fprintf(&b, `<text x="%d" y="13" font-size="12" font-family="sans-serif">%s (n=%d)</text>`,
+		marginL, title, h.Total())
+	innerW := plotW/2 - marginL - marginR
+	innerH := plotH - marginT - marginB
+	maxc := h.MaxCount()
+	if maxc == 0 {
+		maxc = 1
+	}
+	n := len(h.Counts)
+	barW := float64(innerW) / float64(n)
+	for i, c := range h.Counts {
+		barH := float64(c) / float64(maxc) * float64(innerH)
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#1f77b4"/>`,
+			float64(marginL)+float64(i)*barW, float64(marginT)+float64(innerH)-barH,
+			math.Max(barW-1, 1), barH)
+	}
+	// Axis labels: lo, hi, max count.
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" font-family="sans-serif">%s</text>`,
+		marginL, plotH-8, fmtTick(h.Lo))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" text-anchor="end" font-family="sans-serif">%s</text>`,
+		plotW/2-marginR, plotH-8, fmtTick(h.Hi))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" text-anchor="end" font-family="sans-serif">%d</text>`,
+		marginL-4, marginT+6, maxc)
+	b.WriteString(`</svg>`)
+	return b.String()
+}

@@ -1,0 +1,192 @@
+package portal
+
+import "html/template"
+
+// The portal's three pages. Styling is deliberately spare; structure
+// mirrors the paper's Fig 3 (search form), the query result page with
+// Fig 4 histograms and the flagged sublist, and the Fig 5 detail page.
+
+// funcs are the helpers available to all portal templates.
+var funcs = template.FuncMap{
+	"mul": func(a, b float64) float64 { return a * b },
+}
+
+var indexTmpl = template.Must(template.New("index").Funcs(funcs).Parse(`<!DOCTYPE html>
+<html><head><title>gostats</title></head>
+<body>
+<h1>gostats — job monitoring</h1>
+<p>{{.Total}} jobs in database.</p>
+<form action="/jobs" method="get">
+  <fieldset><legend>Metadata</legend>
+    exe <input name="exe"> user <input name="user">
+    queue <input name="queue"> status <input name="status">
+  </fieldset>
+  <fieldset><legend>Search fields (metric, comparison, threshold)</legend>
+    <div>
+      <select name="field1"><option value=""></option>{{range .Fields}}<option>{{.}}</option>{{end}}</select>
+      <select name="op1"><option>gte</option><option>gt</option><option>lte</option><option>lt</option></select>
+      <input name="val1" size="10">
+    </div>
+    <div>
+      <select name="field2"><option value=""></option>{{range .Fields}}<option>{{.}}</option>{{end}}</select>
+      <select name="op2"><option>gte</option><option>gt</option><option>lte</option><option>lt</option></select>
+      <input name="val2" size="10">
+    </div>
+    <div>
+      <select name="field3"><option value=""></option>{{range .Fields}}<option>{{.}}</option>{{end}}</select>
+      <select name="op3"><option>gte</option><option>gt</option><option>lte</option><option>lt</option></select>
+      <input name="val3" size="10">
+    </div>
+  </fieldset>
+  <fieldset><legend>Time window (epoch seconds)</legend>
+    start <input name="start" size="12"> end <input name="end" size="12">
+  </fieldset>
+  <button type="submit">Search</button>
+</form>
+<form action="/" method="get">
+  Job ID <input name="jobid" size="12"><button type="submit">View</button>
+</form>
+<p><a href="/dates">browse by date</a> · <a href="/energy">energy use</a></p>
+</body></html>`))
+
+var jobsTmpl = template.Must(template.New("jobs").Funcs(funcs).Parse(`<!DOCTYPE html>
+<html><head><title>gostats — jobs</title></head>
+<body>
+<h1>{{.Total}} jobs match</h1>
+<p><a href="/">new search</a></p>
+<div>{{range .HistSVGs}}{{.}}{{end}}</div>
+{{if .Flagged}}
+<h2>Flagged jobs</h2>
+<table border="1" cellpadding="3">
+<tr><th>Job</th><th>Flags</th></tr>
+{{range .Flagged}}<tr><td><a href="/job/{{.JobID}}">{{.JobID}}</a></td><td>{{.Flags}}</td></tr>{{end}}
+</table>
+{{end}}
+<h2>Jobs{{if .Truncated}} (first 200){{end}}</h2>
+<table border="1" cellpadding="3">
+<tr><th>Job</th><th>User</th><th>Exe</th><th>Queue</th><th>Status</th>
+<th>Nodes</th><th>Run (s)</th><th>Wait (s)</th><th>Node-hours</th></tr>
+{{range .Rows}}
+<tr><td><a href="/job/{{.JobID}}">{{.JobID}}</a></td>
+<td>{{.User}}</td><td>{{.Exe}}</td><td>{{.Queue}}</td><td>{{.Status}}</td>
+<td>{{.Nodes}}</td><td>{{printf "%.0f" .RunTime}}</td>
+<td>{{printf "%.0f" .WaitTime}}</td><td>{{printf "%.1f" .NodeHours}}</td></tr>
+{{end}}
+</table>
+</body></html>`))
+
+var detailTmpl = template.Must(template.New("detail").Funcs(funcs).Parse(`<!DOCTYPE html>
+<html><head><title>gostats — job {{.Row.JobID}}</title></head>
+<body>
+<h1>Job {{.Row.JobID}}</h1>
+<p><a href="/">new search</a></p>
+<table border="1" cellpadding="3">
+<tr><th>User</th><td>{{.Row.User}}</td><th>Account</th><td>{{.Row.Account}}</td></tr>
+<tr><th>Exe</th><td>{{.Row.Exe}}</td><th>Job name</th><td>{{.Row.JobName}}</td></tr>
+<tr><th>Queue</th><td>{{.Row.Queue}}</td><th>Status</th><td>{{.Row.Status}}</td></tr>
+<tr><th>Nodes</th><td>{{.Row.Nodes}}</td><th>Wayness</th><td>{{.Row.Wayness}}</td></tr>
+<tr><th>Run time</th><td>{{printf "%.0f s" .Row.RunTime}}</td>
+    <th>Queue wait</th><td>{{printf "%.0f s" .Row.WaitTime}}</td></tr>
+</table>
+
+<h2>Metrics</h2>
+<table border="1" cellpadding="3">
+<tr><th>MetaDataRate</th><td>{{printf "%.4g" .M.MetaDataRate}}/s</td>
+    <th>MDCReqs</th><td>{{printf "%.4g" .M.MDCReqs}}/s</td></tr>
+<tr><th>OSCReqs</th><td>{{printf "%.4g" .M.OSCReqs}}/s</td>
+    <th>LLiteOpenClose</th><td>{{printf "%.4g" .M.LLiteOpenClose}}/s</td></tr>
+<tr><th>LnetAveBW</th><td>{{printf "%.4g" .M.LnetAveBW}} B/s</td>
+    <th>LnetMaxBW</th><td>{{printf "%.4g" .M.LnetMaxBW}} B/s</td></tr>
+<tr><th>InternodeIBAveBW</th><td>{{printf "%.4g" .M.InternodeIBAveBW}} B/s</td>
+    <th>GigEBW</th><td>{{printf "%.4g" .M.GigEBW}} B/s</td></tr>
+<tr><th>flops</th><td>{{printf "%.4g" .M.Flops}}/s</td>
+    <th>VecPercent</th><td>{{printf "%.1f%%" (mul .M.VecPercent 100)}}</td></tr>
+<tr><th>cpi</th><td>{{printf "%.3g" .M.CPI}}</td>
+    <th>mbw</th><td>{{printf "%.4g" .M.MemBW}} B/s</td></tr>
+<tr><th>MemUsage</th><td>{{printf "%.4g" .M.MemUsage}} B</td>
+    <th>CPU_Usage</th><td>{{printf "%.1f%%" (mul .M.CPUUsage 100)}}</td></tr>
+<tr><th>idle</th><td>{{printf "%.3g" .M.Idle}}</td>
+    <th>catastrophe</th><td>{{printf "%.3g" .M.Catastrophe}}</td></tr>
+<tr><th>MIC_Usage</th><td>{{printf "%.1f%%" (mul .M.MICUsage 100)}}</td>
+    <th>PkgWatts</th><td>{{printf "%.4g" .M.PkgWatts}} W</td></tr>
+</table>
+
+<h2>Metric checks</h2>
+<table border="1" cellpadding="3">
+<tr><th>Check</th><th>Result</th><th>Description</th></tr>
+{{range .Checks}}
+<tr><td>{{.Flag}}</td><td>{{if .Passed}}pass{{else}}<b>FAIL</b>{{end}}</td><td>{{.Desc}}</td></tr>
+{{end}}
+</table>
+
+{{if .Env}}
+<h2>Environment (XALT)</h2>
+<table border="1" cellpadding="3">
+<tr><th>Executable</th><td>{{.Env.ExePath}}</td></tr>
+<tr><th>Working dir</th><td>{{.Env.WorkDir}}</td></tr>
+<tr><th>Modules</th><td>{{range .Env.Modules}}{{.}} {{end}}</td></tr>
+<tr><th>Libraries</th><td>{{range .Env.Libraries}}{{.}} {{end}}</td></tr>
+<tr><th>Compiler</th><td>{{.Env.Compiler}} (vector ISA {{.Env.VecISA}})</td></tr>
+</table>
+{{end}}
+
+{{if .Panels}}
+<h2>Per-node time series</h2>
+{{range .Panels}}<div>{{.}}</div>{{end}}
+{{else}}
+<p><i>No time-series data available for this job.</i></p>
+{{end}}
+</body></html>`))
+
+var datesTmpl = template.Must(template.New("dates").Funcs(funcs).Parse(`<!DOCTYPE html>
+<html><head><title>gostats — browse by date</title></head>
+<body>
+<h1>Jobs by day</h1>
+<p><a href="/">new search</a></p>
+<table border="1" cellpadding="3">
+<tr><th>Day</th><th>Completed jobs</th></tr>
+{{range .Days}}
+<tr><td><a href="/jobs?start={{printf "%.0f" .Start}}&end={{printf "%.0f" .End}}">{{.Label}}</a></td>
+<td>{{.Count}}</td></tr>
+{{end}}
+</table>
+</body></html>`))
+
+var userTmpl = template.Must(template.New("user").Funcs(funcs).Parse(`<!DOCTYPE html>
+<html><head><title>gostats — user {{.User}}</title></head>
+<body>
+<h1>User {{.User}}</h1>
+<p><a href="/">new search</a></p>
+<p>{{.Jobs}} jobs, {{printf "%.1f" .NodeHours}} node-hours,
+mean CPU_Usage {{printf "%.1f%%" (mul .AvgCPU 100)}}</p>
+<table border="1" cellpadding="3">
+<tr><th>Job</th><th>Exe</th><th>Nodes</th><th>Run (s)</th><th>CPU</th><th>MetaDataRate</th></tr>
+{{range .Rows}}
+<tr><td><a href="/job/{{.JobID}}">{{.JobID}}</a></td><td>{{.Exe}}</td>
+<td>{{.Nodes}}</td><td>{{printf "%.0f" .RunTime}}</td>
+<td>{{printf "%.1f%%" (mul .Metrics.CPUUsage 100)}}</td>
+<td>{{printf "%.4g" .Metrics.MetaDataRate}}/s</td></tr>
+{{end}}
+</table>
+</body></html>`))
+
+var energyTmpl = template.Must(template.New("energy").Funcs(funcs).Parse(`<!DOCTYPE html>
+<html><head><title>gostats — energy</title></head>
+<body>
+<h1>Energy use</h1>
+<p><a href="/">new search</a></p>
+<p>{{.Jobs}} jobs, {{printf "%.1f" .TotalKWh}} kWh total.</p>
+<table border="1" cellpadding="3">
+<tr><th>Plane</th><th>Mean W/node</th><th>Share of package</th></tr>
+<tr><td>package</td><td>{{printf "%.1f" .AvgPkgWatts}}</td><td>100%</td></tr>
+<tr><td>cores + LLC</td><td>{{printf "%.1f" .AvgCoreWatts}}</td><td>{{printf "%.0f%%" (mul .CoreShare 100)}}</td></tr>
+<tr><td>DRAM</td><td>{{printf "%.1f" .AvgDRAMWatts}}</td><td>{{printf "%.0f%%" (mul .DRAMShare 100)}}</td></tr>
+</table>
+<h2>Top consumers</h2>
+<table border="1" cellpadding="3">
+<tr><th>User</th><th>Jobs</th><th>kWh</th></tr>
+{{range .TopConsumers}}
+<tr><td><a href="/user/{{.User}}">{{.User}}</a></td><td>{{.Jobs}}</td><td>{{printf "%.2f" .Mean}}</td></tr>
+{{end}}
+</table>
+</body></html>`))

@@ -1,0 +1,203 @@
+package preload
+
+import (
+	"strings"
+	"testing"
+
+	"gostats/internal/chip"
+	"gostats/internal/collect"
+	"gostats/internal/hwsim"
+	"gostats/internal/model"
+)
+
+func tracker(t *testing.T) (*Tracker, *[]model.Snapshot) {
+	t.Helper()
+	n, err := hwsim.NewNode("c401-101", chip.StampedeNode(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Advance(3600, hwsim.IdleDemand())
+	col := collect.New(n)
+	var snaps []model.Snapshot
+	tr := NewTracker(col, func(s model.Snapshot) { snaps = append(snaps, s) })
+	return tr, &snaps
+}
+
+func TestProcessGetsTwoCollections(t *testing.T) {
+	tr, snaps := tracker(t)
+	tr.JobStart(0, "1")
+	if !tr.Signal(10, ProcExec) {
+		t.Fatal("exec signal missed with idle daemon")
+	}
+	if !tr.Signal(20, ProcExit) {
+		t.Fatal("exit signal missed with idle daemon")
+	}
+	tr.JobEnd(30, "1")
+	marks := []string{}
+	for _, s := range *snaps {
+		marks = append(marks, s.Mark)
+	}
+	want := []string{"begin 1", collect.MarkProcExec, collect.MarkProcExit, "end 1"}
+	if len(marks) != 4 {
+		t.Fatalf("marks = %v", marks)
+	}
+	for i := range want {
+		if marks[i] != want[i] {
+			t.Errorf("mark %d = %q, want %q", i, marks[i], want[i])
+		}
+	}
+	st := tr.Stats()
+	if st.Collections != 4 || st.SignalsHandled != 2 || st.SignalsMissed != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSimultaneousStartsOneHeldPending(t *testing.T) {
+	tr, snaps := tracker(t)
+	tr.JobStart(0, "1")
+	// Two processes start at nearly the same instant, within the ~0.09 s
+	// collection window of the first.
+	if !tr.Signal(100.00, ProcExec) {
+		t.Fatal("first signal should collect")
+	}
+	if !tr.Signal(100.01, ProcExec) {
+		t.Fatal("second signal should be held pending (paper: up to one)")
+	}
+	// A third within the busy window is missed.
+	if tr.Signal(100.02, ProcExec) {
+		t.Error("third simultaneous signal should be missed")
+	}
+	// Time passes; the pending signal is serviced.
+	tr.Tick(700)
+	st := tr.Stats()
+	if st.SignalsPending != 1 {
+		t.Errorf("pending serviced = %d, want 1", st.SignalsPending)
+	}
+	if st.SignalsMissed != 1 {
+		t.Errorf("missed = %d, want 1", st.SignalsMissed)
+	}
+	// begin + sig1 + pending sig2 + tick = 4 collections.
+	if st.Collections != 4 {
+		t.Errorf("collections = %d, want 4", st.Collections)
+	}
+	// The pending collection happened at the busy-window end, before the
+	// tick.
+	times := []float64{}
+	for _, s := range *snaps {
+		times = append(times, s.Time)
+	}
+	if !(times[2] > 100.0 && times[2] < 101.0) {
+		t.Errorf("pending collection time = %g, want just after 100", times[2])
+	}
+}
+
+func TestCollectionsLabeledWithRunningJobs(t *testing.T) {
+	tr, snaps := tracker(t)
+	tr.JobStart(0, "a")
+	tr.JobStart(100, "b")
+	tr.Signal(200, ProcExec)
+	tr.JobEnd(300, "a")
+	tr.Tick(600)
+
+	// The signal collection at t=200 must list both jobs.
+	var sig model.Snapshot
+	for _, s := range *snaps {
+		if s.Mark == collect.MarkProcExec {
+			sig = s
+		}
+	}
+	if len(sig.JobIDs) != 2 || sig.JobIDs[0] != "a" || sig.JobIDs[1] != "b" {
+		t.Errorf("signal collection jobs = %v", sig.JobIDs)
+	}
+	// After job a ends, only b remains.
+	last := (*snaps)[len(*snaps)-1]
+	if len(last.JobIDs) != 1 || last.JobIDs[0] != "b" {
+		t.Errorf("tick jobs = %v", last.JobIDs)
+	}
+	if got := tr.Jobs(); len(got) != 1 || got[0] != "b" {
+		t.Errorf("Jobs() = %v", got)
+	}
+}
+
+func TestSignalAfterBusyWindowCollectsImmediately(t *testing.T) {
+	tr, _ := tracker(t)
+	tr.JobStart(0, "1")
+	tr.Signal(100, ProcExec)
+	// Well past the busy window: serviced directly, no pending involved.
+	if !tr.Signal(200, ProcExit) {
+		t.Fatal("signal after busy window missed")
+	}
+	st := tr.Stats()
+	if st.SignalsPending != 0 || st.SignalsMissed != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPendingExitKindPreserved(t *testing.T) {
+	tr, snaps := tracker(t)
+	tr.JobStart(0, "1")
+	tr.Signal(100.00, ProcExec)
+	tr.Signal(100.01, ProcExit) // held pending
+	tr.Tick(700)
+	found := false
+	for _, s := range *snaps {
+		if s.Mark == collect.MarkProcExit {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("pending exit signal recorded with wrong mark")
+	}
+}
+
+func TestTrackerSnapshotsContainProcessTable(t *testing.T) {
+	n, err := hwsim.NewNode("c1", chip.StampedeNode(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Advance(10, hwsim.Demand{Processes: []hwsim.Process{
+		{PID: 5, Exe: "a.out", Owner: "u1", VmRSS: 1 << 28, CPUAff: 0x00FF},
+	}})
+	col := collect.New(n)
+	var snaps []model.Snapshot
+	tr := NewTracker(col, func(s model.Snapshot) { snaps = append(snaps, s) })
+	tr.Signal(20, ProcExec)
+	if len(snaps) != 1 {
+		t.Fatal("no collection")
+	}
+	found := false
+	for _, r := range snaps[0].Records {
+		if strings.HasPrefix(r.Instance, "5/u1/") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("process table missing from signal collection")
+	}
+}
+
+func TestAttribution(t *testing.T) {
+	a := Attribution{JobCPUSets: map[string]uint64{
+		"jobA": 0x00FF, // cpus 0-7
+		"jobB": 0xFF00, // cpus 8-15
+	}}
+	if got := a.Attribute(0x0003); got != "jobA" {
+		t.Errorf("proc in A's set attributed to %q", got)
+	}
+	if got := a.Attribute(0x0300); got != "jobB" {
+		t.Errorf("proc in B's set attributed to %q", got)
+	}
+	// Straddling both cpusets: ambiguous.
+	if got := a.Attribute(0x0180); got != "" {
+		t.Errorf("straddling proc attributed to %q", got)
+	}
+	// Outside any cpuset: unattributed.
+	if got := a.Attribute(0xF0000); got != "" {
+		t.Errorf("unpinned proc attributed to %q", got)
+	}
+	// Overlapping job cpusets: ambiguous.
+	b := Attribution{JobCPUSets: map[string]uint64{"x": 0x0F, "y": 0x0F}}
+	if got := b.Attribute(0x03); got != "" {
+		t.Errorf("overlapping cpusets attributed to %q", got)
+	}
+}

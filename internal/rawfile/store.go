@@ -1,0 +1,270 @@
+package rawfile
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"gostats/internal/model"
+)
+
+// NodeLogger is the cron-mode node-local log: snapshots append to a file
+// named by the day it was rotated in, under a per-node spool directory.
+// This reproduces the Fig 1 pipeline stage where data lives only on the
+// compute node until the daily rsync.
+type NodeLogger struct {
+	dir    string
+	header Header
+	day    int64 // current rotation day (unix days)
+	f      *os.File
+	w      *Writer
+}
+
+// NewNodeLogger creates (if needed) the spool directory and returns a
+// logger for it.
+func NewNodeLogger(dir string, h Header) (*NodeLogger, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &NodeLogger{dir: dir, header: h, day: math.MinInt64}, nil
+}
+
+// Dir returns the logger's spool directory.
+func (l *NodeLogger) Dir() string { return l.dir }
+
+// fileForDay names the log file for a unix day.
+func (l *NodeLogger) fileForDay(day int64) string {
+	return filepath.Join(l.dir, fmt.Sprintf("%d.raw", day*86400))
+}
+
+// Log appends a snapshot, rotating to a new file when the simulated day
+// changes (cron's daily logrotate).
+func (l *NodeLogger) Log(s model.Snapshot) error {
+	day := int64(s.Time) / 86400
+	if day != l.day {
+		if err := l.Close(); err != nil {
+			return err
+		}
+		f, err := os.OpenFile(l.fileForDay(day), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		l.f = f
+		l.w = NewWriter(f, l.header)
+		l.day = day
+	}
+	return l.w.WriteSnapshot(s)
+}
+
+// Close flushes and closes the current log file.
+func (l *NodeLogger) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		l.f.Close()
+		return err
+	}
+	err := l.f.Close()
+	l.f, l.w = nil, nil
+	return err
+}
+
+// Destroy removes the node's entire spool — the data-loss event when a
+// node dies before its daily rsync (the failure mode the daemon mode was
+// built to eliminate).
+func (l *NodeLogger) Destroy() error {
+	l.Close()
+	return os.RemoveAll(l.dir)
+}
+
+// Store is the central shared-filesystem archive: one subdirectory per
+// host containing that host's rsync'd raw files.
+type Store struct {
+	root string
+}
+
+// NewStore creates (if needed) and opens a central store rooted at dir.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// HostDir returns (creating if needed) the archive directory for a host.
+func (s *Store) HostDir(host string) (string, error) {
+	d := filepath.Join(s.root, host)
+	if err := os.MkdirAll(d, 0o755); err != nil {
+		return "", err
+	}
+	return d, nil
+}
+
+// SyncFrom copies every raw file in the node spool dir into the central
+// store for the host — the once-a-day rsync of cron mode. Already-copied
+// files are re-copied in full (rsync of append-only files).
+func (s *Store) SyncFrom(host, spoolDir string) error {
+	entries, err := os.ReadDir(spoolDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil // node spool gone (node death): nothing to sync
+		}
+		return err
+	}
+	dst, err := s.HostDir(host)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if err := copyFile(filepath.Join(spoolDir, e.Name()), filepath.Join(dst, e.Name())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// Hosts lists the hosts present in the store.
+func (s *Store) Hosts() ([]string, error) {
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil, err
+	}
+	var hosts []string
+	for _, e := range entries {
+		if e.IsDir() {
+			hosts = append(hosts, e.Name())
+		}
+	}
+	sort.Strings(hosts)
+	return hosts, nil
+}
+
+// ReadHost parses every raw file archived for a host, returning all
+// snapshots in time order.
+func (s *Store) ReadHost(host string) ([]model.Snapshot, error) {
+	dir := filepath.Join(s.root, host)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var snaps []model.Snapshot
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		parsed, err := Parse(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("rawfile: %s/%s: %w", host, e.Name(), err)
+		}
+		snaps = append(snaps, parsed.Snapshots...)
+	}
+	sort.SliceStable(snaps, func(i, j int) bool { return snaps[i].Time < snaps[j].Time })
+	return snaps, nil
+}
+
+// AppendHost appends snapshots directly into a host's archive file —
+// the path the daemon-mode consumer uses (no node spool involved).
+func (s *Store) AppendHost(host string, h Header, snaps ...model.Snapshot) error {
+	dir, err := s.HostDir(host)
+	if err != nil {
+		return err
+	}
+	// Group by simulated day so each day's file gets exactly one header.
+	byDay := map[int64][]model.Snapshot{}
+	for _, snap := range snaps {
+		day := int64(snap.Time) / 86400
+		byDay[day] = append(byDay[day], snap)
+	}
+	for day, group := range byDay {
+		path := filepath.Join(dir, fmt.Sprintf("%d.raw", day*86400))
+		_, statErr := os.Stat(path)
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		w := NewWriter(f, h)
+		if statErr == nil {
+			// File already has a header from an earlier append.
+			w.wroteHeader = true
+		}
+		for _, snap := range group {
+			if err := w.WriteSnapshot(snap); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadHostLenient is ReadHost but recovers the intact prefix of damaged
+// files (ParseLenient) instead of failing the whole host. It returns the
+// snapshots plus the count of files that needed recovery.
+func (s *Store) ReadHostLenient(host string) ([]model.Snapshot, int, error) {
+	dir := filepath.Join(s.root, host)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	var snaps []model.Snapshot
+	recovered := 0
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, recovered, err
+		}
+		parsed, perr := ParseLenient(f)
+		f.Close()
+		if parsed == nil {
+			return nil, recovered, fmt.Errorf("rawfile: %s/%s unrecoverable: %w", host, e.Name(), perr)
+		}
+		if perr != nil {
+			recovered++
+		}
+		snaps = append(snaps, parsed.Snapshots...)
+	}
+	sort.SliceStable(snaps, func(i, j int) bool { return snaps[i].Time < snaps[j].Time })
+	return snaps, recovered, nil
+}

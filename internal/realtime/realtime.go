@@ -1,0 +1,218 @@
+// Package realtime implements the online-analysis side of daemon mode:
+// the central consumer that watches the live snapshot stream, maintains
+// per-host rates, and raises alerts for problem jobs before they create
+// system-wide slowdowns (§VI-B). It can simultaneously archive the
+// stream to the central raw store and feed the time-series database.
+package realtime
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"gostats/internal/broker"
+	"gostats/internal/model"
+	"gostats/internal/rawfile"
+	"gostats/internal/schema"
+	"gostats/internal/tsdb"
+)
+
+// Alert is one threshold violation observed in the live stream.
+type Alert struct {
+	Time      float64
+	Host      string
+	JobIDs    []string
+	Rule      string
+	Value     float64
+	Threshold float64
+}
+
+// String renders the alert as an operator line.
+func (a Alert) String() string {
+	return fmt.Sprintf("[%.0f] %s %s: %.3g > %.3g (jobs %v)",
+		a.Time, a.Host, a.Rule, a.Value, a.Threshold, a.JobIDs)
+}
+
+// Rule is a per-host rate threshold on one device event, summed over the
+// class's instances.
+type Rule struct {
+	Name      string
+	Class     schema.Class
+	Event     string
+	Threshold float64 // rate/s above which to alert
+}
+
+// DefaultRules returns the paper's motivating online checks: metadata
+// storms and Ethernet-MPI, the two behaviours administrators most want
+// to catch while the job is still running.
+func DefaultRules() []Rule {
+	return []Rule{
+		{Name: "high_metadata_rate", Class: schema.ClassMDC, Event: schema.EvMDCReqs, Threshold: 10000},
+		{Name: "gige_mpi", Class: schema.ClassNet, Event: schema.EvNetTxBytes, Threshold: 5e6},
+		{Name: "lustre_bw_saturation", Class: schema.ClassLnet, Event: schema.EvLnetRxBytes, Threshold: 1e9},
+	}
+}
+
+// Monitor evaluates rules over the live stream. Safe for concurrent use.
+type Monitor struct {
+	mu    sync.Mutex
+	reg   *schema.Registry
+	rules []Rule
+	prev  map[string]model.Snapshot
+	seen  map[string]float64 // host -> last snapshot time
+
+	// Notify, if set, is invoked synchronously for every alert (the
+	// "system administrator notified immediately" hook).
+	Notify func(Alert)
+
+	alerts []Alert
+}
+
+// NewMonitor builds a monitor for streams collected under reg.
+func NewMonitor(reg *schema.Registry, rules []Rule) *Monitor {
+	return &Monitor{
+		reg:   reg,
+		rules: rules,
+		prev:  make(map[string]model.Snapshot),
+		seen:  make(map[string]float64),
+	}
+}
+
+// Process folds one snapshot and returns any alerts it raised.
+func (m *Monitor) Process(s model.Snapshot) []Alert {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.seen[s.Host] = s.Time
+	prev, ok := m.prev[s.Host]
+	m.prev[s.Host] = s.Clone()
+	if !ok || s.Time <= prev.Time {
+		return nil
+	}
+	dt := s.Time - prev.Time
+	var out []Alert
+	for _, r := range m.rules {
+		rate, ok := classRate(m.reg, prev, s, r.Class, r.Event, dt)
+		if !ok || rate <= r.Threshold {
+			continue
+		}
+		a := Alert{Time: s.Time, Host: s.Host, JobIDs: append([]string(nil), s.JobIDs...),
+			Rule: r.Name, Value: rate, Threshold: r.Threshold}
+		out = append(out, a)
+		m.alerts = append(m.alerts, a)
+		if m.Notify != nil {
+			m.Notify(a)
+		}
+	}
+	return out
+}
+
+// Alerts returns a copy of every alert raised so far.
+func (m *Monitor) Alerts() []Alert {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Alert(nil), m.alerts...)
+}
+
+// SilentHosts returns hosts not heard from since the cutoff — the
+// node-death detector cron mode fundamentally cannot provide same-day.
+func (m *Monitor) SilentHosts(cutoff float64) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for h, t := range m.seen {
+		if t < cutoff {
+			out = append(out, h)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// classRate computes the event's delta rate between two snapshots,
+// summed over instances.
+func classRate(reg *schema.Registry, prev, cur model.Snapshot, c schema.Class, ev string, dt float64) (float64, bool) {
+	sch := reg.Get(c)
+	if sch == nil || dt <= 0 {
+		return 0, false
+	}
+	idx := sch.Index(ev)
+	if idx < 0 {
+		return 0, false
+	}
+	def := sch.Events[idx]
+	prevByInst := map[string][]uint64{}
+	for _, r := range prev.Records {
+		if r.Class == c {
+			prevByInst[r.Instance] = r.Values
+		}
+	}
+	total := 0.0
+	found := false
+	for _, r := range cur.Records {
+		if r.Class != c {
+			continue
+		}
+		pv, ok := prevByInst[r.Instance]
+		if !ok || idx >= len(pv) || idx >= len(r.Values) {
+			continue
+		}
+		total += float64(schema.RolloverDelta(pv[idx], r.Values[idx], def))
+		found = true
+	}
+	return total / dt, found
+}
+
+// Listener drains a broker queue, fanning each decoded snapshot into the
+// monitor, the central store, and the time-series ingester (any of which
+// may be nil). It is the daemon-mode "listend" process.
+type Listener struct {
+	Cons    *broker.Consumer
+	Monitor *Monitor
+	Store   *rawfile.Store
+	Headers func(host string) rawfile.Header // required when Store is set
+	Ingest  *tsdb.Ingester
+
+	// OnSnapshot, if set, observes every snapshot (tests, metrics).
+	OnSnapshot func(model.Snapshot)
+
+	processed atomic.Int64
+}
+
+// Processed reports how many snapshots the listener has consumed. Safe
+// to call while Run is executing.
+func (l *Listener) Processed() int { return int(l.processed.Load()) }
+
+// Run consumes until the broker closes (io.EOF) or a fatal error occurs.
+func (l *Listener) Run() error {
+	for {
+		body, err := l.Cons.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		snap, err := broker.DecodeSnapshot(body)
+		if err != nil {
+			// A corrupt message must not kill the consumer; drop it.
+			continue
+		}
+		l.processed.Add(1)
+		if l.Monitor != nil {
+			l.Monitor.Process(snap)
+		}
+		if l.Store != nil && l.Headers != nil {
+			if err := l.Store.AppendHost(snap.Host, l.Headers(snap.Host), snap); err != nil {
+				return fmt.Errorf("realtime: archive %s: %w", snap.Host, err)
+			}
+		}
+		if l.Ingest != nil {
+			l.Ingest.Ingest(snap)
+		}
+		if l.OnSnapshot != nil {
+			l.OnSnapshot(snap)
+		}
+	}
+}

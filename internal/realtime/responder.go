@@ -1,0 +1,83 @@
+package realtime
+
+import (
+	"sync"
+)
+
+// AutoResponder implements the §VI-B automation: "problem jobs to be
+// quickly identified and suspended before they create system-wide
+// slowdowns or crashes... This identification process could be automated
+// and a system administrator notified immediately."
+//
+// Wire it as (or inside) a Monitor's Notify hook. A job that raises the
+// same rule on ConsecutiveLimit consecutive alerts is suspended exactly
+// once via the Suspend callback; the administrator notification happens
+// through the returned decision.
+type AutoResponder struct {
+	// ConsecutiveLimit is how many consecutive alerts a (job, rule) pair
+	// tolerates before suspension (default 2: one alert can be a blip,
+	// two intervals of a metadata storm are not).
+	ConsecutiveLimit int
+	// Suspend performs the suspension (e.g. cluster.Engine.SuspendJob or
+	// a scheduler's scontrol call). Required.
+	Suspend func(jobID string) bool
+	// OnSuspend, if set, is the administrator notification.
+	OnSuspend func(jobID string, a Alert)
+
+	mu        sync.Mutex
+	counts    map[string]int  // job|rule -> consecutive alerts
+	suspended map[string]bool // jobs already acted on
+}
+
+// NewAutoResponder builds a responder with the given suspend action.
+func NewAutoResponder(suspend func(jobID string) bool) *AutoResponder {
+	return &AutoResponder{
+		ConsecutiveLimit: 2,
+		Suspend:          suspend,
+		counts:           make(map[string]int),
+		suspended:        make(map[string]bool),
+	}
+}
+
+// Handle feeds one alert; it returns true if the alert triggered a
+// suspension. Use it as a Monitor.Notify hook:
+//
+//	mon.Notify = func(a realtime.Alert) { responder.Handle(a) }
+func (r *AutoResponder) Handle(a Alert) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	limit := r.ConsecutiveLimit
+	if limit < 1 {
+		limit = 1
+	}
+	acted := false
+	for _, job := range a.JobIDs {
+		if r.suspended[job] {
+			continue
+		}
+		key := job + "|" + a.Rule
+		r.counts[key]++
+		if r.counts[key] < limit {
+			continue
+		}
+		if r.Suspend != nil && r.Suspend(job) {
+			r.suspended[job] = true
+			acted = true
+			if r.OnSuspend != nil {
+				r.OnSuspend(job, a)
+			}
+		}
+	}
+	return acted
+}
+
+// SuspendedJobs reports the jobs the responder has suspended.
+func (r *AutoResponder) SuspendedJobs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.suspended))
+	for j := range r.suspended {
+		out = append(out, j)
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package realtime_test
+
+import (
+	"testing"
+
+	"gostats/internal/chip"
+	"gostats/internal/cluster"
+	"gostats/internal/collect"
+	"gostats/internal/hwsim"
+	"gostats/internal/lustresim"
+	"gostats/internal/model"
+	"gostats/internal/realtime"
+	"gostats/internal/schema"
+	"gostats/internal/workload"
+)
+
+func mdcSnap(t float64, host string, reqs uint64, jobs ...string) model.Snapshot {
+	return model.Snapshot{
+		Time: t, Host: host, JobIDs: jobs,
+		Records: []model.Record{
+			{Class: schema.ClassMDC, Instance: "m0", Values: []uint64{reqs, 0}},
+		},
+	}
+}
+
+func TestAutoResponderSuspendsAfterConsecutiveAlerts(t *testing.T) {
+	var suspended []string
+	r := realtime.NewAutoResponder(func(job string) bool {
+		suspended = append(suspended, job)
+		return true
+	})
+	notified := 0
+	r.OnSuspend = func(job string, a realtime.Alert) { notified++ }
+
+	a := realtime.Alert{Rule: "high_metadata_rate", JobIDs: []string{"77"}}
+	if r.Handle(a) {
+		t.Error("first alert should not suspend")
+	}
+	if !r.Handle(a) {
+		t.Error("second consecutive alert should suspend")
+	}
+	// Further alerts are no-ops for an already-suspended job.
+	if r.Handle(a) {
+		t.Error("third alert re-suspended")
+	}
+	if len(suspended) != 1 || suspended[0] != "77" || notified != 1 {
+		t.Errorf("suspended = %v, notified = %d", suspended, notified)
+	}
+	if got := r.SuspendedJobs(); len(got) != 1 || got[0] != "77" {
+		t.Errorf("SuspendedJobs = %v", got)
+	}
+}
+
+func TestAutoResponderRespectsSuspendFailure(t *testing.T) {
+	r := realtime.NewAutoResponder(func(job string) bool { return false })
+	a := realtime.Alert{Rule: "x", JobIDs: []string{"1"}}
+	r.Handle(a)
+	if r.Handle(a) {
+		t.Error("failed suspension reported as acted")
+	}
+	if len(r.SuspendedJobs()) != 0 {
+		t.Error("failed suspension recorded")
+	}
+}
+
+// The §VI-B loop end to end: monitor watches the live stream from a
+// cluster whose storm job is suspended after two alerting intervals,
+// and the shared MDS recovers.
+func TestAutoResponderSuspendsStormOnLiveCluster(t *testing.T) {
+	cfg := chip.StampedeNode()
+	eng, err := cluster.NewEngine(4, cfg, 600, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.FS = lustresim.New(lustresim.DefaultConfig())
+
+	mon := realtime.NewMonitor(cfg.Registry(), realtime.DefaultRules())
+	responder := realtime.NewAutoResponder(eng.SuspendJob)
+	var suspendedAt float64
+	responder.OnSuspend = func(job string, a realtime.Alert) {
+		if suspendedAt == 0 {
+			suspendedAt = a.Time
+		}
+	}
+	mon.Notify = func(a realtime.Alert) { responder.Handle(a) }
+
+	// Track the storm host's metadata rate per interval.
+	var stormRates []float64
+	prevReqs := map[string]uint64{}
+	eng.NewSink = func(n *hwsim.Node, col *collect.Collector) (cluster.Sink, error) {
+		host := n.Host()
+		return cluster.SinkFunc(func(s model.Snapshot) error {
+			mon.Process(s)
+			if s.HasJob("storm") && s.Mark == "" {
+				sch := cfg.Registry().Get(schema.ClassMDC)
+				for _, rec := range s.RecordsOf(schema.ClassMDC) {
+					cur := rec.Values[sch.MustIndex(schema.EvMDCReqs)]
+					if prev, ok := prevReqs[host+rec.Instance]; ok {
+						stormRates = append(stormRates, float64(cur-prev)/600)
+					}
+					prevReqs[host+rec.Instance] = cur
+				}
+			}
+			return nil
+		}), nil
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Submit(workload.Spec{
+		JobID: "storm", User: "u042", Exe: "wrf.exe", Queue: "normal",
+		Nodes: 2, Runtime: 4 * 3600, Status: workload.StatusCompleted,
+		Model: workload.PathologicalWRF("u042"),
+	})
+	if err := eng.Run(3 * 3600); err != nil {
+		t.Fatal(err)
+	}
+
+	if suspendedAt == 0 {
+		t.Fatal("storm was never suspended")
+	}
+	if !eng.Suspended("storm") {
+		t.Error("engine does not report the job suspended")
+	}
+	// The tail of the storm host's rate series must collapse to ~0 after
+	// suspension while the head was storm-scale.
+	if len(stormRates) < 4 {
+		t.Fatalf("rates = %v", stormRates)
+	}
+	head := stormRates[0]
+	tail := stormRates[len(stormRates)-1]
+	if head < 10000 {
+		t.Errorf("pre-suspension rate = %g, want storm scale", head)
+	}
+	if tail > head/100 {
+		t.Errorf("post-suspension rate = %g vs head %g; suspension ineffective", tail, head)
+	}
+}

@@ -1,0 +1,419 @@
+package reldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Filter is one query predicate in Django lookup style: the Field is a
+// column name plus a "__op" suffix (exact when absent), Value is the
+// comparison operand.
+//
+//	{"exe", "wrf.exe"}            exe == wrf.exe
+//	{"runtime__gte", 600.0}       runtime >= 600
+//	{"user__contains", "u04"}     substring match
+type Filter struct {
+	Field string
+	Value interface{}
+}
+
+// F is shorthand for building a Filter: reldb.F("runtime__gte", 600).
+func F(field string, value interface{}) Filter {
+	return Filter{Field: field, Value: value}
+}
+
+// parseLookup splits "runtime__gte" into ("runtime", "gte").
+func parseLookup(s string) (fieldName, op string) {
+	if i := strings.LastIndex(s, "__"); i >= 0 {
+		return strings.ToLower(s[:i]), s[i+2:]
+	}
+	return strings.ToLower(s), "exact"
+}
+
+// pred compiles a Filter into a row predicate.
+func (f Filter) pred() (func(*JobRow) bool, error) {
+	name, op := parseLookup(f.Field)
+	col, ok := fields[name]
+	if !ok {
+		return nil, fmt.Errorf("reldb: unknown field %q", name)
+	}
+	if col.kind == kindStr {
+		want, ok := f.Value.(string)
+		if !ok {
+			return nil, fmt.Errorf("reldb: field %q wants a string operand", name)
+		}
+		switch op {
+		case "exact":
+			return func(r *JobRow) bool { return col.str(r) == want }, nil
+		case "ne":
+			return func(r *JobRow) bool { return col.str(r) != want }, nil
+		case "contains":
+			return func(r *JobRow) bool { return strings.Contains(col.str(r), want) }, nil
+		case "icontains":
+			lw := strings.ToLower(want)
+			return func(r *JobRow) bool { return strings.Contains(strings.ToLower(col.str(r)), lw) }, nil
+		default:
+			return nil, fmt.Errorf("reldb: string field %q does not support op %q", name, op)
+		}
+	}
+	want, err := toFloat(f.Value)
+	if err != nil {
+		return nil, fmt.Errorf("reldb: field %q: %w", name, err)
+	}
+	switch op {
+	case "exact":
+		return func(r *JobRow) bool { return col.num(r) == want }, nil
+	case "ne":
+		return func(r *JobRow) bool { return col.num(r) != want }, nil
+	case "gt":
+		return func(r *JobRow) bool { return col.num(r) > want }, nil
+	case "gte":
+		return func(r *JobRow) bool { return col.num(r) >= want }, nil
+	case "lt":
+		return func(r *JobRow) bool { return col.num(r) < want }, nil
+	case "lte":
+		return func(r *JobRow) bool { return col.num(r) <= want }, nil
+	default:
+		return nil, fmt.Errorf("reldb: numeric field %q does not support op %q", name, op)
+	}
+}
+
+func toFloat(v interface{}) (float64, error) {
+	switch x := v.(type) {
+	case float64:
+		return x, nil
+	case float32:
+		return float64(x), nil
+	case int:
+		return float64(x), nil
+	case int64:
+		return float64(x), nil
+	case uint64:
+		return float64(x), nil
+	default:
+		return 0, fmt.Errorf("unsupported operand type %T", v)
+	}
+}
+
+// index is a sorted projection of one numeric field for range scans.
+type index struct {
+	vals []float64 // sorted
+	rows []*JobRow // parallel to vals
+}
+
+// DB is the in-memory job table. All methods are safe for concurrent
+// use.
+type DB struct {
+	mu      sync.RWMutex
+	rows    []*JobRow
+	byID    map[string]*JobRow
+	indexes map[string]*index // field name -> index (rebuilt lazily)
+	dirty   bool
+}
+
+// New returns an empty DB.
+func New() *DB {
+	return &DB{byID: make(map[string]*JobRow), indexes: make(map[string]*index)}
+}
+
+// Insert adds or replaces rows by job id.
+func (db *DB) Insert(rows ...*JobRow) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, r := range rows {
+		if old, ok := db.byID[r.JobID]; ok {
+			// Replace in place.
+			for i, x := range db.rows {
+				if x == old {
+					db.rows[i] = r
+					break
+				}
+			}
+		} else {
+			db.rows = append(db.rows, r)
+		}
+		db.byID[r.JobID] = r
+	}
+	db.dirty = true
+}
+
+// Len reports the number of rows.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.rows)
+}
+
+// Get returns the row for a job id, or nil.
+func (db *DB) Get(jobID string) *JobRow {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.byID[jobID]
+}
+
+// CreateIndex builds (and keeps maintaining) a sorted index on a numeric
+// field, accelerating single-field range queries.
+func (db *DB) CreateIndex(fieldName string) error {
+	name := strings.ToLower(fieldName)
+	col, ok := fields[name]
+	if !ok || col.kind != kindNum {
+		return fmt.Errorf("reldb: cannot index field %q", fieldName)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.indexes[name] = nil // built lazily on next query
+	return nil
+}
+
+// buildIndexLocked (re)builds one index. Caller holds the write lock.
+func (db *DB) buildIndexLocked(name string) *index {
+	col := fields[name]
+	ix := &index{
+		vals: make([]float64, len(db.rows)),
+		rows: make([]*JobRow, len(db.rows)),
+	}
+	order := make([]int, len(db.rows))
+	for i := range order {
+		order[i] = i
+	}
+	keys := make([]float64, len(db.rows))
+	for i, r := range db.rows {
+		keys[i] = col.num(r)
+	}
+	sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+	for i, o := range order {
+		ix.vals[i] = keys[o]
+		ix.rows[i] = db.rows[o]
+	}
+	db.indexes[name] = ix
+	return ix
+}
+
+// freshIndex returns a current index for the field if one is declared.
+func (db *DB) freshIndex(name string) *index {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ix, declared := db.indexes[name]
+	if !declared {
+		return nil
+	}
+	if ix == nil || db.dirty {
+		// Rebuild every declared index when the table changed.
+		for n := range db.indexes {
+			db.buildIndexLocked(n)
+		}
+		db.dirty = false
+		ix = db.indexes[name]
+	}
+	return ix
+}
+
+// Query returns the rows matching every filter (AND semantics), in
+// insertion order. With a single range filter on an indexed field the
+// sorted index narrows the candidate set before residual filtering.
+func (db *DB) Query(filters ...Filter) ([]*JobRow, error) {
+	preds := make([]func(*JobRow) bool, 0, len(filters))
+	// Try index acceleration: first range filter on an indexed field.
+	var candidates []*JobRow
+	usedIdx := -1
+	for i, f := range filters {
+		name, op := parseLookup(f.Field)
+		if op != "gt" && op != "gte" && op != "lt" && op != "lte" {
+			continue
+		}
+		ix := db.freshIndex(name)
+		if ix == nil {
+			continue
+		}
+		want, err := toFloat(f.Value)
+		if err != nil {
+			return nil, fmt.Errorf("reldb: field %q: %w", name, err)
+		}
+		switch op {
+		case "gt":
+			k := sort.SearchFloat64s(ix.vals, want)
+			for k < len(ix.vals) && ix.vals[k] == want {
+				k++
+			}
+			candidates = ix.rows[k:]
+		case "gte":
+			k := sort.SearchFloat64s(ix.vals, want)
+			candidates = ix.rows[k:]
+		case "lt":
+			k := sort.SearchFloat64s(ix.vals, want)
+			candidates = ix.rows[:k]
+		case "lte":
+			k := sort.SearchFloat64s(ix.vals, want)
+			for k < len(ix.vals) && ix.vals[k] == want {
+				k++
+			}
+			candidates = ix.rows[:k]
+		}
+		usedIdx = i
+		break
+	}
+	for i, f := range filters {
+		if i == usedIdx {
+			continue
+		}
+		p, err := f.pred()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, p)
+	}
+
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	src := candidates
+	if usedIdx < 0 {
+		src = db.rows
+	}
+	var out []*JobRow
+	for _, r := range src {
+		match := true
+		for _, p := range preds {
+			if !p(r) {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// Count returns the number of rows matching the filters.
+func (db *DB) Count(filters ...Filter) (int, error) {
+	rows, err := db.Query(filters...)
+	return len(rows), err
+}
+
+// Avg aggregates the mean of a numeric field over the filtered rows
+// (Django's Avg()). An empty selection yields 0.
+func (db *DB) Avg(fieldName string, filters ...Filter) (float64, error) {
+	rows, err := db.Query(filters...)
+	if err != nil {
+		return 0, err
+	}
+	if len(rows) == 0 {
+		return 0, nil
+	}
+	sum := 0.0
+	for _, r := range rows {
+		v, err := Value(r, fieldName)
+		if err != nil {
+			return 0, err
+		}
+		sum += v
+	}
+	return sum / float64(len(rows)), nil
+}
+
+// Max aggregates the maximum of a numeric field over the filtered rows.
+func (db *DB) Max(fieldName string, filters ...Filter) (float64, error) {
+	rows, err := db.Query(filters...)
+	if err != nil {
+		return 0, err
+	}
+	best := 0.0
+	for i, r := range rows {
+		v, err := Value(r, fieldName)
+		if err != nil {
+			return 0, err
+		}
+		if i == 0 || v > best {
+			best = v
+		}
+	}
+	return best, nil
+}
+
+// Min aggregates the minimum of a numeric field over the filtered rows.
+func (db *DB) Min(fieldName string, filters ...Filter) (float64, error) {
+	rows, err := db.Query(filters...)
+	if err != nil {
+		return 0, err
+	}
+	best := 0.0
+	for i, r := range rows {
+		v, err := Value(r, fieldName)
+		if err != nil {
+			return 0, err
+		}
+		if i == 0 || v < best {
+			best = v
+		}
+	}
+	return best, nil
+}
+
+// Values projects a numeric field over the filtered rows (for
+// correlation studies and histograms).
+func (db *DB) Values(fieldName string, filters ...Filter) ([]float64, error) {
+	rows, err := db.Query(filters...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		v, err := Value(r, fieldName)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// All returns every row in insertion order.
+func (db *DB) All() []*JobRow {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return append([]*JobRow(nil), db.rows...)
+}
+
+// QueryOpts extends Query with ordering and truncation — the ORM's
+// order_by()[:n] idiom the portal's job lists use.
+type QueryOpts struct {
+	// OrderBy is a numeric field name, optionally prefixed with "-" for
+	// descending order ("-starttime"). Empty keeps insertion order.
+	OrderBy string
+	// Limit truncates the result (0 = no limit).
+	Limit int
+}
+
+// QueryOrdered runs Query and then applies ordering and limit.
+func (db *DB) QueryOrdered(opts QueryOpts, filters ...Filter) ([]*JobRow, error) {
+	rows, err := db.Query(filters...)
+	if err != nil {
+		return nil, err
+	}
+	if opts.OrderBy != "" {
+		name := strings.ToLower(opts.OrderBy)
+		desc := false
+		if strings.HasPrefix(name, "-") {
+			desc = true
+			name = name[1:]
+		}
+		col, ok := fields[name]
+		if !ok || col.kind != kindNum {
+			return nil, fmt.Errorf("reldb: cannot order by %q", opts.OrderBy)
+		}
+		sort.SliceStable(rows, func(i, j int) bool {
+			a, b := col.num(rows[i]), col.num(rows[j])
+			if desc {
+				return a > b
+			}
+			return a < b
+		})
+	}
+	if opts.Limit > 0 && len(rows) > opts.Limit {
+		rows = rows[:opts.Limit]
+	}
+	return rows, nil
+}

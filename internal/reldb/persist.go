@@ -1,0 +1,40 @@
+package reldb
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+)
+
+// Save writes the table to path (gob). Declared indexes are not
+// persisted; re-declare them after Load.
+func (db *DB) Save(path string) error {
+	db.mu.RLock()
+	rows := db.rows
+	db.mu.RUnlock()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(rows); err != nil {
+		f.Close()
+		return fmt.Errorf("reldb: save: %w", err)
+	}
+	return f.Close()
+}
+
+// Load reads a table previously written by Save.
+func Load(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rows []*JobRow
+	if err := gob.NewDecoder(f).Decode(&rows); err != nil {
+		return nil, fmt.Errorf("reldb: load: %w", err)
+	}
+	db := New()
+	db.Insert(rows...)
+	return db, nil
+}

@@ -1,0 +1,309 @@
+package schema
+
+// This file pins down the concrete event lists for every device class the
+// simulated nodes expose. Event names follow the kernel / TACC Stats
+// conventions so that downstream metric code reads naturally.
+
+// Event name constants used by the metric engine. Keeping them as
+// constants (rather than string literals sprinkled around) lets the
+// compiler catch typos in the many places the metric engine indexes
+// schemas.
+const (
+	// cpu (per-core, centisecond jiffies)
+	EvCPUUser    = "user"
+	EvCPUNice    = "nice"
+	EvCPUSystem  = "system"
+	EvCPUIdle    = "idle"
+	EvCPUIOWait  = "iowait"
+	EvCPUIRQ     = "irq"
+	EvCPUSoftIRQ = "softirq"
+
+	// pmc (per-core)
+	EvPMCCycles     = "FIXED_CTR_CYCLES"
+	EvPMCInstrs     = "FIXED_CTR_INSTRS"
+	EvPMCFPScalar   = "SSE_FP_SCALAR"
+	EvPMCFPVector   = "SIMD_FP_PACKED"
+	EvPMCLoadAll    = "MEM_LOAD_RETIRED_ALL"
+	EvPMCLoadL1Hit  = "MEM_LOAD_RETIRED_L1_HIT"
+	EvPMCLoadL2Hit  = "MEM_LOAD_RETIRED_L2_HIT"
+	EvPMCLoadLLCHit = "MEM_LOAD_RETIRED_LLC_HIT"
+
+	// imc (per-channel)
+	EvIMCCASReads  = "CAS_COUNT_RD"
+	EvIMCCASWrites = "CAS_COUNT_WR"
+
+	// qpi (per-link)
+	EvQPIDataFlits = "G1_DRS_DATA"
+	EvQPIIdleFlits = "G0_IDLE"
+
+	// rapl (per-socket, millijoules, 32-bit registers)
+	EvRAPLPkg  = "MSR_PKG_ENERGY_STATUS"
+	EvRAPLCore = "MSR_PP0_ENERGY_STATUS"
+	EvRAPLDRAM = "MSR_DRAM_ENERGY_STATUS"
+
+	// mem (per-socket gauges, bytes)
+	EvMemTotal = "MemTotal"
+	EvMemUsed  = "MemUsed"
+	EvMemFree  = "MemFree"
+	EvMemFile  = "FilePages"
+	EvMemSlab  = "Slab"
+
+	// ib (per-port)
+	EvIBRxBytes = "port_rcv_data"
+	EvIBTxBytes = "port_xmit_data"
+	EvIBRxPkts  = "port_rcv_packets"
+	EvIBTxPkts  = "port_xmit_packets"
+
+	// net (per-interface)
+	EvNetRxBytes = "rx_bytes"
+	EvNetTxBytes = "tx_bytes"
+	EvNetRxPkts  = "rx_packets"
+	EvNetTxPkts  = "tx_packets"
+
+	// llite (per-filesystem)
+	EvLliteOpen       = "open"
+	EvLliteClose      = "close"
+	EvLliteReadBytes  = "read_bytes"
+	EvLliteWriteBytes = "write_bytes"
+
+	// mdc (per-MDS)
+	EvMDCReqs   = "reqs"
+	EvMDCWaitUs = "wait"
+
+	// osc (per-OST)
+	EvOSCReqs       = "reqs"
+	EvOSCWaitUs     = "wait"
+	EvOSCReadBytes  = "read_bytes"
+	EvOSCWriteBytes = "write_bytes"
+
+	// lnet (node-wide)
+	EvLnetRxBytes = "rx_bytes"
+	EvLnetTxBytes = "tx_bytes"
+
+	// block (per-device, 512B sectors)
+	EvBlockRdSectors = "rd_sectors"
+	EvBlockWrSectors = "wr_sectors"
+
+	// ps (per-process gauges)
+	EvPSVmSize   = "VmSize"
+	EvPSVmHWM    = "VmHWM"
+	EvPSVmRSS    = "VmRSS"
+	EvPSVmLck    = "VmLck"
+	EvPSVmData   = "VmData"
+	EvPSVmStk    = "VmStk"
+	EvPSVmExe    = "VmExe"
+	EvPSThreads  = "Threads"
+	EvPSCPUAff   = "CpuAffinity"
+	EvPSMemAff   = "MemAffinity"
+	EvPSUserTime = "utime"
+
+	// mic (per-coprocessor, jiffies)
+	EvMICUser = "user_sum"
+	EvMICSys  = "sys_sum"
+	EvMICIdle = "idle_sum"
+
+	// vm
+	EvVMPgFault    = "pgfault"
+	EvVMPgMajFault = "pgmajfault"
+)
+
+// CPUSchema is the /proc/stat per-core jiffy schema.
+func CPUSchema() *Schema {
+	return &Schema{Class: ClassCPU, Events: []EventDef{
+		{Name: EvCPUUser, Kind: Event, Unit: "cs"},
+		{Name: EvCPUNice, Kind: Event, Unit: "cs"},
+		{Name: EvCPUSystem, Kind: Event, Unit: "cs"},
+		{Name: EvCPUIdle, Kind: Event, Unit: "cs"},
+		{Name: EvCPUIOWait, Kind: Event, Unit: "cs"},
+		{Name: EvCPUIRQ, Kind: Event, Unit: "cs"},
+		{Name: EvCPUSoftIRQ, Kind: Event, Unit: "cs"},
+	}}
+}
+
+// PMCSchema is the per-core performance counter schema. All Intel core
+// PMCs are 48-bit.
+func PMCSchema() *Schema {
+	return &Schema{Class: ClassPMC, Events: []EventDef{
+		{Name: EvPMCCycles, Kind: Event, Width: 48},
+		{Name: EvPMCInstrs, Kind: Event, Width: 48},
+		{Name: EvPMCFPScalar, Kind: Event, Width: 48},
+		{Name: EvPMCFPVector, Kind: Event, Width: 48},
+		{Name: EvPMCLoadAll, Kind: Event, Width: 48},
+		{Name: EvPMCLoadL1Hit, Kind: Event, Width: 48},
+		{Name: EvPMCLoadL2Hit, Kind: Event, Width: 48},
+		{Name: EvPMCLoadLLCHit, Kind: Event, Width: 48},
+	}}
+}
+
+// PMCSchemaLimited is the PMC schema for cores with only four
+// programmable counters (Nehalem/Westmere): the fixed counters plus the
+// FP and load events fit, but the per-level cache-hit breakdown beyond
+// L1 does not — tacc_stats programs the subset the silicon can count.
+func PMCSchemaLimited() *Schema {
+	return &Schema{Class: ClassPMC, Events: []EventDef{
+		{Name: EvPMCCycles, Kind: Event, Width: 48},
+		{Name: EvPMCInstrs, Kind: Event, Width: 48},
+		{Name: EvPMCFPScalar, Kind: Event, Width: 48},
+		{Name: EvPMCFPVector, Kind: Event, Width: 48},
+		{Name: EvPMCLoadAll, Kind: Event, Width: 48},
+		{Name: EvPMCLoadL1Hit, Kind: Event, Width: 48},
+	}}
+}
+
+// IMCSchema is the uncore memory controller channel schema (48-bit
+// counters counting 64-byte CAS transfers).
+func IMCSchema() *Schema {
+	return &Schema{Class: ClassIMC, Events: []EventDef{
+		{Name: EvIMCCASReads, Kind: Event, Width: 48},
+		{Name: EvIMCCASWrites, Kind: Event, Width: 48},
+	}}
+}
+
+// QPISchema is the uncore QPI link layer schema.
+func QPISchema() *Schema {
+	return &Schema{Class: ClassQPI, Events: []EventDef{
+		{Name: EvQPIDataFlits, Kind: Event, Width: 48},
+		{Name: EvQPIIdleFlits, Kind: Event, Width: 48},
+	}}
+}
+
+// RAPLSchema is the per-socket energy counter schema. RAPL energy status
+// registers are 32-bit and roll over in minutes under load, which is why
+// Width matters here.
+func RAPLSchema() *Schema {
+	return &Schema{Class: ClassRAPL, Events: []EventDef{
+		{Name: EvRAPLPkg, Kind: Event, Width: 32, Unit: "mJ"},
+		{Name: EvRAPLCore, Kind: Event, Width: 32, Unit: "mJ"},
+		{Name: EvRAPLDRAM, Kind: Event, Width: 32, Unit: "mJ"},
+	}}
+}
+
+// MemSchema is the per-socket memory gauge schema.
+func MemSchema() *Schema {
+	return &Schema{Class: ClassMem, Events: []EventDef{
+		{Name: EvMemTotal, Kind: Gauge, Unit: "B"},
+		{Name: EvMemUsed, Kind: Gauge, Unit: "B"},
+		{Name: EvMemFree, Kind: Gauge, Unit: "B"},
+		{Name: EvMemFile, Kind: Gauge, Unit: "B"},
+		{Name: EvMemSlab, Kind: Gauge, Unit: "B"},
+	}}
+}
+
+// IBSchema is the Infiniband port counter schema. port_rcv_data /
+// port_xmit_data count 4-byte words on real HCAs; the simulator keeps
+// bytes for clarity and documents the unit here.
+func IBSchema() *Schema {
+	return &Schema{Class: ClassIB, Events: []EventDef{
+		{Name: EvIBRxBytes, Kind: Event, Unit: "B"},
+		{Name: EvIBTxBytes, Kind: Event, Unit: "B"},
+		{Name: EvIBRxPkts, Kind: Event},
+		{Name: EvIBTxPkts, Kind: Event},
+	}}
+}
+
+// NetSchema is the Ethernet interface counter schema.
+func NetSchema() *Schema {
+	return &Schema{Class: ClassNet, Events: []EventDef{
+		{Name: EvNetRxBytes, Kind: Event, Unit: "B"},
+		{Name: EvNetTxBytes, Kind: Event, Unit: "B"},
+		{Name: EvNetRxPkts, Kind: Event},
+		{Name: EvNetTxPkts, Kind: Event},
+	}}
+}
+
+// LliteSchema is the Lustre client (llite) schema.
+func LliteSchema() *Schema {
+	return &Schema{Class: ClassLlite, Events: []EventDef{
+		{Name: EvLliteOpen, Kind: Event, Unit: "ops"},
+		{Name: EvLliteClose, Kind: Event, Unit: "ops"},
+		{Name: EvLliteReadBytes, Kind: Event, Unit: "B"},
+		{Name: EvLliteWriteBytes, Kind: Event, Unit: "B"},
+	}}
+}
+
+// MDCSchema is the Lustre metadata client schema.
+func MDCSchema() *Schema {
+	return &Schema{Class: ClassMDC, Events: []EventDef{
+		{Name: EvMDCReqs, Kind: Event, Unit: "ops"},
+		{Name: EvMDCWaitUs, Kind: Event, Unit: "us"},
+	}}
+}
+
+// OSCSchema is the Lustre object storage client schema.
+func OSCSchema() *Schema {
+	return &Schema{Class: ClassOSC, Events: []EventDef{
+		{Name: EvOSCReqs, Kind: Event, Unit: "ops"},
+		{Name: EvOSCWaitUs, Kind: Event, Unit: "us"},
+		{Name: EvOSCReadBytes, Kind: Event, Unit: "B"},
+		{Name: EvOSCWriteBytes, Kind: Event, Unit: "B"},
+	}}
+}
+
+// LnetSchema is the Lustre networking layer schema.
+func LnetSchema() *Schema {
+	return &Schema{Class: ClassLnet, Events: []EventDef{
+		{Name: EvLnetRxBytes, Kind: Event, Unit: "B"},
+		{Name: EvLnetTxBytes, Kind: Event, Unit: "B"},
+	}}
+}
+
+// BlockSchema is the local block device schema.
+func BlockSchema() *Schema {
+	return &Schema{Class: ClassBlock, Events: []EventDef{
+		{Name: EvBlockRdSectors, Kind: Event, Unit: "sec"},
+		{Name: EvBlockWrSectors, Kind: Event, Unit: "sec"},
+	}}
+}
+
+// PSSchema is the per-process procfs schema. All values are gauges
+// sampled from /proc/<pid>/status; VmHWM is the kernel-maintained high
+// water mark the paper uses to validate MemUsage.
+func PSSchema() *Schema {
+	return &Schema{Class: ClassPS, Events: []EventDef{
+		{Name: EvPSVmSize, Kind: Gauge, Unit: "B"},
+		{Name: EvPSVmHWM, Kind: Gauge, Unit: "B"},
+		{Name: EvPSVmRSS, Kind: Gauge, Unit: "B"},
+		{Name: EvPSVmLck, Kind: Gauge, Unit: "B"},
+		{Name: EvPSVmData, Kind: Gauge, Unit: "B"},
+		{Name: EvPSVmStk, Kind: Gauge, Unit: "B"},
+		{Name: EvPSVmExe, Kind: Gauge, Unit: "B"},
+		{Name: EvPSThreads, Kind: Gauge},
+		{Name: EvPSCPUAff, Kind: Gauge},
+		{Name: EvPSMemAff, Kind: Gauge},
+		{Name: EvPSUserTime, Kind: Event, Unit: "cs"},
+	}}
+}
+
+// MICSchema is the Xeon Phi coprocessor schema, read from the host.
+func MICSchema() *Schema {
+	return &Schema{Class: ClassMIC, Events: []EventDef{
+		{Name: EvMICUser, Kind: Event, Unit: "cs"},
+		{Name: EvMICSys, Kind: Event, Unit: "cs"},
+		{Name: EvMICIdle, Kind: Event, Unit: "cs"},
+	}}
+}
+
+// VMSchema is the kernel vmstat schema.
+func VMSchema() *Schema {
+	return &Schema{Class: ClassVM, Events: []EventDef{
+		{Name: EvVMPgFault, Kind: Event},
+		{Name: EvVMPgMajFault, Kind: Event},
+	}}
+}
+
+// DefaultRegistry returns a registry with every device class gostats
+// collects. Per-architecture customization replaces the PMC schema via
+// Registry.Merge (see package chip).
+func DefaultRegistry() *Registry {
+	r, err := NewRegistry(
+		CPUSchema(), PMCSchema(), IMCSchema(), QPISchema(), RAPLSchema(),
+		MemSchema(), IBSchema(), NetSchema(), LliteSchema(), MDCSchema(),
+		OSCSchema(), LnetSchema(), BlockSchema(), PSSchema(), MICSchema(),
+		VMSchema(),
+	)
+	if err != nil {
+		// Impossible: the class list above is statically duplicate-free.
+		panic(err)
+	}
+	return r
+}

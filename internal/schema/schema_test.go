@@ -1,0 +1,217 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	if Event.String() != "event" || Gauge.String() != "gauge" {
+		t.Errorf("Kind strings wrong: %s %s", Event, Gauge)
+	}
+}
+
+func TestSchemaLineRoundTrip(t *testing.T) {
+	for _, s := range []*Schema{
+		CPUSchema(), PMCSchema(), IMCSchema(), QPISchema(), RAPLSchema(),
+		MemSchema(), IBSchema(), NetSchema(), LliteSchema(), MDCSchema(),
+		OSCSchema(), LnetSchema(), BlockSchema(), PSSchema(), MICSchema(),
+		VMSchema(),
+	} {
+		line := s.Line()
+		if !strings.HasPrefix(line, "!"+string(s.Class)) {
+			t.Errorf("%s: bad line prefix: %q", s.Class, line)
+		}
+		got, err := ParseLine(line)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", s.Class, err)
+		}
+		if got.Class != s.Class {
+			t.Errorf("class = %q, want %q", got.Class, s.Class)
+		}
+		if len(got.Events) != len(s.Events) {
+			t.Fatalf("%s: event count = %d, want %d", s.Class, len(got.Events), len(s.Events))
+		}
+		for i := range s.Events {
+			if got.Events[i] != s.Events[i] {
+				t.Errorf("%s: event %d = %+v, want %+v", s.Class, i, got.Events[i], s.Events[i])
+			}
+		}
+	}
+}
+
+func TestParseLineErrors(t *testing.T) {
+	cases := []string{
+		"cpu user,E",      // missing !
+		"!",               // empty
+		"!cpu user,X",     // unknown flag
+		"!cpu user,W=0",   // zero width
+		"!cpu user,W=65",  // too wide
+		"!cpu user,W=abc", // non-numeric
+		"!cpu ,E",         // empty event name
+	}
+	for _, c := range cases {
+		if _, err := ParseLine(c); err == nil {
+			t.Errorf("ParseLine(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestParseLineClassOnly(t *testing.T) {
+	s, err := ParseLine("!lnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Class != ClassLnet || len(s.Events) != 0 {
+		t.Errorf("got %+v", s)
+	}
+}
+
+func TestIndexAndMustIndex(t *testing.T) {
+	s := CPUSchema()
+	if i := s.Index(EvCPUUser); i != 0 {
+		t.Errorf("Index(user) = %d", i)
+	}
+	if i := s.Index("nope"); i != -1 {
+		t.Errorf("Index(nope) = %d", i)
+	}
+	if i := s.MustIndex(EvCPUIdle); i != 3 {
+		t.Errorf("MustIndex(idle) = %d", i)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustIndex on missing event did not panic")
+		}
+	}()
+	s.MustIndex("nope")
+}
+
+func TestRolloverDelta(t *testing.T) {
+	ev48 := EventDef{Name: "x", Kind: Event, Width: 48}
+	ev64 := EventDef{Name: "x", Kind: Event}
+	gauge := EventDef{Name: "x", Kind: Gauge}
+
+	if d := RolloverDelta(10, 15, ev64); d != 5 {
+		t.Errorf("simple delta = %d", d)
+	}
+	// 48-bit rollover: prev near max, cur small.
+	prev := uint64(1<<48) - 100
+	if d := RolloverDelta(prev, 50, ev48); d != 150 {
+		t.Errorf("48-bit rollover delta = %d, want 150", d)
+	}
+	// 64-bit counter going backwards = reset -> 0.
+	if d := RolloverDelta(100, 50, ev64); d != 0 {
+		t.Errorf("reset delta = %d, want 0", d)
+	}
+	// Gauges never produce deltas.
+	if d := RolloverDelta(10, 20, gauge); d != 0 {
+		t.Errorf("gauge delta = %d, want 0", d)
+	}
+}
+
+func TestRolloverDelta32Bit(t *testing.T) {
+	ev32 := EventDef{Name: "energy", Kind: Event, Width: 32}
+	prev := uint64(1<<32) - 10
+	if d := RolloverDelta(prev, 5, ev32); d != 15 {
+		t.Errorf("32-bit rollover delta = %d, want 15", d)
+	}
+}
+
+func TestQuickRolloverDeltaNeverHuge(t *testing.T) {
+	// Property: for a 48-bit counter, the computed delta is always
+	// < 2^48 regardless of inputs (mod-2^48 arithmetic).
+	ev := EventDef{Name: "x", Kind: Event, Width: 48}
+	mask := uint64(1<<48) - 1
+	f := func(prev, cur uint64) bool {
+		p, c := prev&mask, cur&mask
+		return RolloverDelta(p, c, ev) <= mask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRolloverDeltaConsistency(t *testing.T) {
+	// Property: delta(prev, prev+k mod 2^48) == k for k < 2^48.
+	ev := EventDef{Name: "x", Kind: Event, Width: 48}
+	mod := uint64(1) << 48
+	f := func(prev, k uint64) bool {
+		p := prev % mod
+		kk := k % mod
+		c := (p + kk) % mod
+		return RolloverDelta(p, c, ev) == kk
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegistryBasics(t *testing.T) {
+	r := DefaultRegistry()
+	if r.Get(ClassCPU) == nil {
+		t.Fatal("cpu schema missing")
+	}
+	if r.Get("bogus") != nil {
+		t.Error("bogus class returned non-nil")
+	}
+	classes := r.Classes()
+	if len(classes) != 16 {
+		t.Errorf("class count = %d, want 16", len(classes))
+	}
+	for i := 1; i < len(classes); i++ {
+		if classes[i-1] >= classes[i] {
+			t.Errorf("classes not sorted: %v", classes)
+		}
+	}
+}
+
+func TestRegistryDuplicateRejected(t *testing.T) {
+	if _, err := NewRegistry(CPUSchema(), CPUSchema()); err == nil {
+		t.Error("duplicate class accepted")
+	}
+}
+
+func TestRegistryMergeOverrides(t *testing.T) {
+	r := DefaultRegistry()
+	custom := &Schema{Class: ClassPMC, Events: []EventDef{{Name: "ONLY", Kind: Event}}}
+	r2 := r.Merge(custom)
+	if got := r2.Get(ClassPMC); got.Len() != 1 || got.Events[0].Name != "ONLY" {
+		t.Errorf("merge did not override: %+v", got)
+	}
+	// Original registry untouched.
+	if r.Get(ClassPMC).Len() == 1 {
+		t.Error("merge mutated receiver")
+	}
+	// Other classes preserved.
+	if r2.Get(ClassCPU) == nil {
+		t.Error("merge dropped other classes")
+	}
+}
+
+func TestSchemaLenAndWidths(t *testing.T) {
+	if PMCSchema().Len() != 8 {
+		t.Errorf("pmc len = %d", PMCSchema().Len())
+	}
+	for _, e := range PMCSchema().Events {
+		if e.Width != 48 {
+			t.Errorf("pmc event %s width = %d, want 48", e.Name, e.Width)
+		}
+	}
+	for _, e := range RAPLSchema().Events {
+		if e.Width != 32 {
+			t.Errorf("rapl event %s width = %d, want 32", e.Name, e.Width)
+		}
+	}
+}
+
+func TestPSSchemaHasHighWaterMark(t *testing.T) {
+	s := PSSchema()
+	i := s.Index(EvPSVmHWM)
+	if i < 0 {
+		t.Fatal("VmHWM missing from ps schema")
+	}
+	if s.Events[i].Kind != Gauge {
+		t.Error("VmHWM should be a gauge")
+	}
+}

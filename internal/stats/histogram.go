@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram over a closed interval. Samples
+// outside [Lo, Hi] are clamped into the first/last bin so that query-page
+// histograms (Fig 4 of the paper) never silently drop outliers — the
+// outliers are exactly what the portal wants to show.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram builds a histogram with nbins equal-width bins over
+// [lo, hi]. It panics if nbins < 1 or hi <= lo; these are programmer
+// errors, not data errors.
+func NewHistogram(lo, hi float64, nbins int) *Histogram {
+	if nbins < 1 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		panic("stats: histogram needs hi > lo")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, nbins)}
+}
+
+// AutoHistogram builds a histogram spanning the data range of xs with
+// nbins bins and fills it. An empty xs yields a [0,1] histogram.
+func AutoHistogram(xs []float64, nbins int) *Histogram {
+	lo, hi := 0.0, 1.0
+	if len(xs) > 0 {
+		lo, _ = Min(xs)
+		hi, _ = Max(xs)
+		if hi <= lo {
+			hi = lo + 1
+		}
+	}
+	h := NewHistogram(lo, hi, nbins)
+	for _, x := range xs {
+		h.Add(x)
+	}
+	return h
+}
+
+// Add inserts one sample.
+func (h *Histogram) Add(x float64) {
+	i := h.binOf(x)
+	h.Counts[i]++
+	h.total++
+}
+
+func (h *Histogram) binOf(x float64) int {
+	if math.IsNaN(x) {
+		return 0
+	}
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	i := int((x - h.Lo) / w)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	return i
+}
+
+// Total reports the number of samples inserted.
+func (h *Histogram) Total() int { return h.total }
+
+// BinEdges returns the nbins+1 bin boundary values.
+func (h *Histogram) BinEdges() []float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	edges := make([]float64, len(h.Counts)+1)
+	for i := range edges {
+		edges[i] = h.Lo + float64(i)*w
+	}
+	return edges
+}
+
+// MaxCount returns the largest bin count (0 for an empty histogram).
+func (h *Histogram) MaxCount() int {
+	m := 0
+	for _, c := range h.Counts {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Render draws an ASCII bar chart of the histogram, width columns wide,
+// suitable for terminal reports.
+func (h *Histogram) Render(label string, width int) string {
+	if width < 1 {
+		width = 40
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (n=%d)\n", label, h.total)
+	edges := h.BinEdges()
+	maxc := h.MaxCount()
+	for i, c := range h.Counts {
+		bar := 0
+		if maxc > 0 {
+			bar = c * width / maxc
+		}
+		fmt.Fprintf(&b, "  [%12.4g, %12.4g) %6d %s\n",
+			edges[i], edges[i+1], c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}

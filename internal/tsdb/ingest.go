@@ -1,0 +1,81 @@
+package tsdb
+
+import (
+	"gostats/internal/model"
+	"gostats/internal/schema"
+)
+
+// Ingester converts the raw snapshot stream into time-series points:
+// cumulative counters become rate series (delta over the sampling
+// interval), gauges are stored as-is. One Ingester serves a whole
+// cluster; it keeps the previous snapshot per host to form deltas.
+//
+// Not safe for concurrent use; the daemon-mode consumer is a single
+// goroutine, matching the real pipeline.
+type Ingester struct {
+	db   *DB
+	reg  *schema.Registry
+	prev map[string]model.Snapshot
+	// Classes restricts ingestion to the listed device classes (nil =
+	// all). The realtime pipeline typically ingests the Lustre and CPU
+	// classes it alerts on rather than every PMC.
+	Classes map[schema.Class]bool
+}
+
+// NewIngester returns an ingester writing into db, interpreting counters
+// against reg.
+func NewIngester(db *DB, reg *schema.Registry) *Ingester {
+	return &Ingester{db: db, reg: reg, prev: make(map[string]model.Snapshot)}
+}
+
+// Ingest folds one snapshot into the database. The first snapshot from a
+// host establishes the delta baseline and produces gauge points only.
+func (ing *Ingester) Ingest(s model.Snapshot) {
+	prev, havePrev := ing.prev[s.Host]
+	dt := 0.0
+	var prevVals map[schema.Class]map[string][]uint64
+	if havePrev {
+		dt = s.Time - prev.Time
+		prevVals = indexSnapshot(prev)
+	}
+	for _, r := range s.Records {
+		if ing.Classes != nil && !ing.Classes[r.Class] {
+			continue
+		}
+		sch := ing.reg.Get(r.Class)
+		if sch == nil || len(r.Values) != sch.Len() {
+			continue
+		}
+		for i, def := range sch.Events {
+			tags := Tags{Host: s.Host, DevType: string(r.Class), Device: r.Instance, Event: def.Name}
+			if def.Kind == schema.Gauge {
+				ing.db.Put(tags, s.Time, float64(r.Values[i]))
+				continue
+			}
+			if !havePrev || dt <= 0 {
+				continue
+			}
+			pv, ok := prevVals[r.Class][r.Instance]
+			if !ok || len(pv) != len(r.Values) {
+				continue
+			}
+			delta := schema.RolloverDelta(pv[i], r.Values[i], def)
+			ing.db.Put(tags, s.Time, float64(delta)/dt)
+		}
+	}
+	ing.prev[s.Host] = s.Clone()
+}
+
+// indexSnapshot arranges a snapshot's records for O(1) lookup.
+func indexSnapshot(s model.Snapshot) map[schema.Class]map[string][]uint64 {
+	out := make(map[schema.Class]map[string][]uint64)
+	for _, r := range s.Records {
+		m := out[r.Class]
+		if m == nil {
+			m = make(map[string][]uint64)
+			out[r.Class] = m
+		}
+		m[r.Instance] = r.Values
+	}
+	return out
+}

@@ -1,0 +1,356 @@
+// Package tsdb is gostats' time-series store, standing in for the
+// OpenTSDB deployment §VI-A describes: every series is labeled by the
+// tag tuple (host, device type, device name, event name), and series can
+// be filtered and aggregated along any subset of those tags — the
+// operation that lets one user's metadata storm be correlated with other
+// users' mounting Lustre wait times.
+package tsdb
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Tags is the fixed tag tuple of the paper's OpenTSDB layout.
+type Tags struct {
+	Host    string // compute node hostname
+	DevType string // device class ("mdc", "cpu", ...)
+	Device  string // device instance ("scratch-MDT0000", "0", ...)
+	Event   string // event name ("reqs", "user", ...)
+}
+
+// tagValue extracts one tag by key name.
+func (t Tags) tagValue(key string) (string, error) {
+	switch key {
+	case "host":
+		return t.Host, nil
+	case "devtype":
+		return t.DevType, nil
+	case "device":
+		return t.Device, nil
+	case "event":
+		return t.Event, nil
+	default:
+		return "", fmt.Errorf("tsdb: unknown tag key %q", key)
+	}
+}
+
+// DataPoint is one timestamped value.
+type DataPoint struct {
+	Time  float64
+	Value float64
+}
+
+// series holds one tag tuple's points in insertion order; Put keeps them
+// time-sorted.
+type series struct {
+	points []DataPoint
+}
+
+func (s *series) put(p DataPoint) {
+	n := len(s.points)
+	if n == 0 || s.points[n-1].Time <= p.Time {
+		s.points = append(s.points, p)
+		return
+	}
+	// Out-of-order insert (rare: late-arriving node data).
+	i := sort.Search(n, func(k int) bool { return s.points[k].Time > p.Time })
+	s.points = append(s.points, DataPoint{})
+	copy(s.points[i+1:], s.points[i:])
+	s.points[i] = p
+}
+
+// rangePoints returns the points in [start, end] (end <= 0 means +inf).
+func (s *series) rangePoints(start, end float64) []DataPoint {
+	i := sort.Search(len(s.points), func(k int) bool { return s.points[k].Time >= start })
+	j := len(s.points)
+	if end > 0 {
+		j = sort.Search(len(s.points), func(k int) bool { return s.points[k].Time > end })
+	}
+	if i >= j {
+		return nil
+	}
+	return s.points[i:j]
+}
+
+// Agg selects the cross-series / downsample aggregation function.
+type Agg int
+
+// Aggregators.
+const (
+	Sum Agg = iota
+	Avg
+	Max
+	Min
+)
+
+func (a Agg) String() string {
+	switch a {
+	case Sum:
+		return "sum"
+	case Avg:
+		return "avg"
+	case Max:
+		return "max"
+	case Min:
+		return "min"
+	}
+	return "?"
+}
+
+// DB is the time-series database. Safe for concurrent use.
+type DB struct {
+	mu     sync.RWMutex
+	series map[Tags]*series
+	// posting lists: tag key -> tag value -> matching tag tuples.
+	postings map[string]map[string][]Tags
+}
+
+// New returns an empty DB.
+func New() *DB {
+	return &DB{
+		series:   make(map[Tags]*series),
+		postings: map[string]map[string][]Tags{"host": {}, "devtype": {}, "device": {}, "event": {}},
+	}
+}
+
+// Put appends one point to the series labeled by tags.
+func (db *DB) Put(tags Tags, t, v float64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s := db.series[tags]
+	if s == nil {
+		s = &series{}
+		db.series[tags] = s
+		for _, key := range []string{"host", "devtype", "device", "event"} {
+			val, _ := tags.tagValue(key)
+			db.postings[key][val] = append(db.postings[key][val], tags)
+		}
+	}
+	s.put(DataPoint{Time: t, Value: v})
+}
+
+// NumSeries reports the number of distinct series.
+func (db *DB) NumSeries() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.series)
+}
+
+// Query describes one read: tag filters (empty string = wildcard), a
+// time range, a grouping, an aggregator, and an optional downsample
+// bucket width.
+type Query struct {
+	Host    string
+	DevType string
+	Device  string
+	Event   string
+
+	Start, End float64 // End <= 0 means open-ended
+
+	GroupBy    []string // tag keys to group results by; nil = all together
+	Aggregate  Agg      // cross-series aggregation within a group
+	Downsample float64  // bucket seconds; 0 = exact-time alignment
+}
+
+// Result is one group's aggregated series.
+type Result struct {
+	Group  map[string]string // GroupBy key -> value
+	Points []DataPoint       // time-sorted
+}
+
+// matchingSeries selects tag tuples matching the query's filters, using
+// the smallest applicable posting list.
+func (db *DB) matchingSeries(q Query) []Tags {
+	filters := map[string]string{"host": q.Host, "devtype": q.DevType, "device": q.Device, "event": q.Event}
+	var bestKey string
+	bestLen := -1
+	for key, val := range filters {
+		if val == "" {
+			continue
+		}
+		l := len(db.postings[key][val])
+		if bestLen < 0 || l < bestLen {
+			bestKey, bestLen = key, l
+		}
+	}
+	var cands []Tags
+	if bestLen >= 0 {
+		cands = db.postings[bestKey][filters[bestKey]]
+	} else {
+		cands = make([]Tags, 0, len(db.series))
+		for t := range db.series {
+			cands = append(cands, t)
+		}
+	}
+	var out []Tags
+	for _, t := range cands {
+		if (q.Host == "" || t.Host == q.Host) &&
+			(q.DevType == "" || t.DevType == q.DevType) &&
+			(q.Device == "" || t.Device == q.Device) &&
+			(q.Event == "" || t.Event == q.Event) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// groupKey renders the grouping identity of a tag tuple.
+func groupKey(t Tags, groupBy []string) (string, map[string]string, error) {
+	key := ""
+	m := map[string]string{}
+	for _, g := range groupBy {
+		v, err := t.tagValue(g)
+		if err != nil {
+			return "", nil, err
+		}
+		key += g + "=" + v + ";"
+		m[g] = v
+	}
+	return key, m, nil
+}
+
+// Do executes the query.
+func (db *DB) Do(q Query) ([]Result, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	matched := db.matchingSeries(q)
+	groups := map[string]*Result{}
+	accum := map[string]map[float64]*bucket{}
+	var order []string
+
+	for _, tags := range matched {
+		key, gtags, err := groupKey(tags, q.GroupBy)
+		if err != nil {
+			return nil, err
+		}
+		res := groups[key]
+		if res == nil {
+			res = &Result{Group: gtags}
+			groups[key] = res
+			accum[key] = map[float64]*bucket{}
+			order = append(order, key)
+		}
+		for _, p := range db.series[tags].rangePoints(q.Start, q.End) {
+			t := p.Time
+			if q.Downsample > 0 {
+				t = float64(int64(p.Time/q.Downsample)) * q.Downsample
+			}
+			b := accum[key][t]
+			if b == nil {
+				b = &bucket{}
+				accum[key][t] = b
+			}
+			b.add(p.Value)
+		}
+	}
+
+	sort.Strings(order)
+	out := make([]Result, 0, len(order))
+	for _, key := range order {
+		res := groups[key]
+		times := make([]float64, 0, len(accum[key]))
+		for t := range accum[key] {
+			times = append(times, t)
+		}
+		sort.Float64s(times)
+		for _, t := range times {
+			res.Points = append(res.Points, DataPoint{Time: t, Value: accum[key][t].result(q.Aggregate)})
+		}
+		out = append(out, *res)
+	}
+	return out, nil
+}
+
+// bucket accumulates values landing in one (group, time) cell.
+type bucket struct {
+	n   int
+	sum float64
+	max float64
+	min float64
+}
+
+func (b *bucket) add(v float64) {
+	if b.n == 0 {
+		b.max, b.min = v, v
+	} else {
+		if v > b.max {
+			b.max = v
+		}
+		if v < b.min {
+			b.min = v
+		}
+	}
+	b.n++
+	b.sum += v
+}
+
+func (b *bucket) result(a Agg) float64 {
+	switch a {
+	case Sum:
+		return b.sum
+	case Avg:
+		if b.n == 0 {
+			return 0
+		}
+		return b.sum / float64(b.n)
+	case Max:
+		return b.max
+	case Min:
+		return b.min
+	}
+	return 0
+}
+
+// SaveSnapshot and LoadSnapshot persist the database (gob). The paper's
+// OpenTSDB is durable; this store keeps that property through explicit
+// checkpoints, which is what the nightly ETL needs.
+
+// persisted is the gob-encodable image of the DB.
+type persisted struct {
+	Tags   []Tags
+	Points [][]DataPoint
+}
+
+// Save writes the database to path.
+func (db *DB) Save(path string) error {
+	db.mu.RLock()
+	img := persisted{}
+	for t, s := range db.series {
+		img.Tags = append(img.Tags, t)
+		img.Points = append(img.Points, append([]DataPoint(nil), s.points...))
+	}
+	db.mu.RUnlock()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(img); err != nil {
+		f.Close()
+		return fmt.Errorf("tsdb: save: %w", err)
+	}
+	return f.Close()
+}
+
+// Load reads a database written by Save.
+func Load(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var img persisted
+	if err := gob.NewDecoder(f).Decode(&img); err != nil {
+		return nil, fmt.Errorf("tsdb: load: %w", err)
+	}
+	db := New()
+	for i, t := range img.Tags {
+		for _, p := range img.Points[i] {
+			db.Put(t, p.Time, p.Value)
+		}
+	}
+	return db, nil
+}

@@ -1,0 +1,243 @@
+// Package workload models the applications that run on the simulated
+// cluster. A Model converts elapsed job time into hwsim.Demand for each
+// node of the job; a Spec ties a model to job metadata (user, executable,
+// queue, node count, runtime).
+//
+// The archetypes here are the ones the paper's analyses hinge on:
+// well-vectorized compute, unvectorized compute, memory-bound sweeps,
+// MPI-heavy solvers, Lustre-metadata storms (the §V-B WRF pathology),
+// bandwidth-bound I/O, jobs with idle nodes, compile-then-run jobs and
+// mid-run failures, and Xeon-Phi offload codes.
+package workload
+
+import (
+	"math/rand"
+
+	"gostats/internal/hwsim"
+)
+
+// Model produces the per-node hardware demand of an application at a
+// point in its execution.
+type Model interface {
+	// Name identifies the archetype (for reports and tests).
+	Name() string
+	// Demand returns the demand node nodeIdx (0-based of nNodes) places
+	// on its hardware at elapsed seconds t of a job lasting runtime
+	// seconds. rng is a per-job deterministic source.
+	Demand(t, runtime float64, nodeIdx, nNodes int, rng *rand.Rand) hwsim.Demand
+}
+
+// Profile is the steady-state resource appetite of an application on one
+// node. It is the parameter block most archetypes are built from.
+type Profile struct {
+	CPUUser     float64 // user-space fraction
+	CPUSys      float64
+	CPUWait     float64 // iowait fraction
+	IPC         float64
+	Flops       float64 // flops/s per node
+	VecFrac     float64
+	Load        float64 // loads/s per node
+	L1, L2, LLC float64
+	MemBW       float64 // B/s per node
+	MemBytes    uint64  // resident bytes per node
+	MDC         float64 // metadata reqs/s per node
+	MDCWait     float64 // us per request
+	OSC         float64
+	OSCWait     float64
+	LRead       float64 // Lustre B/s per node
+	LWrite      float64
+	OpenClose   float64
+	IB          float64 // MPI B/s per node
+	IBPkt       float64
+	Eth         float64
+	MIC         float64
+	Tasks       int    // processes per node (wayness)
+	Exe         string // executable name for the process table
+	Owner       string
+}
+
+// demand converts the profile into an hwsim.Demand, attaching a process
+// table of Tasks identical ranks.
+func (p Profile) demand(rng *rand.Rand) hwsim.Demand {
+	d := hwsim.Demand{
+		CPUUserFrac: p.CPUUser, CPUSysFrac: p.CPUSys, CPUIOWaitFrac: p.CPUWait, IPC: p.IPC,
+		FlopsRate: p.Flops, VecFrac: p.VecFrac,
+		LoadRate: p.Load, L1HitFrac: p.L1, L2HitFrac: p.L2, LLCHitFrac: p.LLC,
+		MemBW: p.MemBW, MemUsed: p.MemBytes,
+		MDCReqRate: p.MDC, MDCWaitUs: p.MDCWait,
+		OSCReqRate: p.OSC, OSCWaitUs: p.OSCWait,
+		LustreReadBW: p.LRead, LustreWriteBW: p.LWrite,
+		OpenCloseRate: p.OpenClose,
+		IBBW:          p.IB, IBPktSize: p.IBPkt, EthBW: p.Eth,
+		MICFrac:     p.MIC,
+		PgFaultRate: 100 + p.MemBW/1e6,
+	}
+	tasks := p.Tasks
+	if tasks <= 0 {
+		tasks = 16
+	}
+	perTask := p.MemBytes / uint64(tasks)
+	if perTask == 0 {
+		perTask = 1 << 20
+	}
+	procs := make([]hwsim.Process, tasks)
+	for i := range procs {
+		procs[i] = hwsim.Process{
+			PID:     1000 + i,
+			Exe:     p.Exe,
+			Owner:   p.Owner,
+			VmSize:  perTask + perTask/4,
+			VmRSS:   perTask,
+			VmData:  perTask * 3 / 4,
+			VmStk:   8 << 20,
+			VmExe:   16 << 20,
+			Threads: 1,
+			CPUAff:  1 << uint(i%16),
+			MemAff:  1 << uint((i%16)/8),
+		}
+	}
+	d.Processes = procs
+	_ = rng
+	return d
+}
+
+// Steady is constant demand for the whole run, the default archetype.
+type Steady struct {
+	Label string
+	P     Profile
+}
+
+// Name implements Model.
+func (s Steady) Name() string { return s.Label }
+
+// Demand implements Model.
+func (s Steady) Demand(t, runtime float64, nodeIdx, nNodes int, rng *rand.Rand) hwsim.Demand {
+	return s.P.demand(rng)
+}
+
+// IdleNodes wraps a model so that the last Idle nodes of the job receive
+// no work — the misconfigured-submission pathology the portal flags
+// ("dozens of jobs with idle nodes identified daily").
+type IdleNodes struct {
+	Inner Model
+	Idle  int // number of trailing nodes left idle
+}
+
+// Name implements Model.
+func (m IdleNodes) Name() string { return m.Inner.Name() + "+idlenodes" }
+
+// Demand implements Model.
+func (m IdleNodes) Demand(t, runtime float64, nodeIdx, nNodes int, rng *rand.Rand) hwsim.Demand {
+	if nodeIdx >= nNodes-m.Idle {
+		return hwsim.IdleDemand()
+	}
+	return m.Inner.Demand(t, runtime, nodeIdx, nNodes, rng)
+}
+
+// Phase is one stage of a Phased model: a fraction of the runtime spent
+// under a given profile.
+type Phase struct {
+	Frac float64 // fraction of total runtime
+	P    Profile
+}
+
+// Phased runs through its phases in order. It models compile-then-run
+// jobs (low-CPU compile phase then full compute: the "sudden performance
+// increase" flag) and mid-run failures (compute then near-zero: the
+// "sudden drop" flag).
+type Phased struct {
+	Label  string
+	Phases []Phase
+}
+
+// Name implements Model.
+func (p Phased) Name() string { return p.Label }
+
+// Demand implements Model.
+func (p Phased) Demand(t, runtime float64, nodeIdx, nNodes int, rng *rand.Rand) hwsim.Demand {
+	if runtime <= 0 || len(p.Phases) == 0 {
+		return hwsim.IdleDemand()
+	}
+	frac := t / runtime
+	acc := 0.0
+	for _, ph := range p.Phases {
+		acc += ph.Frac
+		if frac < acc {
+			return ph.P.demand(rng)
+		}
+	}
+	return p.Phases[len(p.Phases)-1].P.demand(rng)
+}
+
+// MetadataStorm is the §V-B pathology: an application that opens and
+// closes a file every iteration to read one parameter, hammering the
+// metadata server from one node (rank 0 does the I/O) while the other
+// ranks wait. CPU utilization suffers and varies node to node.
+type MetadataStorm struct {
+	Base      Profile // the underlying application (e.g. WRF)
+	StormMDC  float64 // metadata reqs/s from the storming node
+	StormOpen float64 // opens+closes/s from the storming node
+	// BurstFactor scales the storm during the middle third of the run,
+	// separating the Maximum metric (MetaDataRate) from the Average
+	// (MDCReqs) the way real bursts do.
+	BurstFactor float64
+	// Stall is the worst-case fraction of user CPU time the ranks lose
+	// waiting on the serialized metadata traffic; the actual per-call
+	// stall varies between half of it and all of it. A well-behaved
+	// periodic writer loses a few percent, the pathological
+	// open-per-iteration loop loses ~20%.
+	Stall float64
+}
+
+// Name implements Model.
+func (m MetadataStorm) Name() string { return "metadata-storm" }
+
+// Demand implements Model.
+func (m MetadataStorm) Demand(t, runtime float64, nodeIdx, nNodes int, rng *rand.Rand) hwsim.Demand {
+	p := m.Base
+	// Every rank stalls on the serialized reads: depressed, noisy CPU,
+	// with the stalled time showing up as iowait.
+	maxStall := m.Stall
+	if maxStall <= 0 {
+		maxStall = 0.05
+	}
+	stall := maxStall * (0.5 + 0.5*rng.Float64())
+	p.CPUWait += p.CPUUser * stall
+	p.CPUUser *= 1 - stall
+	if nodeIdx == 0 {
+		p.MDC = m.StormMDC
+		p.OpenClose = m.StormOpen
+		p.MDCWait = 300 // storms see elevated server latency
+		burst := m.BurstFactor
+		if burst < 1 {
+			burst = 1
+		}
+		if runtime > 0 {
+			frac := t / runtime
+			// The burst lifts the metadata request rate (separating the
+			// Maximum metric from the Average); the open/close loop rate
+			// itself is steady.
+			if frac > 0.33 && frac < 0.66 {
+				p.MDC *= burst
+			}
+		}
+	}
+	return p.demand(rng)
+}
+
+// MICOffload models a code driving the Xeon Phi: host mostly orchestrates,
+// coprocessor does the flops.
+type MICOffload struct {
+	Base    Profile
+	MICBusy float64
+}
+
+// Name implements Model.
+func (m MICOffload) Name() string { return "mic-offload" }
+
+// Demand implements Model.
+func (m MICOffload) Demand(t, runtime float64, nodeIdx, nNodes int, rng *rand.Rand) hwsim.Demand {
+	p := m.Base
+	p.MIC = m.MICBusy
+	return p.demand(rng)
+}

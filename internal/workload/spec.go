@@ -1,0 +1,192 @@
+package workload
+
+import (
+	"fmt"
+)
+
+// Status is a job's scheduler completion status.
+type Status string
+
+// Completion statuses as the scheduler reports them.
+const (
+	StatusCompleted Status = "COMPLETED"
+	StatusFailed    Status = "FAILED"
+	StatusTimeout   Status = "TIMEOUT"
+	StatusCancelled Status = "CANCELLED"
+)
+
+// Spec fully describes one job to run on the simulated cluster.
+type Spec struct {
+	JobID    string
+	User     string
+	Account  string
+	Exe      string
+	JobName  string
+	Queue    string
+	Nodes    int
+	Wayness  int // tasks per node
+	SubmitAt float64
+	WaitSec  float64 // queue wait before start
+	Runtime  float64 // execution seconds
+	Status   Status
+	Model    Model
+}
+
+// Validate checks the spec for obvious inconsistencies.
+func (s Spec) Validate() error {
+	switch {
+	case s.JobID == "":
+		return fmt.Errorf("workload: spec missing job id")
+	case s.Nodes < 1:
+		return fmt.Errorf("workload: job %s has %d nodes", s.JobID, s.Nodes)
+	case s.Runtime <= 0:
+		return fmt.Errorf("workload: job %s has runtime %g", s.JobID, s.Runtime)
+	case s.Model == nil:
+		return fmt.Errorf("workload: job %s has no model", s.JobID)
+	}
+	return nil
+}
+
+// Reference profiles. Rates are per node of a 16-core Sandy Bridge; they
+// are calibrated so the Table I metrics land in realistic ranges (a few
+// GF/s/node, a few GB/s of memory bandwidth, MPI in the hundreds of MB/s).
+
+// WRFProfile is a well-behaved WRF (weather) run: moderately vectorized,
+// latency-bound, light periodic output through rank 0.
+func WRFProfile(owner string) Profile {
+	return Profile{
+		CPUUser: 0.82, CPUSys: 0.02, IPC: 1.1,
+		Flops: 3.0e10, VecFrac: 0.45,
+		Load: 2.0e10, L1: 0.90, L2: 0.05, LLC: 0.03,
+		MemBW: 1.2e10, MemBytes: 12 << 30,
+		MDC: 2.4, MDCWait: 80, OSC: 5, OSCWait: 150,
+		LRead: 1e6, LWrite: 4e6, OpenClose: 2,
+		IB: 2.0e8, IBPkt: 2048,
+		Tasks: 16, Exe: "wrf.exe", Owner: owner,
+	}
+}
+
+// VectorizedCompute is a tuned dense-kernel code (VASP/NAMD class).
+func VectorizedCompute(owner, exe string, vecFrac float64) Profile {
+	return Profile{
+		CPUUser: 0.95, CPUSys: 0.01, IPC: 1.8,
+		Flops: 1.2e11, VecFrac: vecFrac,
+		Load: 3e10, L1: 0.95, L2: 0.03, LLC: 0.015,
+		MemBW: 2.5e10, MemBytes: 8 << 30,
+		MDC: 0.5, MDCWait: 60, OSC: 1, OSCWait: 100,
+		LRead: 1e5, LWrite: 1e6, OpenClose: 0.05,
+		IB: 1.5e8, IBPkt: 4096,
+		Tasks: 16, Exe: exe, Owner: owner,
+	}
+}
+
+// ScalarCompute is an unvectorized throughput code (scripted/legacy).
+func ScalarCompute(owner, exe string) Profile {
+	p := VectorizedCompute(owner, exe, 0.003)
+	p.Flops = 8e9
+	p.IPC = 0.9
+	return p
+}
+
+// MemoryBound is a stream-like stencil sweep: high memory bandwidth, low
+// IPC, high LLC misses.
+func MemoryBound(owner, exe string) Profile {
+	return Profile{
+		CPUUser: 0.9, CPUSys: 0.02, IPC: 0.45,
+		Flops: 1.5e10, VecFrac: 0.6,
+		Load: 4e10, L1: 0.70, L2: 0.12, LLC: 0.08,
+		MemBW: 6.5e10, MemBytes: 24 << 30,
+		MDC: 0.4, OSC: 1, LWrite: 2e6, OpenClose: 0.05,
+		IB: 3e8, IBPkt: 2048,
+		Tasks: 16, Exe: exe, Owner: owner,
+	}
+}
+
+// MPIBound is a communication-dominated solver: heavy IB traffic, small
+// packets, mediocre CPU utilization.
+func MPIBound(owner, exe string) Profile {
+	return Profile{
+		CPUUser: 0.7, CPUSys: 0.08, IPC: 0.8,
+		Flops: 1e10, VecFrac: 0.3,
+		Load: 1.5e10, L1: 0.92, L2: 0.04, LLC: 0.02,
+		MemBW: 8e9, MemBytes: 6 << 30,
+		MDC: 0.5, OSC: 1, LWrite: 1e6,
+		IB: 1.2e9, IBPkt: 256,
+		Tasks: 16, Exe: exe, Owner: owner,
+	}
+}
+
+// IOBandwidth is a checkpoint-heavy code streaming to Lustre.
+func IOBandwidth(owner, exe string) Profile {
+	return Profile{
+		CPUUser: 0.55, CPUSys: 0.05, CPUWait: 0.2, IPC: 0.7,
+		Flops: 6e9, VecFrac: 0.35,
+		Load: 1e10, L1: 0.9, L2: 0.05, LLC: 0.02,
+		MemBW: 9e9, MemBytes: 10 << 30,
+		MDC: 40, MDCWait: 120, OSC: 600, OSCWait: 400,
+		LRead: 8e7, LWrite: 2.5e8, OpenClose: 8,
+		IB: 1e8, IBPkt: 2048,
+		Tasks: 16, Exe: exe, Owner: owner,
+	}
+}
+
+// EthMPI is the misconfigured build running MPI over GigE instead of IB —
+// one of the flagged behaviours.
+func EthMPI(owner, exe string) Profile {
+	p := MPIBound(owner, exe)
+	p.IB = 0
+	p.Eth = 1.1e8 // saturating ~1 Gbit
+	p.CPUUser = 0.45
+	p.CPUWait = 0.3
+	return p
+}
+
+// LargeMemWaste is a job in the largemem queue using a few GB — another
+// flagged behaviour.
+func LargeMemWaste(owner, exe string) Profile {
+	p := ScalarCompute(owner, exe)
+	p.MemBytes = 4 << 30
+	return p
+}
+
+// CompileThenRun returns a Phased model: 10% low-activity compile, then
+// the compute profile (the "sudden performance increase" signature).
+func CompileThenRun(run Profile) Phased {
+	compile := Profile{
+		CPUUser: 0.12, CPUSys: 0.05, IPC: 0.9,
+		Flops: 1e8, VecFrac: 0.01,
+		Load: 1e9, L1: 0.95,
+		MemBW: 5e8, MemBytes: 2 << 30,
+		MDC: 30, OSC: 10, LRead: 2e6, LWrite: 1e6, OpenClose: 50,
+		Tasks: 1, Exe: "icc", Owner: run.Owner,
+	}
+	return Phased{Label: "compile-then-run", Phases: []Phase{
+		{Frac: 0.10, P: compile},
+		{Frac: 0.90, P: run},
+	}}
+}
+
+// FailMidway returns a Phased model that computes and then collapses to
+// near-idle at failFrac of the runtime (the "sudden drop" signature).
+func FailMidway(run Profile, failFrac float64) Phased {
+	dead := Profile{CPUSys: 0.005, MemBytes: 2 << 30, Tasks: 1, Exe: run.Exe, Owner: run.Owner, IPC: 0.5}
+	return Phased{Label: "fail-midway", Phases: []Phase{
+		{Frac: failFrac, P: run},
+		{Frac: 1 - failFrac, P: dead},
+	}}
+}
+
+// PathologicalWRF builds the §V-B case-study model for the given user:
+// WRF plus a parameter-file open/close loop on rank 0. The storm rates
+// are per the paper: ~30,884 opens+closes/s and metadata request rates
+// peaking in the several-hundred-thousand/s range across the job.
+func PathologicalWRF(owner string) MetadataStorm {
+	base := WRFProfile(owner)
+	return MetadataStorm{
+		Base:        base,
+		StormMDC:    201000,    // sustained reqs/s from rank 0
+		StormOpen:   30884 * 2, // per the case study, averaged over 2 nodes
+		BurstFactor: 2.8,       // mid-run burst lifts the Maximum metric
+		Stall:       0.24,      // ranks lose ~18% of user time on average
+	}
+}

@@ -1,0 +1,290 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSpecValidate(t *testing.T) {
+	ok := Spec{JobID: "1", Nodes: 2, Runtime: 100, Model: Steady{Label: "x", P: WRFProfile("u1")}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	bad := []Spec{
+		{Nodes: 1, Runtime: 1, Model: ok.Model},             // no id
+		{JobID: "1", Nodes: 0, Runtime: 1, Model: ok.Model}, // no nodes
+		{JobID: "1", Nodes: 1, Runtime: 0, Model: ok.Model}, // no runtime
+		{JobID: "1", Nodes: 1, Runtime: 1},                  // no model
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestSteadyDemandConstant(t *testing.T) {
+	m := Steady{Label: "s", P: WRFProfile("u1")}
+	rng := rand.New(rand.NewSource(1))
+	d1 := m.Demand(0, 3600, 0, 4, rng)
+	d2 := m.Demand(1800, 3600, 3, 4, rng)
+	if d1.CPUUserFrac != d2.CPUUserFrac || d1.FlopsRate != d2.FlopsRate {
+		t.Error("steady model varied over time/nodes")
+	}
+	if len(d1.Processes) != 16 {
+		t.Errorf("process table size = %d, want 16", len(d1.Processes))
+	}
+	if d1.Processes[0].Exe != "wrf.exe" {
+		t.Errorf("exe = %q", d1.Processes[0].Exe)
+	}
+}
+
+func TestIdleNodesWrapper(t *testing.T) {
+	m := IdleNodes{Inner: Steady{Label: "s", P: WRFProfile("u1")}, Idle: 2}
+	rng := rand.New(rand.NewSource(1))
+	busy := m.Demand(0, 100, 0, 8, rng)
+	idle := m.Demand(0, 100, 7, 8, rng)
+	idle2 := m.Demand(0, 100, 6, 8, rng)
+	working := m.Demand(0, 100, 5, 8, rng)
+	if busy.CPUUserFrac < 0.5 {
+		t.Error("lead node should be busy")
+	}
+	if idle.CPUUserFrac != 0 || idle2.CPUUserFrac != 0 {
+		t.Error("trailing nodes should be idle")
+	}
+	if working.CPUUserFrac < 0.5 {
+		t.Error("node 5 of 8 with 2 idle should work")
+	}
+	if m.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestPhasedTransitions(t *testing.T) {
+	run := VectorizedCompute("u1", "a.out", 0.8)
+	m := CompileThenRun(run)
+	rng := rand.New(rand.NewSource(1))
+	early := m.Demand(5, 1000, 0, 1, rng)  // 0.5% -> compile
+	late := m.Demand(500, 1000, 0, 1, rng) // 50% -> run
+	if early.CPUUserFrac > 0.3 {
+		t.Errorf("compile phase CPU = %g, want low", early.CPUUserFrac)
+	}
+	if late.CPUUserFrac < 0.8 {
+		t.Errorf("run phase CPU = %g, want high", late.CPUUserFrac)
+	}
+	// Past the end of the schedule: last phase applies.
+	over := m.Demand(2000, 1000, 0, 1, rng)
+	if over.CPUUserFrac < 0.8 {
+		t.Error("past-end demand should use last phase")
+	}
+	// Degenerate runtime yields idle.
+	if d := m.Demand(0, 0, 0, 1, rng); d.CPUUserFrac != 0 {
+		t.Error("zero runtime should be idle")
+	}
+}
+
+func TestFailMidway(t *testing.T) {
+	run := VectorizedCompute("u1", "a.out", 0.5)
+	m := FailMidway(run, 0.5)
+	rng := rand.New(rand.NewSource(1))
+	before := m.Demand(400, 1000, 0, 1, rng)
+	after := m.Demand(600, 1000, 0, 1, rng)
+	if before.CPUUserFrac < 0.8 {
+		t.Error("pre-failure should compute")
+	}
+	if after.CPUUserFrac != 0 {
+		t.Errorf("post-failure CPU = %g, want 0", after.CPUUserFrac)
+	}
+}
+
+func TestMetadataStormConcentratesOnRank0(t *testing.T) {
+	m := PathologicalWRF("u042")
+	rng := rand.New(rand.NewSource(1))
+	r0 := m.Demand(100, 10000, 0, 2, rng)
+	r1 := m.Demand(100, 10000, 1, 2, rng)
+	if r0.MDCReqRate < 100000 {
+		t.Errorf("rank0 MDC rate = %g, want storm-level", r0.MDCReqRate)
+	}
+	if r1.MDCReqRate > 100 {
+		t.Errorf("rank1 MDC rate = %g, want background", r1.MDCReqRate)
+	}
+	if r0.OpenCloseRate < 10000 {
+		t.Errorf("rank0 open/close = %g", r0.OpenCloseRate)
+	}
+	// CPU is depressed relative to clean WRF (0.82).
+	if r0.CPUUserFrac > 0.80 {
+		t.Errorf("storm CPU = %g, want depressed", r0.CPUUserFrac)
+	}
+}
+
+func TestMetadataStormBurstLiftsMidRun(t *testing.T) {
+	m := PathologicalWRF("u042")
+	rng := rand.New(rand.NewSource(1))
+	sustained := m.Demand(100, 10000, 0, 1, rng) // 1% of run
+	burst := m.Demand(5000, 10000, 0, 1, rng)    // 50% -> burst window
+	if burst.MDCReqRate <= sustained.MDCReqRate {
+		t.Errorf("burst rate %g not above sustained %g", burst.MDCReqRate, sustained.MDCReqRate)
+	}
+}
+
+func TestMICOffload(t *testing.T) {
+	m := MICOffload{Base: VectorizedCompute("u1", "a.out", 0.6), MICBusy: 0.7}
+	rng := rand.New(rand.NewSource(1))
+	d := m.Demand(0, 100, 0, 1, rng)
+	if d.MICFrac != 0.7 {
+		t.Errorf("MICFrac = %g", d.MICFrac)
+	}
+}
+
+func TestProfilesSane(t *testing.T) {
+	profiles := map[string]Profile{
+		"wrf":      WRFProfile("u"),
+		"vec":      VectorizedCompute("u", "a.out", 0.8),
+		"scalar":   ScalarCompute("u", "a.out"),
+		"membound": MemoryBound("u", "a.out"),
+		"mpi":      MPIBound("u", "a.out"),
+		"iobw":     IOBandwidth("u", "a.out"),
+		"ethmpi":   EthMPI("u", "a.out"),
+		"largemem": LargeMemWaste("u", "a.out"),
+	}
+	for name, p := range profiles {
+		if p.CPUUser < 0 || p.CPUUser > 1 {
+			t.Errorf("%s: CPUUser = %g", name, p.CPUUser)
+		}
+		if p.CPUUser+p.CPUSys+p.CPUWait > 1.001 {
+			t.Errorf("%s: cpu fractions sum > 1", name)
+		}
+		if p.Exe == "" || p.Owner == "" {
+			t.Errorf("%s: missing exe/owner", name)
+		}
+	}
+	if EthMPI("u", "x").IB != 0 {
+		t.Error("eth-mpi should not use IB")
+	}
+	if EthMPI("u", "x").Eth == 0 {
+		t.Error("eth-mpi should use GigE")
+	}
+	if ScalarCompute("u", "x").VecFrac > 0.01 {
+		t.Error("scalar compute too vectorized")
+	}
+}
+
+func TestGenerateFleetDeterministic(t *testing.T) {
+	o := FleetOpts{Seed: 11, Jobs: 200, StartAt: 0, SpanSec: 86400}
+	a := GenerateFleet(o)
+	b := GenerateFleet(o)
+	if len(a) != 200 || len(b) != 200 {
+		t.Fatalf("fleet sizes %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].JobID != b[i].JobID || a[i].User != b[i].User ||
+			a[i].Runtime != b[i].Runtime || a[i].Model.Name() != b[i].Model.Name() {
+			t.Fatalf("fleet not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGenerateFleetValidity(t *testing.T) {
+	specs := GenerateFleet(FleetOpts{Seed: 3, Jobs: 500})
+	ids := map[string]bool{}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("invalid spec: %v", err)
+		}
+		if ids[s.JobID] {
+			t.Fatalf("duplicate job id %s", s.JobID)
+		}
+		ids[s.JobID] = true
+		if s.Runtime < 1200 || s.Runtime > 19*3600 {
+			t.Errorf("runtime out of range: %g", s.Runtime)
+		}
+		if s.WaitSec < 0 || s.WaitSec > 48*3600 {
+			t.Errorf("wait out of range: %g", s.WaitSec)
+		}
+		if s.Queue == "largemem" && s.Nodes != 1 {
+			t.Errorf("largemem job on %d nodes", s.Nodes)
+		}
+	}
+}
+
+func TestGenerateFleetMixShape(t *testing.T) {
+	specs := GenerateFleet(FleetOpts{Seed: 42, Jobs: 5000})
+	count := map[string]int{}
+	failed := 0
+	for _, s := range specs {
+		count[s.Model.Name()]++
+		if s.Status == StatusFailed {
+			failed++
+		}
+	}
+	// Scalar must dominate; vectorized substantial; pathologies rare but present.
+	if count["scalar"] < 1500 {
+		t.Errorf("scalar count = %d, want >1500", count["scalar"])
+	}
+	if count["vectorized"] < 500 {
+		t.Errorf("vectorized count = %d", count["vectorized"])
+	}
+	if count["metadata-storm"] == 0 {
+		t.Error("no metadata storms generated")
+	}
+	if count["mic-offload"] < 20 || count["mic-offload"] > 150 {
+		t.Errorf("mic-offload count = %d, want ~65", count["mic-offload"])
+	}
+	if failed < 50 || failed > 400 {
+		t.Errorf("failed jobs = %d, want ~150", failed)
+	}
+	idle := 0
+	for _, s := range specs {
+		if _, ok := s.Model.(IdleNodes); ok {
+			idle++
+		}
+	}
+	if idle == 0 {
+		t.Error("no idle-node jobs generated")
+	}
+}
+
+func TestGenerateWRFPopulation(t *testing.T) {
+	o := WRFOpts{Seed: 5, Jobs: 558, PathoJobs: 9, PathoUser: "u042"}
+	specs := GenerateWRF(o)
+	if len(specs) != 558 {
+		t.Fatalf("len = %d", len(specs))
+	}
+	patho := 0
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if s.Exe != "wrf.exe" {
+			t.Fatalf("exe = %q", s.Exe)
+		}
+		if _, ok := s.Model.(MetadataStorm); !ok {
+			t.Fatalf("model %T not a storm variant", s.Model)
+		}
+		if s.User == "u042" {
+			patho++
+			if s.JobName != "wrf-param-loop" {
+				t.Errorf("patho job name = %q", s.JobName)
+			}
+		}
+	}
+	if patho != 9 {
+		t.Errorf("pathological jobs = %d, want 9", patho)
+	}
+}
+
+func TestUserWeightsNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	us := makeUsers(rng, 50)
+	sum := 0.0
+	for _, u := range us {
+		sum += u.weight
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("weights sum to %g", sum)
+	}
+	// Heavy head: first user should dominate the last.
+	if us[0].weight < 10*us[49].weight {
+		t.Errorf("weights not zipf-like: %g vs %g", us[0].weight, us[49].weight)
+	}
+}
