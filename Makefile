@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: check vet fmt build test race bench
+
+## check: everything CI runs — vet, formatting, build, tests under -race
+check: vet fmt build race
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .

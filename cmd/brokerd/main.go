@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	brokerd [-listen 127.0.0.1:5672]
+//	brokerd [-listen 127.0.0.1:5672] [-telemetry 127.0.0.1:9100]
+//
+// With -telemetry set, the broker serves its own ops endpoint: /metrics
+// (queue depth, published/delivered/redelivered/acked, connection count,
+// frame codec latency), /healthz, /debug/vars and /debug/pprof.
 package main
 
 import (
@@ -15,10 +19,12 @@ import (
 	"os/signal"
 
 	"gostats/internal/broker"
+	"gostats/internal/telemetry"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:5672", "address to listen on")
+	telemetryAddr := flag.String("telemetry", "", "ops endpoint address (empty = disabled)")
 	flag.Parse()
 
 	srv := broker.NewServer()
@@ -27,6 +33,16 @@ func main() {
 		log.Fatalf("brokerd: %v", err)
 	}
 	fmt.Printf("brokerd: listening on %s\n", addr)
+
+	if *telemetryAddr != "" {
+		ops, err := telemetry.Serve(*telemetryAddr, telemetry.Default())
+		if err != nil {
+			log.Fatalf("brokerd: %v", err)
+		}
+		defer ops.Close()
+		ops.SetHealth("broker", nil)
+		fmt.Printf("brokerd: telemetry at %s/metrics\n", ops.URL())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

@@ -6,24 +6,37 @@
 // Usage:
 //
 //	listend -broker 127.0.0.1:5672 -store ./central [-arch stampede]
+//	        [-telemetry 127.0.0.1:9102]
+//
+// On SIGINT/SIGTERM the consumer shuts down gracefully: the in-flight
+// message is fully archived and acknowledged before the connection
+// closes, so interrupting listend never forces a redelivery or loses a
+// snapshot. With -telemetry set, it serves its own ops endpoint:
+// /metrics (snapshots consumed, drain lag, store-write latency, alerts),
+// /healthz, /debug/vars and /debug/pprof.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 
 	"gostats/internal/broker"
 	"gostats/internal/chip"
 	"gostats/internal/rawfile"
 	"gostats/internal/realtime"
 	"gostats/internal/schema"
+	"gostats/internal/telemetry"
 )
 
 func main() {
 	brokerAddr := flag.String("broker", "127.0.0.1:5672", "broker address")
 	storeDir := flag.String("store", "central", "central raw store directory")
 	arch := flag.String("arch", "stampede", "node type the fleet runs (schema source)")
+	telemetryAddr := flag.String("telemetry", "", "ops endpoint address (empty = disabled)")
 	flag.Parse()
 
 	var reg *schema.Registry
@@ -38,13 +51,31 @@ func main() {
 		log.Fatalf("listend: unknown arch %q", *arch)
 	}
 
+	var ops *telemetry.OpsServer
+	if *telemetryAddr != "" {
+		var err error
+		ops, err = telemetry.Serve(*telemetryAddr, telemetry.Default())
+		if err != nil {
+			log.Fatalf("listend: %v", err)
+		}
+		defer ops.Close()
+		ops.SetHealth("store", nil)
+		log.Printf("listend: telemetry at %s/metrics", ops.URL())
+	}
+
 	store, err := rawfile.NewStore(*storeDir)
 	if err != nil {
 		log.Fatalf("listend: %v", err)
 	}
 	cons, err := broker.DialConsumer(*brokerAddr, broker.StatsQueue)
 	if err != nil {
+		if ops != nil {
+			ops.SetHealth("broker", err)
+		}
 		log.Fatalf("listend: dial broker: %v", err)
+	}
+	if ops != nil {
+		ops.SetHealth("broker", nil)
 	}
 	mon := realtime.NewMonitor(reg, realtime.DefaultRules())
 	mon.Notify = func(a realtime.Alert) {
@@ -58,9 +89,25 @@ func main() {
 			return rawfile.Header{Hostname: host, Arch: *arch, Registry: reg}
 		},
 	}
+
+	// Graceful shutdown: stop consuming, let the in-flight snapshot be
+	// archived and acked, then exit. Every archived snapshot is written
+	// synchronously, so when Run returns the store is flushed.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		log.Printf("listend: %s: finishing in-flight message and shutting down", s)
+		if ops != nil {
+			ops.SetHealth("broker", fmt.Errorf("shutting down on %s", s))
+		}
+		l.Shutdown()
+	}()
+
 	log.Printf("listend: consuming %s from %s into %s", broker.StatsQueue, *brokerAddr, *storeDir)
 	if err := l.Run(); err != nil {
 		log.Fatalf("listend: %v", err)
 	}
-	log.Printf("listend: broker closed after %d snapshots", l.Processed())
+	log.Printf("listend: stopped cleanly; %d snapshots processed and flushed to %s",
+		l.Processed(), *storeDir)
 }

@@ -4,9 +4,12 @@
 // Usage:
 //
 //	portal -db jobs.gob [-listen :8080] [-store ./central]
+//	       [-telemetry 127.0.0.1:9103]
 //
 // With -store set, detail pages include the Fig 5 per-node plots,
-// assembled on demand from the raw archive.
+// assembled on demand from the raw archive. With -telemetry set, the
+// portal serves its own ops endpoint: /metrics (request count, latency
+// and status by route), /healthz, /debug/vars and /debug/pprof.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"gostats/internal/portal"
 	"gostats/internal/rawfile"
 	"gostats/internal/reldb"
+	"gostats/internal/telemetry"
 	"gostats/internal/xalt"
 )
 
@@ -29,7 +33,18 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:8080", "listen address")
 	storeDir := flag.String("store", "", "raw store for detail-page plots (optional)")
 	xaltPath := flag.String("xalt", "", "XALT environment store (optional)")
+	telemetryAddr := flag.String("telemetry", "", "ops endpoint address (empty = disabled)")
 	flag.Parse()
+
+	if *telemetryAddr != "" {
+		ops, err := telemetry.Serve(*telemetryAddr, telemetry.Default())
+		if err != nil {
+			log.Fatalf("portal: %v", err)
+		}
+		defer ops.Close()
+		ops.SetHealth("portal", nil)
+		fmt.Printf("portal: telemetry at %s/metrics\n", ops.URL())
+	}
 
 	db, err := reldb.Load(*dbPath)
 	if err != nil {

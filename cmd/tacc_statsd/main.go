@@ -9,7 +9,11 @@
 //
 //	tacc_statsd -broker 127.0.0.1:5672 [-host c401-101] [-job 4001]
 //	            [-workload wrf|storm|idle] [-interval 600] [-speedup 600]
-//	            [-ticks 12]
+//	            [-ticks 12] [-telemetry 127.0.0.1:9101]
+//
+// With -telemetry set, the daemon serves its own ops endpoint: /metrics
+// (collection cost, publish latency, redials), /healthz (collector and
+// publisher readiness), /debug/vars and /debug/pprof.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"gostats/internal/chip"
 	"gostats/internal/collect"
 	"gostats/internal/hwsim"
+	"gostats/internal/telemetry"
 	"gostats/internal/workload"
 )
 
@@ -48,7 +53,21 @@ func main() {
 	speedup := flag.Float64("speedup", 600, "simulated seconds per wall second")
 	ticks := flag.Int("ticks", 12, "number of collections before exit (0 = forever)")
 	seed := flag.Int64("seed", 1, "node determinism seed")
+	telemetryAddr := flag.String("telemetry", "", "ops endpoint address (empty = disabled)")
 	flag.Parse()
+
+	var ops *telemetry.OpsServer
+	if *telemetryAddr != "" {
+		var err error
+		ops, err = telemetry.Serve(*telemetryAddr, telemetry.Default())
+		if err != nil {
+			log.Fatalf("tacc_statsd: %v", err)
+		}
+		defer ops.Close()
+		ops.SetHealth("collector", nil)
+		ops.SetHealth("publisher", nil)
+		log.Printf("tacc_statsd: telemetry at %s/metrics", ops.URL())
+	}
 
 	model, err := pickModel(*wl, "u001")
 	if err != nil {
@@ -90,8 +109,14 @@ func main() {
 		now += *interval
 		elapsed += *interval
 		if err := agent.Tick(now, jobs, ""); err != nil {
+			if ops != nil {
+				ops.SetHealth("publisher", err)
+			}
 			log.Printf("tacc_statsd: %v (sample lost, will retry next interval)", err)
 			continue
+		}
+		if ops != nil {
+			ops.SetHealth("publisher", nil)
 		}
 		log.Printf("tacc_statsd: published collection %d at t=%.0f", i+1, now)
 	}

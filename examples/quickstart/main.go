@@ -12,6 +12,7 @@ import (
 	"gostats/internal/chip"
 	"gostats/internal/cluster"
 	"gostats/internal/core"
+	"gostats/internal/telemetry"
 	"gostats/internal/workload"
 )
 
@@ -58,4 +59,12 @@ func main() {
 		fmt.Printf(" %q", p.Name)
 	}
 	fmt.Println()
+
+	// The collectors telemeter themselves; the same numbers a -telemetry
+	// ops endpoint would serve back up the paper's overhead claim (§III).
+	vals := telemetry.ParseExposition(telemetry.Default().Exposition())
+	if n := vals["gostats_collect_seconds_count"]; n > 0 {
+		mean := vals["gostats_collect_seconds_sum"] / n
+		fmt.Printf("\nmonitoring overhead: %.0f sweeps, mean %.4f s each — paper budget 0.09 s\n", n, mean)
+	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"gostats/internal/model"
 	"gostats/internal/schema"
+	"gostats/internal/telemetry"
 )
 
 func startServer(t *testing.T) (*Server, string) {
@@ -135,6 +136,112 @@ func TestUnackedMessageRedelivered(t *testing.T) {
 	}
 }
 
+// TestRedeliveryCounted kills a consumer holding an unacked message and
+// asserts the queue's redelivery and ack counters track the crash and
+// the successful second delivery.
+func TestRedeliveryCounted(t *testing.T) {
+	s, addr := startServer(t)
+	pub, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Publish("q", []byte("crashy")); err != nil {
+		t.Fatal(err)
+	}
+
+	c1, err := DialConsumer(addr, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.NextNoAck(); err != nil {
+		t.Fatal(err)
+	}
+	if qs := s.QueueCounts("q"); qs.Delivered != 1 || qs.Redelivered != 0 || qs.Acked != 0 {
+		t.Fatalf("pre-crash counts = %+v", qs)
+	}
+	c1.Close() // dies holding the message
+
+	// The crash is observed when the server's ack read fails; poll until
+	// the redelivery counter ticks.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.QueueCounts("q").Redelivered == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if qs := s.QueueCounts("q"); qs.Redelivered != 1 {
+		t.Fatalf("post-crash counts = %+v, want Redelivered=1", qs)
+	}
+
+	// A healthy consumer drains and acks the redelivery.
+	c2, err := DialConsumer(addr, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if b, err := c2.Next(); err != nil || string(b) != "crashy" {
+		t.Fatalf("redelivery = %q, %v", b, err)
+	}
+	for s.QueueCounts("q").Acked == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	qs := s.QueueCounts("q")
+	if qs.Published != 1 || qs.Delivered != 2 || qs.Redelivered != 1 || qs.Acked != 1 {
+		t.Errorf("final counts = %+v, want {1 2 1 1}", qs)
+	}
+}
+
+// TestBrokerTelemetry checks the broker exports its queue counters and
+// connection gauge into an injected registry.
+func TestBrokerTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := NewServer()
+	s.Metrics = reg
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	pub, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	for i := 0; i < 3; i++ {
+		if err := pub.Publish("telq", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cons, err := DialConsumer(addr, "telq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cons.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := cons.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Queue counters are updated under the queue lock before delivery, so
+	// they are visible as soon as the consumer has the messages.
+	vals := telemetry.ParseExposition(reg.Exposition())
+	if got := vals[`gostats_broker_published_total{queue="telq"}`]; got != 3 {
+		t.Errorf("published = %g, want 3", got)
+	}
+	if got := vals[`gostats_broker_delivered_total{queue="telq"}`]; got != 3 {
+		t.Errorf("delivered = %g, want 3", got)
+	}
+	if got := vals[`gostats_broker_queue_depth{queue="telq"}`]; got != 0 {
+		t.Errorf("depth = %g, want 0", got)
+	}
+	if got := vals["gostats_broker_connections"]; got < 1 {
+		t.Errorf("connections = %g, want >= 1", got)
+	}
+	if vals["gostats_broker_frame_encode_seconds_count"] < 3 {
+		t.Errorf("encode histogram count = %g", vals["gostats_broker_frame_encode_seconds_count"])
+	}
+}
+
 func TestMultipleQueuesIsolated(t *testing.T) {
 	_, addr := startServer(t)
 	pub, _ := Dial(addr)
@@ -200,9 +307,21 @@ func TestManyProducersOneConsumer(t *testing.T) {
 		seen[string(b)] = true
 	}
 	wg.Wait()
-	pubCount, delCount := s.QueueCounts("fan")
-	if pubCount != producers*perProducer || delCount != producers*perProducer {
-		t.Errorf("counts = %d/%d", pubCount, delCount)
+	qs := s.QueueCounts("fan")
+	if qs.Published != producers*perProducer || qs.Delivered != producers*perProducer {
+		t.Errorf("counts = %d/%d", qs.Published, qs.Delivered)
+	}
+	if qs.Redelivered != 0 {
+		t.Errorf("redelivered = %d, want 0", qs.Redelivered)
+	}
+	// The final ack races with the consumer's return; wait for the server
+	// to decode it.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.QueueCounts("fan").Acked < producers*perProducer && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := s.QueueCounts("fan").Acked; got != producers*perProducer {
+		t.Errorf("acked = %d, want %d", got, producers*perProducer)
 	}
 	if s.QueueDepth("fan") != 0 {
 		t.Errorf("depth = %d", s.QueueDepth("fan"))
@@ -290,8 +409,8 @@ func TestQueueDepthUnknown(t *testing.T) {
 	if d := s.QueueDepth("nope"); d != 0 {
 		t.Errorf("depth = %d", d)
 	}
-	if p, d := s.QueueCounts("nope"); p != 0 || d != 0 {
-		t.Errorf("counts = %d/%d", p, d)
+	if qs := s.QueueCounts("nope"); qs != (QueueStats{}) {
+		t.Errorf("counts = %+v", qs)
 	}
 }
 

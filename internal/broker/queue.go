@@ -1,6 +1,35 @@
 package broker
 
-import "sync"
+import (
+	"sync"
+
+	"gostats/internal/telemetry"
+)
+
+// queueMetrics are the telemetry series of one queue, bound at queue
+// creation so the message path never takes a registry lookup.
+type queueMetrics struct {
+	depth       *telemetry.Gauge
+	published   *telemetry.Counter
+	delivered   *telemetry.Counter
+	redelivered *telemetry.Counter
+	acked       *telemetry.Counter
+}
+
+func newQueueMetrics(reg *telemetry.Registry, name string) *queueMetrics {
+	return &queueMetrics{
+		depth: reg.Gauge("gostats_broker_queue_depth",
+			"Backlogged messages per queue.", "queue", name),
+		published: reg.Counter("gostats_broker_published_total",
+			"Messages accepted from producers per queue.", "queue", name),
+		delivered: reg.Counter("gostats_broker_delivered_total",
+			"Messages handed to consumers per queue (redeliveries included).", "queue", name),
+		redelivered: reg.Counter("gostats_broker_redelivered_total",
+			"Messages requeued after a consumer died holding them.", "queue", name),
+		acked: reg.Counter("gostats_broker_acked_total",
+			"Messages acknowledged by consumers per queue.", "queue", name),
+	}
+}
 
 // queue is an unbounded FIFO with blocking consumers. Delivery hand-off
 // is waiter-based: a push while consumers wait bypasses the backlog and
@@ -11,8 +40,24 @@ type queue struct {
 	waiters []chan []byte
 	closed  bool
 
-	published uint64
-	delivered uint64
+	published   uint64
+	delivered   uint64
+	redelivered uint64
+	acked       uint64
+
+	met *queueMetrics // bound by Server.getQueue; nil falls back to nopQueueMetrics
+}
+
+// nopQueueMetrics absorbs updates from queues constructed without a
+// server (unit tests); it binds to a throwaway registry.
+var nopQueueMetrics = newQueueMetrics(telemetry.NewRegistry(), "")
+
+// mets returns the queue's telemetry series, nil-safe.
+func (q *queue) mets() *queueMetrics {
+	if q.met == nil {
+		return nopQueueMetrics
+	}
+	return q.met
 }
 
 // push enqueues one message (or hands it straight to a waiter). Pushing
@@ -24,6 +69,7 @@ func (q *queue) push(b []byte) bool {
 		return false
 	}
 	q.published++
+	q.mets().published.Inc()
 	for len(q.waiters) > 0 {
 		w := q.waiters[0]
 		q.waiters = q.waiters[1:]
@@ -32,9 +78,11 @@ func (q *queue) push(b []byte) bool {
 		// still in the list it is live.
 		w <- b
 		q.delivered++
+		q.mets().delivered.Inc()
 		return true
 	}
 	q.items = append(q.items, b)
+	q.mets().depth.Set(float64(len(q.items)))
 	return true
 }
 
@@ -46,14 +94,26 @@ func (q *queue) requeue(b []byte) {
 	if q.closed {
 		return
 	}
+	q.redelivered++
+	q.mets().redelivered.Inc()
 	for len(q.waiters) > 0 {
 		w := q.waiters[0]
 		q.waiters = q.waiters[1:]
 		w <- b
 		q.delivered++
+		q.mets().delivered.Inc()
 		return
 	}
 	q.items = append([][]byte{b}, q.items...)
+	q.mets().depth.Set(float64(len(q.items)))
+}
+
+// ack records a consumer acknowledgment.
+func (q *queue) ack() {
+	q.mu.Lock()
+	q.acked++
+	q.mu.Unlock()
+	q.mets().acked.Inc()
 }
 
 // pop returns the next message immediately if one is queued; otherwise it
@@ -70,6 +130,8 @@ func (q *queue) pop() (msg []byte, waiter chan []byte, ok bool) {
 		m := q.items[0]
 		q.items = q.items[1:]
 		q.delivered++
+		q.mets().delivered.Inc()
+		q.mets().depth.Set(float64(len(q.items)))
 		return m, nil, true
 	}
 	w := make(chan []byte, 1)
@@ -122,9 +184,14 @@ func (q *queue) depth() int {
 	return len(q.items)
 }
 
-// counts reports (published, delivered) totals.
-func (q *queue) counts() (uint64, uint64) {
+// counts reports the queue's lifetime counters.
+func (q *queue) counts() QueueStats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return q.published, q.delivered
+	return QueueStats{
+		Published:   q.published,
+		Delivered:   q.delivered,
+		Redelivered: q.redelivered,
+		Acked:       q.acked,
+	}
 }

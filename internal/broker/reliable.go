@@ -5,7 +5,30 @@ import (
 	"sync"
 
 	"gostats/internal/model"
+	"gostats/internal/telemetry"
 )
+
+// publisherMetrics are the node-side transport telemetry series.
+type publisherMetrics struct {
+	publishSeconds *telemetry.Histogram
+	published      *telemetry.Counter
+	reconnects     *telemetry.Counter
+	dropped        *telemetry.Counter
+}
+
+func newPublisherMetrics(reg *telemetry.Registry, queue string) *publisherMetrics {
+	return &publisherMetrics{
+		publishSeconds: reg.Histogram("gostats_publish_seconds",
+			"Time to publish one snapshot to the broker, including redials.",
+			telemetry.LatencyBuckets, "queue", queue),
+		published: reg.Counter("gostats_publish_total",
+			"Snapshots successfully published to the broker.", "queue", queue),
+		reconnects: reg.Counter("gostats_publish_reconnects_total",
+			"Broker redials after a dropped connection.", "queue", queue),
+		dropped: reg.Counter("gostats_publish_dropped_total",
+			"Snapshots dropped after exhausting publish attempts.", "queue", queue),
+	}
+}
 
 // ReliablePublisher is the publisher the node daemon actually runs: it
 // redials the broker when the connection drops (broker restart, network
@@ -21,8 +44,13 @@ type ReliablePublisher struct {
 	// MaxAttempts bounds dial+send tries per message (default 3).
 	MaxAttempts int
 
+	// Metrics selects the registry publish telemetry lands in; set
+	// before the first publish. Nil uses telemetry.Default().
+	Metrics *telemetry.Registry
+
 	mu     sync.Mutex
 	client *Client
+	met    *publisherMetrics
 
 	published int
 	redials   int
@@ -35,10 +63,25 @@ func NewReliablePublisher(addr, queue string) *ReliablePublisher {
 	return &ReliablePublisher{addr: addr, queue: queue, MaxAttempts: 3}
 }
 
+// metrics resolves the telemetry series; callers hold p.mu.
+func (p *ReliablePublisher) metrics() *publisherMetrics {
+	if p.met == nil {
+		reg := p.Metrics
+		if reg == nil {
+			reg = telemetry.Default()
+		}
+		p.met = newPublisherMetrics(reg, p.queue)
+	}
+	return p.met
+}
+
 // PublishBytes sends one raw message, redialing as needed.
 func (p *ReliablePublisher) PublishBytes(body []byte) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	met := p.metrics()
+	timer := met.publishSeconds.Start()
+	defer timer.Stop()
 	attempts := p.MaxAttempts
 	if attempts < 1 {
 		attempts = 1
@@ -53,6 +96,7 @@ func (p *ReliablePublisher) PublishBytes(body []byte) error {
 			}
 			if try > 0 || p.published > 0 {
 				p.redials++
+				met.reconnects.Inc()
 			}
 			p.client = c
 		}
@@ -63,9 +107,11 @@ func (p *ReliablePublisher) PublishBytes(body []byte) error {
 			continue
 		}
 		p.published++
+		met.published.Inc()
 		return nil
 	}
 	p.dropped++
+	met.dropped.Inc()
 	return fmt.Errorf("broker: publish dropped after %d attempts: %w", attempts, lastErr)
 }
 

@@ -23,6 +23,9 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
+
+	"gostats/internal/telemetry"
 )
 
 // frame is the single wire message type.
@@ -42,14 +45,39 @@ const (
 	opErr = "err"
 )
 
+// serverMetrics are the broker-wide telemetry series.
+type serverMetrics struct {
+	conns  *telemetry.Gauge
+	encode *telemetry.Histogram
+	decode *telemetry.Histogram
+}
+
+func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
+	return &serverMetrics{
+		conns: reg.Gauge("gostats_broker_connections",
+			"Open broker connections (producers and consumers)."),
+		encode: reg.Histogram("gostats_broker_frame_encode_seconds",
+			"Time to gob-encode and write one frame to a connection.",
+			telemetry.LatencyBuckets),
+		decode: reg.Histogram("gostats_broker_frame_decode_seconds",
+			"Time from a frame's first byte arriving to its gob decode completing.",
+			telemetry.LatencyBuckets),
+	}
+}
+
 // Server is the broker daemon.
 type Server struct {
+	// Metrics selects the registry broker telemetry lands in; set before
+	// Listen. Nil uses telemetry.Default().
+	Metrics *telemetry.Registry
+
 	mu     sync.Mutex
 	ln     net.Listener
 	queues map[string]*queue
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+	met    *serverMetrics
 }
 
 // NewServer returns an unstarted broker.
@@ -58,6 +86,34 @@ func NewServer() *Server {
 		queues: make(map[string]*queue),
 		conns:  make(map[net.Conn]struct{}),
 	}
+}
+
+// metrics resolves the telemetry registry (must hold s.mu or be
+// pre-Listen single-threaded).
+func (s *Server) metrics() *serverMetrics {
+	if s.met == nil {
+		reg := s.Metrics
+		if reg == nil {
+			reg = telemetry.Default()
+		}
+		s.met = newServerMetrics(reg)
+	}
+	return s.met
+}
+
+// metricsSnapshot is metrics() with locking, for connection handlers.
+func (s *Server) metricsSnapshot() *serverMetrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.metrics()
+}
+
+// registry returns the registry queues bind their series in.
+func (s *Server) registry() *telemetry.Registry {
+	if s.Metrics != nil {
+		return s.Metrics
+	}
+	return telemetry.Default()
 }
 
 // Listen binds the broker to addr ("127.0.0.1:0" picks a free port) and
@@ -69,6 +125,7 @@ func (s *Server) Listen(addr string) (string, error) {
 	}
 	s.mu.Lock()
 	s.ln = ln
+	s.metrics()
 	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.acceptLoop(ln)
@@ -89,7 +146,9 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			return
 		}
 		s.conns[conn] = struct{}{}
+		met := s.metrics()
 		s.mu.Unlock()
+		met.conns.Add(1)
 		s.wg.Add(1)
 		go s.handle(conn)
 	}
@@ -97,8 +156,13 @@ func (s *Server) acceptLoop(ln net.Listener) {
 
 func (s *Server) dropConn(conn net.Conn) {
 	s.mu.Lock()
+	_, tracked := s.conns[conn]
 	delete(s.conns, conn)
+	met := s.met
 	s.mu.Unlock()
+	if tracked && met != nil {
+		met.conns.Add(-1)
+	}
 	conn.Close()
 }
 
@@ -108,22 +172,54 @@ func (s *Server) getQueue(name string) *queue {
 	defer s.mu.Unlock()
 	q := s.queues[name]
 	if q == nil {
-		q = &queue{}
+		q = &queue{met: newQueueMetrics(s.registry(), name)}
 		s.queues[name] = q
 	}
 	return q
 }
 
+// firstByteTimer stamps the arrival of the first byte of each frame so
+// decode latency measures wire + decode work, not the idle wait between
+// frames (the server blocks in Read until a client sends). lap resets
+// the stamp for the next frame; a frame whose bytes were already
+// buffered by the decoder reads as ~0, which is the truth: it cost no
+// wall-clock wait.
+type firstByteTimer struct {
+	r     io.Reader
+	armed bool
+	start time.Time
+}
+
+func (t *firstByteTimer) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	if n > 0 && !t.armed {
+		t.armed = true
+		t.start = time.Now()
+	}
+	return n, err
+}
+
+func (t *firstByteTimer) lap() time.Duration {
+	if !t.armed {
+		return 0
+	}
+	t.armed = false
+	return time.Since(t.start)
+}
+
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	defer s.dropConn(conn)
-	dec := gob.NewDecoder(conn)
+	fbt := &firstByteTimer{r: conn}
+	dec := gob.NewDecoder(fbt)
 	enc := gob.NewEncoder(conn)
+	met := s.metricsSnapshot()
 	for {
 		var f frame
 		if err := dec.Decode(&f); err != nil {
 			return
 		}
+		met.decode.Observe(fbt.lap().Seconds())
 		switch f.Op {
 		case opPub:
 			if f.Queue == "" {
@@ -147,6 +243,7 @@ func (s *Server) handle(conn net.Conn) {
 
 // consumerLoop serves one subscribed connection with prefetch 1.
 func (s *Server) consumerLoop(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, q *queue) {
+	met := s.metricsSnapshot()
 	for {
 		msg, waiter, ok := q.pop()
 		if !ok {
@@ -159,15 +256,18 @@ func (s *Server) consumerLoop(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder,
 			}
 			msg = m
 		}
+		t := met.encode.Start()
 		if err := enc.Encode(frame{Op: opMsg, Body: msg}); err != nil {
 			q.requeue(msg)
 			return
 		}
+		t.Stop()
 		var ack frame
 		if err := dec.Decode(&ack); err != nil || ack.Op != opAck {
 			q.requeue(msg)
 			return
 		}
+		q.ack()
 	}
 }
 
@@ -182,13 +282,25 @@ func (s *Server) QueueDepth(name string) int {
 	return q.depth()
 }
 
-// QueueCounts reports (published, delivered) for a queue.
-func (s *Server) QueueCounts(name string) (published, delivered uint64) {
+// QueueStats are the lifetime counters of one queue. Delivered counts
+// every hand-off to a consumer, so a message redelivered once appears in
+// Delivered twice; Acked counts confirmed processing, so
+// Delivered - Acked is the in-flight (or lost-to-crash) balance.
+type QueueStats struct {
+	Published   uint64
+	Delivered   uint64
+	Redelivered uint64
+	Acked       uint64
+}
+
+// QueueCounts reports a queue's lifetime counters (zero for unknown
+// queues).
+func (s *Server) QueueCounts(name string) QueueStats {
 	s.mu.Lock()
 	q := s.queues[name]
 	s.mu.Unlock()
 	if q == nil {
-		return 0, 0
+		return QueueStats{}
 	}
 	return q.counts()
 }

@@ -18,8 +18,28 @@ import (
 	"gostats/internal/rawfile"
 	"gostats/internal/reldb"
 	"gostats/internal/schema"
+	"gostats/internal/telemetry"
 	"gostats/internal/workload"
 )
+
+// etlMetrics are the batch-ingest telemetry series.
+type etlMetrics struct {
+	jobsMapped   *telemetry.Counter
+	rowsIngested *telemetry.Counter
+	batchSeconds *telemetry.Histogram
+}
+
+func newETLMetrics(reg *telemetry.Registry) *etlMetrics {
+	return &etlMetrics{
+		jobsMapped: reg.Counter("gostats_etl_jobs_mapped_total",
+			"Jobs assembled from the raw store by the job mapper."),
+		rowsIngested: reg.Counter("gostats_etl_rows_ingested_total",
+			"Job rows reduced and inserted into the relational store."),
+		batchSeconds: reg.Histogram("gostats_etl_batch_seconds",
+			"Wall time of one store-ingest batch (map + reduce + insert).",
+			[]float64{0.01, 0.05, 0.1, 0.5, 1, 5, 15, 60, 300}),
+	}
+}
 
 // BuildRow reduces one job run to its database row using the default
 // (AVX) vector width.
@@ -154,10 +174,14 @@ func MetaFromSpec(s workload.Spec) Meta {
 // beats completeness here, as in the real system. It returns the ids
 // ingested.
 func IngestStore(st *rawfile.Store, reg *schema.Registry, meta map[string]Meta, db *reldb.DB) ([]string, error) {
+	met := newETLMetrics(telemetry.Default())
+	timer := met.batchSeconds.Start()
+	defer timer.Stop()
 	m, err := jobmap.FromStore(st)
 	if err != nil {
 		return nil, err
 	}
+	met.jobsMapped.Add(uint64(len(m.JobIDs())))
 	var ingested []string
 	for _, id := range m.JobIDs() {
 		jd := m.Jobs()[id]
@@ -188,6 +212,7 @@ func IngestStore(st *rawfile.Store, reg *schema.Registry, meta map[string]Meta, 
 			row.Nodes = len(jd.Hosts)
 		}
 		db.Insert(row)
+		met.rowsIngested.Inc()
 		ingested = append(ingested, id)
 	}
 	return ingested, nil

@@ -22,6 +22,7 @@ import (
 	"gostats/internal/model"
 	"gostats/internal/reldb"
 	"gostats/internal/schema"
+	"gostats/internal/telemetry"
 	"gostats/internal/xalt"
 )
 
@@ -39,7 +40,10 @@ type Server struct {
 	// page (modules, libraries, compiler) — the optional plugin of
 	// §IV-B.
 	XALT *xalt.DB
-	mux  *http.ServeMux
+	// Metrics selects the registry request telemetry lands in; set
+	// before the first request. Nil uses telemetry.Default().
+	Metrics *telemetry.Registry
+	mux     *http.ServeMux
 }
 
 // NewServer builds a portal over the given job table.
@@ -51,20 +55,52 @@ func NewServer(db *reldb.DB, reg *schema.Registry, series SeriesSource) *Server 
 		Series: series,
 		mux:    http.NewServeMux(),
 	}
-	s.mux.HandleFunc("/", s.handleIndex)
-	s.mux.HandleFunc("/jobs", s.handleJobs)
-	s.mux.HandleFunc("/job/", s.handleJobDetail)
-	s.mux.HandleFunc("/dates", s.handleDates)
-	s.mux.HandleFunc("/user/", s.handleUser)
-	s.mux.HandleFunc("/energy", s.handleEnergy)
-	s.mux.HandleFunc("/api/fields", s.handleFields)
-	s.mux.HandleFunc("/api/jobs", s.handleAPIJobs)
+	s.mux.HandleFunc("/", s.instrument("/", s.handleIndex))
+	s.mux.HandleFunc("/jobs", s.instrument("/jobs", s.handleJobs))
+	s.mux.HandleFunc("/job/", s.instrument("/job/", s.handleJobDetail))
+	s.mux.HandleFunc("/dates", s.instrument("/dates", s.handleDates))
+	s.mux.HandleFunc("/user/", s.instrument("/user/", s.handleUser))
+	s.mux.HandleFunc("/energy", s.instrument("/energy", s.handleEnergy))
+	s.mux.HandleFunc("/api/fields", s.instrument("/api/fields", s.handleFields))
+	s.mux.HandleFunc("/api/jobs", s.instrument("/api/jobs", s.handleAPIJobs))
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// statusWriter captures the response status for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request count/latency/status
+// telemetry, labeled by the mux route pattern (not the raw URL, which
+// would explode series cardinality).
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		reg := s.Metrics
+		if reg == nil {
+			reg = telemetry.Default()
+		}
+		timer := reg.Histogram("gostats_portal_request_seconds",
+			"Portal request latency by route.", telemetry.LatencyBuckets,
+			"route", route).Start()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		timer.Stop()
+		reg.Counter("gostats_portal_requests_total",
+			"Portal requests by route and status.",
+			"route", route, "status", strconv.Itoa(sw.status)).Inc()
+	}
 }
 
 // parseFilters converts request query parameters into reldb filters.

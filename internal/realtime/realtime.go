@@ -16,6 +16,7 @@ import (
 	"gostats/internal/model"
 	"gostats/internal/rawfile"
 	"gostats/internal/schema"
+	"gostats/internal/telemetry"
 	"gostats/internal/tsdb"
 )
 
@@ -164,6 +165,31 @@ func classRate(reg *schema.Registry, prev, cur model.Snapshot, c schema.Class, e
 	return total / dt, found
 }
 
+// listenMetrics are the central consumer's telemetry series.
+type listenMetrics struct {
+	snapshots    *telemetry.Counter
+	decodeFails  *telemetry.Counter
+	alerts       *telemetry.Counter
+	drainLag     *telemetry.Gauge
+	storeSeconds *telemetry.Histogram
+}
+
+func newListenMetrics(reg *telemetry.Registry) *listenMetrics {
+	return &listenMetrics{
+		snapshots: reg.Counter("gostats_listen_snapshots_total",
+			"Snapshots consumed from the broker."),
+		decodeFails: reg.Counter("gostats_listen_decode_failures_total",
+			"Corrupt messages dropped by the listener."),
+		alerts: reg.Counter("gostats_listen_alerts_total",
+			"Online threshold alerts raised from the live stream."),
+		drainLag: reg.Gauge("gostats_listen_drain_lag_seconds",
+			"Newest snapshot time seen minus the snapshot being processed — how far the listener trails the stream."),
+		storeSeconds: reg.Histogram("gostats_listen_store_write_seconds",
+			"Time to archive one snapshot into the central raw store.",
+			telemetry.LatencyBuckets),
+	}
+}
+
 // Listener drains a broker queue, fanning each decoded snapshot into the
 // monitor, the central store, and the time-series ingester (any of which
 // may be nil). It is the daemon-mode "listend" process.
@@ -177,42 +203,109 @@ type Listener struct {
 	// OnSnapshot, if set, observes every snapshot (tests, metrics).
 	OnSnapshot func(model.Snapshot)
 
+	// Metrics selects the registry listener telemetry lands in; set
+	// before Run. Nil uses telemetry.Default().
+	Metrics *telemetry.Registry
+
 	processed atomic.Int64
+	stopping  atomic.Bool
+	inflight  sync.Mutex // held while one message is processed and acked
 }
 
 // Processed reports how many snapshots the listener has consumed. Safe
 // to call while Run is executing.
 func (l *Listener) Processed() int { return int(l.processed.Load()) }
 
-// Run consumes until the broker closes (io.EOF) or a fatal error occurs.
+// Run consumes until the broker closes (io.EOF), Shutdown is called, or
+// a fatal error occurs. Each message is fully processed — archived,
+// monitored, ingested — BEFORE it is acknowledged, so a listener crash
+// mid-message costs a redelivery, never a lost snapshot.
 func (l *Listener) Run() error {
+	reg := l.Metrics
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	met := newListenMetrics(reg)
+	maxSeen := 0.0
 	for {
-		body, err := l.Cons.Next()
+		body, err := l.Cons.NextNoAck()
 		if err == io.EOF {
 			return nil
 		}
 		if err != nil {
+			if l.stopping.Load() {
+				return nil // Shutdown closed the connection under us
+			}
 			return err
 		}
-		snap, err := broker.DecodeSnapshot(body)
+		l.inflight.Lock()
+		err = l.handleOne(body, met, &maxSeen)
+		var ackErr error
+		if err == nil {
+			ackErr = l.Cons.Ack()
+		}
+		l.inflight.Unlock()
 		if err != nil {
-			// A corrupt message must not kill the consumer; drop it.
-			continue
+			// Not acked: the message redelivers once we disconnect, so a
+			// sink failure never loses the snapshot.
+			return err
 		}
-		l.processed.Add(1)
-		if l.Monitor != nil {
-			l.Monitor.Process(snap)
+		if l.stopping.Load() {
+			// Ack failures while stopping mean the shutdown path closed
+			// the connection first; the message was processed and will be
+			// redelivered — at-least-once, not lost.
+			return nil
 		}
-		if l.Store != nil && l.Headers != nil {
-			if err := l.Store.AppendHost(snap.Host, l.Headers(snap.Host), snap); err != nil {
-				return fmt.Errorf("realtime: archive %s: %w", snap.Host, err)
-			}
-		}
-		if l.Ingest != nil {
-			l.Ingest.Ingest(snap)
-		}
-		if l.OnSnapshot != nil {
-			l.OnSnapshot(snap)
+		if ackErr != nil {
+			return ackErr
 		}
 	}
+}
+
+// handleOne fans one raw message into the configured sinks.
+func (l *Listener) handleOne(body []byte, met *listenMetrics, maxSeen *float64) error {
+	snap, err := broker.DecodeSnapshot(body)
+	if err != nil {
+		// A corrupt message must not kill the consumer; drop it.
+		met.decodeFails.Inc()
+		return nil
+	}
+	l.processed.Add(1)
+	met.snapshots.Inc()
+	if snap.Time > *maxSeen {
+		*maxSeen = snap.Time
+	}
+	met.drainLag.Set(*maxSeen - snap.Time)
+	if l.Monitor != nil {
+		alerts := l.Monitor.Process(snap)
+		met.alerts.Add(uint64(len(alerts)))
+	}
+	if l.Store != nil && l.Headers != nil {
+		t := met.storeSeconds.Start()
+		err := l.Store.AppendHost(snap.Host, l.Headers(snap.Host), snap)
+		t.Stop()
+		if err != nil {
+			return fmt.Errorf("realtime: archive %s: %w", snap.Host, err)
+		}
+	}
+	if l.Ingest != nil {
+		l.Ingest.Ingest(snap)
+	}
+	if l.OnSnapshot != nil {
+		l.OnSnapshot(snap)
+	}
+	return nil
+}
+
+// Shutdown stops the listener gracefully: it waits for the in-flight
+// message (if any) to finish processing and be acknowledged, then closes
+// the broker connection so a blocked Run returns nil. The store is
+// written synchronously per message, so when Run returns everything
+// consumed is durably archived. Safe to call from a signal handler
+// goroutine.
+func (l *Listener) Shutdown() {
+	l.stopping.Store(true)
+	l.inflight.Lock()
+	l.Cons.Close()
+	l.inflight.Unlock()
 }

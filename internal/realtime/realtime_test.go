@@ -12,6 +12,7 @@ import (
 	"gostats/internal/model"
 	"gostats/internal/rawfile"
 	"gostats/internal/schema"
+	"gostats/internal/telemetry"
 	"gostats/internal/tsdb"
 )
 
@@ -208,6 +209,138 @@ func TestListenerEndToEnd(t *testing.T) {
 	}
 	if len(res) != 1 || len(res[0].Points) != want-1 {
 		t.Errorf("tsdb series = %+v", res)
+	}
+}
+
+// TestListenerGracefulShutdown checks Shutdown lets the in-flight
+// message finish, acks it, and returns Run with nil — the fix for
+// listend losing work to Ctrl-C.
+func TestListenerGracefulShutdown(t *testing.T) {
+	srv := broker.NewServer()
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	pub, _ := broker.Dial(addr)
+	defer pub.Close()
+	const n = 5
+	for i := 0; i < n; i++ {
+		b, _ := broker.EncodeSnapshot(model.Snapshot{Time: float64(i), Host: "n1"})
+		pub.Publish(broker.StatsQueue, b)
+	}
+
+	cons, err := broker.DialConsumer(addr, broker.StatsQueue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := rawfile.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	processedOne := make(chan struct{})
+	var once sync.Once
+	l := &Listener{
+		Cons:  cons,
+		Store: store,
+		Headers: func(host string) rawfile.Header {
+			return rawfile.Header{Hostname: host, Arch: "x", Registry: chip.StampedeNode().Registry()}
+		},
+		Metrics: telemetry.NewRegistry(),
+		OnSnapshot: func(model.Snapshot) {
+			once.Do(func() { close(processedOne) })
+		},
+	}
+	runErr := make(chan error, 1)
+	go func() { runErr <- l.Run() }()
+
+	<-processedOne
+	l.Shutdown()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("Run after Shutdown = %v, want nil", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("Run did not return after Shutdown")
+	}
+
+	p := l.Processed()
+	if p < 1 || p > n {
+		t.Fatalf("processed = %d", p)
+	}
+	// Everything processed was durably archived before the ack.
+	snaps, err := store.ReadHost("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != p {
+		t.Errorf("archived = %d, processed = %d", len(snaps), p)
+	}
+	// Everything acked stays acked; the unconsumed remainder is intact on
+	// the broker for the next listener. The server decodes the final ack
+	// asynchronously, so poll for it.
+	deadline := time.Now().Add(2 * time.Second)
+	for int(srv.QueueCounts(broker.StatsQueue).Acked) != p && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if qs := srv.QueueCounts(broker.StatsQueue); int(qs.Acked) != p {
+		t.Errorf("acked = %d, processed = %d", qs.Acked, p)
+	}
+	if depth := srv.QueueDepth(broker.StatsQueue); depth != n-p {
+		t.Errorf("remaining depth = %d, want %d", depth, n-p)
+	}
+}
+
+// TestListenerTelemetry checks the listener's series land in an injected
+// registry.
+func TestListenerTelemetry(t *testing.T) {
+	srv := broker.NewServer()
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	pub, _ := broker.Dial(addr)
+	defer pub.Close()
+	pub.Publish(broker.StatsQueue, []byte("garbage"))
+	for i := 0; i < 3; i++ {
+		b, _ := broker.EncodeSnapshot(model.Snapshot{Time: float64(i), Host: "n1"})
+		pub.Publish(broker.StatsQueue, b)
+	}
+
+	cons, err := broker.DialConsumer(addr, broker.StatsQueue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	var got int
+	done := make(chan struct{})
+	l := &Listener{Cons: cons, Metrics: reg, OnSnapshot: func(model.Snapshot) {
+		if got++; got == 3 {
+			close(done)
+		}
+	}}
+	runErr := make(chan error, 1)
+	go func() { runErr <- l.Run() }()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("snapshots never arrived")
+	}
+	l.Shutdown()
+	if err := <-runErr; err != nil {
+		t.Fatal(err)
+	}
+	vals := telemetry.ParseExposition(reg.Exposition())
+	if vals["gostats_listen_snapshots_total"] != 3 {
+		t.Errorf("snapshots = %g", vals["gostats_listen_snapshots_total"])
+	}
+	if vals["gostats_listen_decode_failures_total"] != 1 {
+		t.Errorf("decode failures = %g", vals["gostats_listen_decode_failures_total"])
+	}
+	if _, ok := vals["gostats_listen_drain_lag_seconds"]; !ok {
+		t.Error("drain lag gauge missing")
 	}
 }
 

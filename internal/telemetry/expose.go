@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteExposition renders the registry in the Prometheus text exposition
+// format (version 0.0.4): HELP and TYPE lines per family, one line per
+// series, histograms expanded into cumulative _bucket/_sum/_count.
+// Families are sorted by name and series by label key, so output is
+// stable across calls — tests can diff it.
+func (r *Registry) WriteExposition(w io.Writer) error {
+	r.mu.Lock()
+	type seriesSnap struct {
+		key    string
+		labels []string
+		metric any
+	}
+	type familySnap struct {
+		name, help, typ string
+		series          []seriesSnap
+	}
+	fams := make([]familySnap, 0, len(r.families))
+	for _, f := range r.families {
+		fs := familySnap{name: f.name, help: f.help, typ: f.typ}
+		keys := append([]string(nil), f.order...)
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.byLabel[k]
+			fs.series = append(fs.series, seriesSnap{key: k, labels: s.labels, metric: s.metric})
+		}
+		fams = append(fams, fs)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.series {
+			switch m := s.metric.(type) {
+			case *Counter:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, s.key, m.Value())
+			case *Gauge:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, s.key, formatFloat(m.Value()))
+			case *Histogram:
+				var cum uint64
+				for i, bound := range m.bounds {
+					cum += m.counts[i].Load()
+					fmt.Fprintf(bw, "%s_bucket%s %d\n",
+						f.name, withLE(s.labels, formatFloat(bound)), cum)
+				}
+				cum += m.counts[len(m.bounds)].Load()
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, withLE(s.labels, "+Inf"), cum)
+				fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, s.key, formatFloat(m.Sum()))
+				fmt.Fprintf(bw, "%s_count%s %d\n", f.name, s.key, m.Count())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Exposition renders the registry to a string.
+func (r *Registry) Exposition() string {
+	var sb strings.Builder
+	r.WriteExposition(&sb)
+	return sb.String()
+}
+
+// withLE renders a label set with an le="bound" label appended — the
+// histogram bucket label convention.
+func withLE(labels []string, bound string) string {
+	return labelKey(append(append([]string(nil), labels...), "le", bound))
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ParseExposition parses Prometheus text exposition into a map from
+// series line ("name" or `name{label="v"}`) to value. It is the scrape
+// half used by simcluster's exit summary and by tests; it ignores
+// comment lines and tolerates unparseable values by skipping them.
+func ParseExposition(text string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		name, valStr := line[:i], line[i+1:]
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			continue
+		}
+		out[name] = v
+	}
+	return out
+}

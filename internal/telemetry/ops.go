@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// OpsServer is the per-daemon operations endpoint: every gostats daemon
+// serves one when started with -telemetry, exposing
+//
+//	/metrics      Prometheus text exposition of its registry
+//	/healthz      per-component readiness (200 when all ready, else 503)
+//	/debug/vars   expvar (Go runtime memstats, cmdline)
+//	/debug/pprof  the standard pprof handlers
+type OpsServer struct {
+	reg *Registry
+	ln  net.Listener
+	srv *http.Server
+
+	mu     sync.Mutex
+	health map[string]string // component -> "" (ready) or failure text
+}
+
+// Serve binds addr ("127.0.0.1:0" picks a free port) and serves the ops
+// endpoints for reg in the background. A nil reg uses Default().
+func Serve(addr string, reg *Registry) (*OpsServer, error) {
+	if reg == nil {
+		reg = Default()
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	o := &OpsServer{reg: reg, ln: ln, health: make(map[string]string)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", o.handleMetrics)
+	mux.HandleFunc("/healthz", o.handleHealthz)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	o.srv = &http.Server{Handler: mux}
+	go o.srv.Serve(ln)
+	return o, nil
+}
+
+// Addr returns the bound listen address.
+func (o *OpsServer) Addr() string { return o.ln.Addr().String() }
+
+// URL returns the base http URL of the ops endpoint.
+func (o *OpsServer) URL() string { return "http://" + o.Addr() }
+
+// SetHealth records component readiness: a nil err marks the component
+// ready, a non-nil err marks it failing with the error text. Components
+// report themselves here as they start, degrade and recover.
+func (o *OpsServer) SetHealth(component string, err error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if err == nil {
+		o.health[component] = ""
+	} else {
+		o.health[component] = err.Error()
+	}
+}
+
+func (o *OpsServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	o.reg.WriteExposition(w)
+}
+
+func (o *OpsServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	o.mu.Lock()
+	components := make(map[string]string, len(o.health))
+	ok := true
+	for c, e := range o.health {
+		if e == "" {
+			components[c] = "ok"
+		} else {
+			components[c] = e
+			ok = false
+		}
+	}
+	o.mu.Unlock()
+	status := "ok"
+	code := http.StatusOK
+	if !ok {
+		status = "degraded"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	// encoding/json renders map keys sorted, so the body is stable.
+	json.NewEncoder(w).Encode(map[string]any{"status": status, "components": components})
+}
+
+// Close shuts the ops server down.
+func (o *OpsServer) Close() error { return o.srv.Close() }

@@ -1,0 +1,234 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentHammer exercises every metric type from many goroutines
+// at once; run under -race it proves the hot path is lock-free-safe, and
+// the final values prove no update was lost.
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "test counter")
+	g := r.Gauge("hammer_gauge", "test gauge")
+	h := r.Histogram("hammer_seconds", "test histogram", []float64{0.25, 0.5, 0.75})
+
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%4) * 0.25) // 0, .25, .5, .75
+				// Concurrent reads race-check the load paths too.
+				_ = h.Sum()
+				_ = g.Value()
+				// Concurrent registry lookups must hand back the same series.
+				if r.Counter("hammer_total", "test counter") != c {
+					panic("registry returned a different counter")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	const n = workers * perWorker
+	if c.Value() != n {
+		t.Errorf("counter = %d, want %d", c.Value(), n)
+	}
+	if g.Value() != n {
+		t.Errorf("gauge = %g, want %d", g.Value(), n)
+	}
+	if h.Count() != n {
+		t.Errorf("histogram count = %d, want %d", h.Count(), n)
+	}
+	wantSum := float64(n) / 4 * (0 + 0.25 + 0.5 + 0.75)
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Errorf("histogram sum = %g, want %g", h.Sum(), wantSum)
+	}
+	if m := h.Mean(); math.Abs(m-wantSum/n) > 1e-9 {
+		t.Errorf("mean = %g", m)
+	}
+}
+
+// TestExpositionGolden pins the exact exposition output: valid Prometheus
+// text format, families sorted by name, series sorted by label, histogram
+// buckets cumulative with the +Inf terminal bucket.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_last_total", "sorts last").Add(7)
+	r.Counter("aa_requests_total", "requests", "route", "/jobs", "status", "200").Add(3)
+	r.Counter("aa_requests_total", "requests", "route", "/", "status", "200").Inc()
+	r.Gauge("mm_depth", "queue depth", "queue", "raw").Set(2.5)
+	h := r.Histogram("mm_lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(3)
+
+	want := strings.Join([]string{
+		`# HELP aa_requests_total requests`,
+		`# TYPE aa_requests_total counter`,
+		`aa_requests_total{route="/",status="200"} 1`,
+		`aa_requests_total{route="/jobs",status="200"} 3`,
+		`# HELP mm_depth queue depth`,
+		`# TYPE mm_depth gauge`,
+		`mm_depth{queue="raw"} 2.5`,
+		`# HELP mm_lat_seconds latency`,
+		`# TYPE mm_lat_seconds histogram`,
+		`mm_lat_seconds_bucket{le="0.1"} 1`,
+		`mm_lat_seconds_bucket{le="1"} 3`,
+		`mm_lat_seconds_bucket{le="+Inf"} 4`,
+		`mm_lat_seconds_sum 4.05`,
+		`mm_lat_seconds_count 4`,
+		`# HELP zz_last_total sorts last`,
+		`# TYPE zz_last_total counter`,
+		`zz_last_total 7`,
+	}, "\n") + "\n"
+
+	got := r.Exposition()
+	if got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// Stable across calls.
+	if again := r.Exposition(); again != got {
+		t.Errorf("exposition not stable:\n%s\nvs\n%s", got, again)
+	}
+
+	vals := ParseExposition(got)
+	for series, want := range map[string]float64{
+		`aa_requests_total{route="/jobs",status="200"}`: 3,
+		`mm_depth{queue="raw"}`:                         2.5,
+		`mm_lat_seconds_bucket{le="+Inf"}`:              4,
+		`mm_lat_seconds_sum`:                            4.05,
+	} {
+		if vals[series] != want {
+			t.Errorf("ParseExposition[%s] = %g, want %g", series, vals[series], want)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "", []float64{0.1, 0.2, 0.4})
+	for i := 0; i < 90; i++ {
+		h.Observe(0.05)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.3)
+	}
+	if got := h.Quantile(0.5); got != 0.1 {
+		t.Errorf("p50 = %g, want 0.1", got)
+	}
+	if got := h.Quantile(0.99); got != 0.4 {
+		t.Errorf("p99 = %g, want 0.4", got)
+	}
+	h.Observe(9)
+	if got := h.Quantile(1); !math.IsInf(got, 1) {
+		t.Errorf("p100 = %g, want +Inf", got)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "", "path", `a"b\c`).Inc()
+	got := r.Exposition()
+	if !strings.Contains(got, `esc_total{path="a\"b\\c"} 1`) {
+		t.Errorf("escaping wrong:\n%s", got)
+	}
+}
+
+// TestOpsServer spins up the real ops endpoint and checks every route
+// responds with the right content.
+func TestOpsServer(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ops_hits_total", "hits").Add(5)
+	o, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(o.URL() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	code, body := get("/metrics")
+	if code != 200 || !strings.Contains(body, "ops_hits_total 5") {
+		t.Errorf("/metrics = %d:\n%s", code, body)
+	}
+
+	// Healthz: empty (all ready) -> degraded -> recovered.
+	code, body = get("/healthz")
+	if code != 200 || !strings.Contains(body, `"status":"ok"`) {
+		t.Errorf("/healthz = %d: %s", code, body)
+	}
+	o.SetHealth("broker", io.ErrUnexpectedEOF)
+	code, body = get("/healthz")
+	if code != 503 {
+		t.Errorf("/healthz after failure = %d: %s", code, body)
+	}
+	var h struct {
+		Status     string            `json:"status"`
+		Components map[string]string `json:"components"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("healthz not JSON: %v\n%s", err, body)
+	}
+	if h.Status != "degraded" || h.Components["broker"] != io.ErrUnexpectedEOF.Error() {
+		t.Errorf("healthz body = %+v", h)
+	}
+	o.SetHealth("broker", nil)
+	if code, _ = get("/healthz"); code != 200 {
+		t.Errorf("/healthz after recovery = %d", code)
+	}
+
+	if code, body = get("/debug/vars"); code != 200 || !strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars = %d", code)
+	}
+	if code, body = get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+}
+
+func TestTimerObserves(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_seconds", "", LatencyBuckets)
+	timer := h.Start()
+	if d := timer.Stop(); d < 0 {
+		t.Errorf("negative duration %g", d)
+	}
+	if h.Count() != 1 {
+		t.Errorf("count = %d", h.Count())
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on type mismatch")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("dual", "")
+	r.Gauge("dual", "")
+}
