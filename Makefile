@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet fmt build test race bench
+.PHONY: check vet fmt build test race chaos bench
 
-## check: everything CI runs — vet, formatting, build, tests under -race
-check: vet fmt build race
+## check: everything CI runs — vet, formatting, build, chaos smoke, tests under -race
+check: vet fmt build chaos race
 
 vet:
 	$(GO) vet ./...
@@ -22,6 +22,10 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+## chaos: fault-injection smoke — the transport robustness suite under -race
+chaos:
+	$(GO) test -run Chaos -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem .

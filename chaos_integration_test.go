@@ -1,0 +1,240 @@
+package gostats
+
+import (
+	"fmt"
+	"net"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"gostats/internal/broker"
+	"gostats/internal/chip"
+	"gostats/internal/collect"
+	"gostats/internal/faultnet"
+	"gostats/internal/hwsim"
+	"gostats/internal/model"
+	"gostats/internal/rawfile"
+	"gostats/internal/realtime"
+	"gostats/internal/spool"
+	"gostats/internal/telemetry"
+)
+
+// TestChaosBrokerOutageConservesSnapshots drives the full daemon-mode
+// pipeline — collectors -> reliable publishers -> broker -> listener ->
+// store — through a fault-injecting network that tears connections
+// mid-frame, then hits the fleet with a hard broker outage spanning
+// several collection rounds. The invariant under test is the PR's
+// robustness guarantee: every snapshot a node collects is either
+// archived centrally or still sits in that node's durable spool;
+// outages and resets cost latency and duplicates, never data.
+func TestChaosBrokerOutageConservesSnapshots(t *testing.T) {
+	reg := telemetry.NewRegistry()
+
+	srv := broker.NewServer()
+	srv.Metrics = reg
+	srv.IdleTimeout = 10 * time.Second
+	srv.AckTimeout = 5 * time.Second
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// All node traffic crosses one fault domain that also tears
+	// connections mid-frame on a deterministic schedule.
+	fnet := faultnet.New(faultnet.Faults{Seed: 11, ResetAfterBytes: 4 << 10})
+
+	pol := broker.Policy{
+		MaxAttempts:      3,
+		BackoffMin:       time.Millisecond,
+		BackoffMax:       10 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerWindow:    25 * time.Millisecond,
+		BreakerMaxWindow: 100 * time.Millisecond,
+	}
+
+	cfg := chip.StampedeNode()
+	const (
+		nNodes      = 3
+		ticks       = 12
+		outageStart = 4 // outage covers rounds [outageStart, outageEnd)
+		outageEnd   = 8
+		interval    = 600.0
+	)
+	type nodeRT struct {
+		daemon *collect.DaemonAgent
+		node   *hwsim.Node
+		pub    *broker.ReliablePublisher
+		sp     *spool.Spool
+	}
+	nodes := make([]*nodeRT, nNodes)
+	spoolRoot := t.TempDir()
+	for i := range nodes {
+		host := fmt.Sprintf("c401-%03d", i+1)
+		hw, err := hwsim.NewNode(host, cfg, int64(20+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		col := collect.New(hw)
+		col.Metrics = reg
+		pub := broker.NewReliablePublisher(addr, broker.StatsQueue)
+		pub.Policy = pol
+		pub.Metrics = reg
+		pub.Dialer = fnet.Dialer(func(a string) (net.Conn, error) {
+			return net.DialTimeout("tcp", a, time.Second)
+		})
+		sp, err := spool.Open(filepath.Join(spoolRoot, host), col.Header(),
+			spool.Options{Metrics: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pub.AttachSpool(sp)
+		nodes[i] = &nodeRT{daemon: collect.NewDaemonAgent(col, pub), node: hw, pub: pub, sp: sp}
+		defer pub.Close()
+		defer sp.Close()
+	}
+
+	// Central consumer, recording everything it archives.
+	cons, err := broker.DialConsumer(addr, broker.StatsQueue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := rawfile.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	collected := map[string]bool{}
+	lastSeen := map[string]float64{}
+	duplicates := 0
+	var disorder []string
+	l := &realtime.Listener{
+		Cons:    cons,
+		Monitor: realtime.NewMonitor(cfg.Registry(), realtime.DefaultRules()),
+		Store:   store,
+		Metrics: reg,
+		Headers: func(host string) rawfile.Header {
+			return rawfile.Header{Hostname: host, Arch: "sandybridge", Registry: cfg.Registry()}
+		},
+		OnSnapshot: func(s model.Snapshot) {
+			mu.Lock()
+			defer mu.Unlock()
+			k := fmt.Sprintf("%s@%.3f", s.Host, s.Time)
+			if collected[k] {
+				duplicates++ // confirmed-publish retries may duplicate
+				return
+			}
+			collected[k] = true
+			// First deliveries must stay time-ordered per host: nodes
+			// publish in order and spool replay is FIFO.
+			if last, ok := lastSeen[s.Host]; ok && s.Time < last {
+				disorder = append(disorder, fmt.Sprintf("%s: %.0f after %.0f", s.Host, s.Time, last))
+			} else {
+				lastSeen[s.Host] = s.Time
+			}
+		},
+	}
+	runErr := make(chan error, 1)
+	go func() { runErr <- l.Run() }()
+
+	emitted := map[string]bool{}
+	now := 0.0
+	for tick := 0; tick < ticks; tick++ {
+		if tick == outageStart {
+			fnet.StartOutage()
+		}
+		if tick == outageEnd {
+			fnet.StopOutage()
+		}
+		now += interval
+		for _, rt := range nodes {
+			rt.node.Advance(interval, hwsim.Demand{CPUUserFrac: 0.4, IPC: 1})
+			// Tick must never fail: during the outage the snapshot goes
+			// to the spool, not to the floor.
+			if err := rt.daemon.Tick(now, []string{"42"}, ""); err != nil {
+				t.Fatalf("tick %d: %v", tick, err)
+			}
+			emitted[fmt.Sprintf("%s@%.3f", rt.node.Host(), now)] = true
+		}
+	}
+
+	// Broker is back: every spool must drain.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		depth := 0
+		for _, rt := range nodes {
+			depth += rt.sp.Depth()
+		}
+		if depth == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("spools never drained, %d snapshots stranded", depth)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// And the listener must archive every distinct snapshot.
+	for {
+		mu.Lock()
+		got := len(collected)
+		mu.Unlock()
+		if got >= len(emitted) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("archived %d of %d snapshots before timeout", got, len(emitted))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for k := range emitted {
+		if !collected[k] {
+			t.Errorf("snapshot %s lost", k)
+		}
+	}
+	if len(disorder) > 0 {
+		t.Errorf("per-host delivery order violated: %v", disorder)
+	}
+	var st broker.TransportStats
+	for _, rt := range nodes {
+		ps := rt.pub.TransportStats()
+		st.Published += ps.Published
+		st.Redials += ps.Redials
+		st.Dropped += ps.Dropped
+		st.Spooled += ps.Spooled
+		st.Replayed += ps.Replayed
+	}
+	if st.Dropped != 0 {
+		t.Errorf("transport dropped %d snapshots: %+v", st.Dropped, st)
+	}
+	if st.Spooled == 0 || st.Replayed != st.Spooled {
+		t.Errorf("spool fallback unused or incomplete: %+v", st)
+	}
+	if fnet.Stats().Resets == 0 {
+		t.Error("fault schedule injected no resets; the chaos proved nothing")
+	}
+
+	// The node-side robustness telemetry is visible exactly where a
+	// fleet operator would look for it.
+	vals := telemetry.ParseExposition(reg.Exposition())
+	if got := vals[`gostats_publish_spooled_total{queue="gostats.raw"}`]; got != float64(st.Spooled) {
+		t.Errorf("spooled metric = %g, want %d", got, st.Spooled)
+	}
+	if got := vals[`gostats_publish_replayed_total{queue="gostats.raw"}`]; got != float64(st.Replayed) {
+		t.Errorf("replayed metric = %g, want %d", got, st.Replayed)
+	}
+	for _, rt := range nodes {
+		series := fmt.Sprintf("gostats_spool_depth{host=%q}", rt.node.Host())
+		if got, ok := vals[series]; !ok || got != 0 {
+			t.Errorf("%s = %g, want 0 after drain", series, got)
+		}
+	}
+
+	l.Shutdown()
+	if err := <-runErr; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	brokerd [-listen 127.0.0.1:5672] [-telemetry 127.0.0.1:9100]
+//	brokerd [-listen 127.0.0.1:5672] [-idle-timeout 0] [-ack-timeout 0]
+//	        [-telemetry 127.0.0.1:9100]
 //
 // With -telemetry set, the broker serves its own ops endpoint: /metrics
 // (queue depth, published/delivered/redelivered/acked, connection count,
@@ -24,10 +25,16 @@ import (
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:5672", "address to listen on")
+	idleTimeout := flag.Duration("idle-timeout", 0,
+		"drop producer connections silent for this long (0 = never)")
+	ackTimeout := flag.Duration("ack-timeout", 0,
+		"requeue the in-flight message and drop consumers that fail to ack within this window (0 = never)")
 	telemetryAddr := flag.String("telemetry", "", "ops endpoint address (empty = disabled)")
 	flag.Parse()
 
 	srv := broker.NewServer()
+	srv.IdleTimeout = *idleTimeout
+	srv.AckTimeout = *ackTimeout
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		log.Fatalf("brokerd: %v", err)

@@ -106,7 +106,15 @@ func main() {
 
 	log.Printf("listend: consuming %s from %s into %s", broker.StatsQueue, *brokerAddr, *storeDir)
 	if err := l.Run(); err != nil {
-		log.Fatalf("listend: %v", err)
+		log.Fatalf("listend: consume loop for queue %q: %v", broker.StatsQueue, err)
+	}
+	if !l.ShutdownRequested() {
+		// Run returned "cleanly" but nobody asked it to stop: the broker
+		// closed the connection for good. Exiting zero here would let a
+		// supervisor believe the consumer is fine while the queue backs
+		// up on a dead pipeline.
+		log.Fatalf("listend: consume loop for queue %q ended unexpectedly (broker closed the connection); %d snapshots processed",
+			broker.StatsQueue, l.Processed())
 	}
 	log.Printf("listend: stopped cleanly; %d snapshots processed and flushed to %s",
 		l.Processed(), *storeDir)

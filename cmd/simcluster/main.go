@@ -6,12 +6,21 @@
 // Usage:
 //
 //	simcluster [-mode cron|daemon] [-nodes 16] [-days 1] [-out ./simout]
-//	           [-telemetry 127.0.0.1:0]
+//	           [-telemetry 127.0.0.1:0] [-chaos] [-chaos-outage 1230]
 //
 // Unless disabled with -telemetry off, the run serves its own ops
 // endpoint (/metrics, /healthz, /debug/pprof) and, at exit, scrapes it
 // to print a fleet overhead summary against the paper's ~0.09 s per
 // collection and <0.02% utilization budget (§III).
+//
+// With -chaos (daemon mode only), the whole broker transport runs
+// through a fault-injecting network: connections are torn mid-frame on
+// a seeded schedule and a hard broker outage of -chaos-outage simulated
+// seconds hits mid-run. Every node publishes through a durable on-disk
+// spool, and at exit the run asserts end-to-end snapshot conservation —
+// every snapshot a node emitted was either archived centrally or still
+// sits in a node spool, with per-host delivery order preserved. Any
+// loss exits non-zero.
 package main
 
 import (
@@ -19,9 +28,12 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
+	"sync"
 	"time"
 
 	"gostats/internal/acct"
@@ -30,12 +42,14 @@ import (
 	"gostats/internal/cluster"
 	"gostats/internal/collect"
 	"gostats/internal/etl"
+	"gostats/internal/faultnet"
 	"gostats/internal/hwsim"
 	"gostats/internal/lustresim"
 	"gostats/internal/model"
 	"gostats/internal/rawfile"
 	"gostats/internal/realtime"
 	"gostats/internal/reldb"
+	"gostats/internal/spool"
 	"gostats/internal/telemetry"
 	"gostats/internal/workload"
 	"gostats/internal/xalt"
@@ -48,9 +62,16 @@ func main() {
 	jobs := flag.Int("jobs", 0, "jobs to submit (default: enough to fill the span)")
 	out := flag.String("out", "simout", "output directory")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	chaos := flag.Bool("chaos", false,
+		"daemon mode only: inject broker faults and assert snapshot conservation")
+	chaosOutage := flag.Float64("chaos-outage", 1230,
+		"length of the injected broker outage (simulated seconds)")
 	telemetryAddr := flag.String("telemetry", "127.0.0.1:0",
 		`ops endpoint address ("off" to disable)`)
 	flag.Parse()
+	if *chaos && *mode != "daemon" {
+		log.Fatalf("simcluster: -chaos requires -mode daemon")
+	}
 
 	var ops *telemetry.OpsServer
 	if *telemetryAddr != "off" && *telemetryAddr != "" {
@@ -120,6 +141,7 @@ func main() {
 
 	var srv *broker.Server
 	var listener *realtime.Listener
+	var ctl *chaosController
 	listenDone := make(chan error, 1)
 	switch *mode {
 	case "cron":
@@ -136,17 +158,49 @@ func main() {
 		}
 	case "daemon":
 		srv = broker.NewServer()
+		if *chaos {
+			// Exercise the server-side deadline plumbing under faults.
+			srv.IdleTimeout = 30 * time.Second
+			srv.AckTimeout = 10 * time.Second
+			srv.WriteTimeout = 10 * time.Second
+		}
 		addr, err := srv.Listen("127.0.0.1:0")
 		if err != nil {
 			log.Fatalf("simcluster: %v", err)
 		}
 		reg := chip.StampedeNode().Registry()
-		eng.NewSink = func(n *hwsim.Node, col *collect.Collector) (cluster.Sink, error) {
-			client, err := broker.Dial(addr)
-			if err != nil {
-				return nil, err
+		if *chaos {
+			// The outage window is driven by simulated snapshot time so
+			// it scales with -days: it opens just before the third
+			// collection round and covers -chaos-outage sim-seconds.
+			ctl = newChaosController(
+				faultnet.New(faultnet.Faults{Seed: *seed, ResetAfterBytes: 32 << 10}),
+				900, 900+*chaosOutage)
+			fmt.Printf("simcluster chaos: faults %s, outage t=[%.0f,%.0f)\n",
+				faultnet.Faults{Seed: *seed, ResetAfterBytes: 32 << 10}, ctl.start, ctl.end)
+			eng.NewSink = func(n *hwsim.Node, col *collect.Collector) (cluster.Sink, error) {
+				pub := broker.NewReliablePublisher(addr, broker.StatsQueue)
+				pub.Policy = chaosPolicy()
+				pub.Dialer = ctl.net.Dialer(func(a string) (net.Conn, error) {
+					return net.DialTimeout("tcp", a, 2*time.Second)
+				})
+				sp, err := spool.Open(filepath.Join(*out, "nodespool", n.Host()),
+					col.Header(), spool.Options{})
+				if err != nil {
+					return nil, err
+				}
+				pub.AttachSpool(sp)
+				ctl.track(pub, sp)
+				return chaosSink{ctl: ctl, pub: pub}, nil
 			}
-			return daemonSink{broker.SnapshotPublisher{C: client}, client}, nil
+		} else {
+			eng.NewSink = func(n *hwsim.Node, col *collect.Collector) (cluster.Sink, error) {
+				client, err := broker.Dial(addr)
+				if err != nil {
+					return nil, err
+				}
+				return daemonSink{broker.SnapshotPublisher{C: client}, client}, nil
+			}
 		}
 		cons, err := broker.DialConsumer(addr, broker.StatsQueue)
 		if err != nil {
@@ -160,6 +214,9 @@ func main() {
 				return rawfile.Header{Hostname: host, Arch: "sandybridge", Registry: reg}
 			},
 		}
+		if ctl != nil {
+			listener.OnSnapshot = ctl.collect
+		}
 		go func() { listenDone <- listener.Run() }()
 	default:
 		log.Fatalf("simcluster: unknown mode %q", *mode)
@@ -171,6 +228,12 @@ func main() {
 	eng.Submit(specs...)
 	if err := eng.Run(span); err != nil {
 		log.Fatalf("simcluster: %v", err)
+	}
+	if ctl != nil {
+		// Let the node drainers finish replaying their spools before
+		// eng.Close stops the publishers; anything still spooled after
+		// the timeout is accounted for in the conservation check.
+		ctl.waitDrained(60 * time.Second)
 	}
 	if err := eng.Close(); err != nil {
 		log.Fatalf("simcluster: %v", err)
@@ -199,6 +262,12 @@ func main() {
 		srv.Close()
 		if err := <-listenDone; err != nil {
 			log.Fatalf("simcluster: listener: %v", err)
+		}
+		if ctl != nil {
+			// Non-zero exit on any conservation or ordering violation.
+			if err := ctl.report(); err != nil {
+				log.Fatalf("simcluster: %v", err)
+			}
 		}
 	}
 
@@ -294,3 +363,197 @@ type daemonSink struct {
 
 func (s daemonSink) Handle(snap model.Snapshot) error { return s.pub.Publish(snap) }
 func (s daemonSink) Close() error                     { return s.client.Close() }
+
+// chaosPolicy is the transport policy for chaos runs: production shape,
+// compressed delays, so a simulated multi-round outage resolves in wall
+// milliseconds.
+func chaosPolicy() broker.Policy {
+	return broker.Policy{
+		MaxAttempts:      4,
+		DialTimeout:      2 * time.Second,
+		WriteTimeout:     5 * time.Second,
+		AckTimeout:       5 * time.Second,
+		BackoffMin:       5 * time.Millisecond,
+		BackoffMax:       250 * time.Millisecond,
+		BackoffFactor:    2,
+		Jitter:           0.2,
+		BreakerThreshold: 3,
+		BreakerWindow:    100 * time.Millisecond,
+		BreakerMaxWindow: 2 * time.Second,
+	}
+}
+
+// snapKey identifies one snapshot for conservation accounting. Confirmed
+// publishes can duplicate a snapshot but never change it, so identity by
+// (host, time, mark) is exact.
+func snapKey(s model.Snapshot) string {
+	return fmt.Sprintf("%s@%.3f#%s", s.Host, s.Time, s.Mark)
+}
+
+// chaosController owns the fault schedule and the conservation ledger of
+// a chaos run: every snapshot a node emits is recorded on the way into
+// the transport, every snapshot the listener archives on the way out,
+// and whatever the outage stranded must still sit in a node spool.
+type chaosController struct {
+	net        *faultnet.Network
+	start, end float64 // outage window in simulated seconds
+
+	mu         sync.Mutex
+	started    bool
+	stopped    bool
+	emitted    map[string]bool
+	collected  map[string]bool
+	lastSeen   map[string]float64 // per-host max first-occurrence time
+	duplicates int
+	disorder   []string
+	pubs       []*broker.ReliablePublisher
+	spools     []*spool.Spool
+}
+
+func newChaosController(n *faultnet.Network, start, end float64) *chaosController {
+	return &chaosController{
+		net:       n,
+		start:     start,
+		end:       end,
+		emitted:   map[string]bool{},
+		collected: map[string]bool{},
+		lastSeen:  map[string]float64{},
+	}
+}
+
+func (c *chaosController) track(pub *broker.ReliablePublisher, sp *spool.Spool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pubs = append(c.pubs, pub)
+	c.spools = append(c.spools, sp)
+}
+
+// observe runs before each node publish: it books the snapshot as
+// emitted and drives the outage gate off simulated time, so the window
+// hits the same collection rounds regardless of wall-clock speed.
+func (c *chaosController) observe(s model.Snapshot) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.emitted[snapKey(s)] = true
+	if !c.started && s.Time >= c.start {
+		c.started = true
+		c.net.StartOutage()
+		fmt.Printf("simcluster chaos: broker outage begins at t=%.0f\n", s.Time)
+	}
+	if c.started && !c.stopped && s.Time >= c.end {
+		c.stopped = true
+		c.net.StopOutage()
+		fmt.Printf("simcluster chaos: broker outage ends at t=%.0f\n", s.Time)
+	}
+}
+
+// collect runs on the listener for every archived snapshot. Duplicates
+// (confirmed-publish retries) are counted but only the first occurrence
+// participates in the per-host ordering check: nodes publish in time
+// order and spool replay is FIFO, so first deliveries must arrive
+// non-decreasing per host.
+func (c *chaosController) collect(s model.Snapshot) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := snapKey(s)
+	if c.collected[k] {
+		c.duplicates++
+		return
+	}
+	c.collected[k] = true
+	if last, ok := c.lastSeen[s.Host]; ok && s.Time < last {
+		c.disorder = append(c.disorder,
+			fmt.Sprintf("%s: t=%.0f delivered after t=%.0f", s.Host, s.Time, last))
+	} else {
+		c.lastSeen[s.Host] = s.Time
+	}
+}
+
+// waitDrained blocks until every node spool has replayed its backlog,
+// or the timeout passes (leftovers then count as spool-resident in the
+// conservation check, not as loss).
+func (c *chaosController) waitDrained(timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		depth := 0
+		c.mu.Lock()
+		for _, sp := range c.spools {
+			depth += sp.Depth()
+		}
+		c.mu.Unlock()
+		if depth == 0 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// report enumerates what the outage stranded, checks conservation
+// (emitted == archived ∪ still-spooled) and per-host ordering, prints
+// the ledger, and returns an error on any violation.
+func (c *chaosController) report() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// The publishers are closed (their drainers stopped); whatever is
+	// left in the spools is durable, replayable data — enumerate it.
+	spoolResident := map[string]bool{}
+	for _, sp := range c.spools {
+		_, err := sp.Drain(func(s model.Snapshot) error {
+			spoolResident[snapKey(s)] = true
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("chaos: reading spool remainder: %w", err)
+		}
+		sp.Close()
+	}
+	var st broker.TransportStats
+	for _, pub := range c.pubs {
+		ps := pub.TransportStats()
+		st.Published += ps.Published
+		st.Redials += ps.Redials
+		st.Dropped += ps.Dropped
+		st.Spooled += ps.Spooled
+		st.Replayed += ps.Replayed
+	}
+	var missing []string
+	for k := range c.emitted {
+		if !c.collected[k] && !spoolResident[k] {
+			missing = append(missing, k)
+		}
+	}
+	sort.Strings(missing)
+	fmt.Printf("simcluster chaos: emitted=%d archived=%d spool_remaining=%d duplicates=%d missing=%d\n",
+		len(c.emitted), len(c.collected), len(spoolResident), c.duplicates, len(missing))
+	fmt.Printf("simcluster chaos: transport published=%d redials=%d spooled=%d replayed=%d dropped=%d; faults %+v\n",
+		st.Published, st.Redials, st.Spooled, st.Replayed, st.Dropped, c.net.Stats())
+	if len(missing) > 0 {
+		n := len(missing)
+		if n > 10 {
+			missing = missing[:10]
+		}
+		return fmt.Errorf("chaos: %d snapshots lost (e.g. %v)", n, missing)
+	}
+	if len(c.disorder) > 0 {
+		return fmt.Errorf("chaos: %d per-host ordering violations (e.g. %s)",
+			len(c.disorder), c.disorder[0])
+	}
+	fmt.Println("simcluster chaos: conservation holds — zero snapshots lost")
+	return nil
+}
+
+// chaosSink publishes through the fault domain with a durable spool
+// fallback, booking every snapshot with the controller first.
+type chaosSink struct {
+	ctl *chaosController
+	pub *broker.ReliablePublisher
+}
+
+func (s chaosSink) Handle(snap model.Snapshot) error {
+	s.ctl.observe(snap)
+	return s.pub.Publish(snap)
+}
+
+// Close stops the publisher (and its drainer); the spool stays open for
+// the controller's final accounting.
+func (s chaosSink) Close() error { return s.pub.Close() }

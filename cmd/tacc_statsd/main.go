@@ -10,6 +10,14 @@
 //	tacc_statsd -broker 127.0.0.1:5672 [-host c401-101] [-job 4001]
 //	            [-workload wrf|storm|idle] [-interval 600] [-speedup 600]
 //	            [-ticks 12] [-telemetry 127.0.0.1:9101]
+//	            [-spool /var/spool/gostats] [-spool-max-bytes N]
+//	            [-spool-max-age SECONDS] [-spool-sync]
+//
+// With -spool set, snapshots the broker cannot accept are written to a
+// crash-safe on-disk spool and replayed in order when the broker comes
+// back — a broker outage costs latency, not data. Without it, an
+// undeliverable snapshot is dropped after the publish attempts are
+// exhausted.
 //
 // With -telemetry set, the daemon serves its own ops endpoint: /metrics
 // (collection cost, publish latency, redials), /healthz (collector and
@@ -27,6 +35,7 @@ import (
 	"gostats/internal/chip"
 	"gostats/internal/collect"
 	"gostats/internal/hwsim"
+	"gostats/internal/spool"
 	"gostats/internal/telemetry"
 	"gostats/internal/workload"
 )
@@ -53,6 +62,12 @@ func main() {
 	speedup := flag.Float64("speedup", 600, "simulated seconds per wall second")
 	ticks := flag.Int("ticks", 12, "number of collections before exit (0 = forever)")
 	seed := flag.Int64("seed", 1, "node determinism seed")
+	spoolDir := flag.String("spool", "", "durable spool directory for undeliverable snapshots (empty = drop)")
+	spoolMax := flag.Int64("spool-max-bytes", spool.DefaultMaxBytes,
+		"spool size cap; oldest segments are evicted past it (-1 = unlimited)")
+	spoolAge := flag.Float64("spool-max-age", 0,
+		"evict spooled snapshots older than this many seconds (0 = unlimited)")
+	spoolSync := flag.Bool("spool-sync", false, "fsync the spool after every append")
 	telemetryAddr := flag.String("telemetry", "", "ops endpoint address (empty = disabled)")
 	flag.Parse()
 
@@ -79,11 +94,26 @@ func main() {
 	}
 	node.Advance(86400, hwsim.IdleDemand())
 
-	// The daemon's publisher redials across broker restarts; a dead
-	// broker costs at most the current interval's sample.
+	// The daemon's publisher backs off and redials across broker
+	// restarts. Without a spool a dead broker costs at most the current
+	// interval's sample; with one, the sample waits on disk instead.
+	col := collect.New(node)
 	pub := broker.NewReliablePublisher(*brokerAddr, broker.StatsQueue)
+	if *spoolDir != "" {
+		sp, err := spool.Open(*spoolDir, col.Header(), spool.Options{
+			MaxBytes: *spoolMax,
+			MaxAge:   *spoolAge,
+			Sync:     *spoolSync,
+		})
+		if err != nil {
+			log.Fatalf("tacc_statsd: open spool: %v", err)
+		}
+		defer sp.Close()
+		pub.AttachSpool(sp)
+		log.Printf("tacc_statsd: spooling undeliverable snapshots under %s", *spoolDir)
+	}
 	defer pub.Close()
-	agent := collect.NewDaemonAgent(collect.New(node), pub)
+	agent := collect.NewDaemonAgent(col, pub)
 
 	rng := rand.New(rand.NewSource(*seed))
 	runtime := float64(*ticks) * *interval
@@ -112,7 +142,7 @@ func main() {
 			if ops != nil {
 				ops.SetHealth("publisher", err)
 			}
-			log.Printf("tacc_statsd: %v (sample lost, will retry next interval)", err)
+			log.Printf("tacc_statsd: %v (sample lost — exhausted attempts and no spool accepted it)", err)
 			continue
 		}
 		if ops != nil {

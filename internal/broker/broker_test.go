@@ -534,6 +534,7 @@ func TestReliablePublisherSurvivesBrokerRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	pub := NewReliablePublisher(addr, "q")
+	pub.Policy = fastPolicy()
 	defer pub.Close()
 
 	if err := pub.PublishBytes([]byte("before")); err != nil {

@@ -2,9 +2,13 @@ package broker
 
 import (
 	"fmt"
+	"math/rand"
+	"net"
 	"sync"
+	"time"
 
 	"gostats/internal/model"
+	"gostats/internal/spool"
 	"gostats/internal/telemetry"
 )
 
@@ -14,6 +18,9 @@ type publisherMetrics struct {
 	published      *telemetry.Counter
 	reconnects     *telemetry.Counter
 	dropped        *telemetry.Counter
+	spooled        *telemetry.Counter
+	replayed       *telemetry.Counter
+	breakerState   *telemetry.Gauge
 }
 
 func newPublisherMetrics(reg *telemetry.Registry, queue string) *publisherMetrics {
@@ -26,41 +33,85 @@ func newPublisherMetrics(reg *telemetry.Registry, queue string) *publisherMetric
 		reconnects: reg.Counter("gostats_publish_reconnects_total",
 			"Broker redials after a dropped connection.", "queue", queue),
 		dropped: reg.Counter("gostats_publish_dropped_total",
-			"Snapshots dropped after exhausting publish attempts.", "queue", queue),
+			"Snapshots dropped after exhausting publish attempts with no spool.",
+			"queue", queue),
+		spooled: reg.Counter("gostats_publish_spooled_total",
+			"Snapshots diverted to the durable spool after publish failure.",
+			"queue", queue),
+		replayed: reg.Counter("gostats_publish_replayed_total",
+			"Spooled snapshots successfully replayed to the broker.",
+			"queue", queue),
+		breakerState: reg.Gauge("gostats_publish_breaker_state",
+			"Publish circuit breaker state (0=closed, 1=open, 2=half-open).",
+			"queue", queue),
 	}
+}
+
+// TransportStats are the lifetime counters of one ReliablePublisher.
+type TransportStats struct {
+	Published int // snapshots delivered to the broker (live path)
+	Redials   int // reconnects after a dropped broker connection
+	Dropped   int // snapshots lost for good (no spool, or spool failed)
+	Spooled   int // snapshots diverted to the durable spool
+	Replayed  int // spooled snapshots later delivered by the drainer
 }
 
 // ReliablePublisher is the publisher the node daemon actually runs: it
 // redials the broker when the connection drops (broker restart, network
-// blip) and keeps publishing. Messages that cannot be delivered after
-// the configured attempts are dropped and counted — the daemon must
-// never block a collection cycle on a dead broker, and a lost interval
-// sample costs one data point, exactly the trade the real deployment
-// makes.
+// blip), backs off with jitter between attempts, and fails fast through
+// a circuit breaker while the broker stays down — a dead broker costs
+// one probe per breaker window, not a pile of blocking dials per
+// collection tick.
+//
+// Without a spool, messages that exhaust their attempts are dropped and
+// counted — the daemon must never block a collection cycle on a dead
+// broker. With AttachSpool, those messages instead land in a crash-safe
+// on-disk spool and a background drainer replays them in order once the
+// broker returns: an outage costs latency, not data.
 type ReliablePublisher struct {
 	addr  string
 	queue string
 
-	// MaxAttempts bounds dial+send tries per message (default 3).
+	// MaxAttempts bounds dial+send tries per message (default 3). It
+	// predates Policy and, when set, overrides Policy.MaxAttempts.
 	MaxAttempts int
+
+	// Policy supplies deadlines, backoff, and breaker thresholds. Zero
+	// fields take DefaultPolicy values. Set before the first publish.
+	Policy Policy
+
+	// Dialer, when non-nil, replaces net.DialTimeout — the seam where
+	// fault-injection tests interpose a faulty network. Set before the
+	// first publish.
+	Dialer func(addr string) (net.Conn, error)
 
 	// Metrics selects the registry publish telemetry lands in; set
 	// before the first publish. Nil uses telemetry.Default().
 	Metrics *telemetry.Registry
 
-	mu     sync.Mutex
-	client *Client
-	met    *publisherMetrics
+	mu      sync.Mutex
+	client  *Client
+	met     *publisherMetrics
+	breaker *Breaker
+	rng     *rand.Rand
+	pol     Policy // resolved policy, cached on first use
+
+	sp        *spool.Spool
+	drainWake chan struct{}
+	drainStop chan struct{}
+	drainDone chan struct{}
 
 	published int
 	redials   int
 	dropped   int
+	spooled   int
+	replayed  int
 }
 
 // NewReliablePublisher returns a publisher for the queue at addr. No
 // connection is made until the first publish.
 func NewReliablePublisher(addr, queue string) *ReliablePublisher {
-	return &ReliablePublisher{addr: addr, queue: queue, MaxAttempts: 3}
+	return &ReliablePublisher{addr: addr, queue: queue}
 }
 
 // metrics resolves the telemetry series; callers hold p.mu.
@@ -75,64 +126,279 @@ func (p *ReliablePublisher) metrics() *publisherMetrics {
 	return p.met
 }
 
-// PublishBytes sends one raw message, redialing as needed.
-func (p *ReliablePublisher) PublishBytes(body []byte) error {
+// initLocked resolves the policy, breaker, and jitter source once;
+// callers hold p.mu.
+func (p *ReliablePublisher) initLocked() {
+	if p.breaker != nil {
+		return
+	}
+	p.pol = p.Policy.withDefaults()
+	if p.MaxAttempts > 0 {
+		p.pol.MaxAttempts = p.MaxAttempts
+	}
+	p.breaker = NewBreaker(p.pol, p.metrics().breakerState)
+	p.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+}
+
+// AttachSpool arms the durable fallback: snapshots that cannot be
+// delivered are appended to sp instead of dropped, and a background
+// drainer replays the backlog in order whenever the broker is back.
+// Call before the first publish; the publisher does not close the
+// spool.
+func (p *ReliablePublisher) AttachSpool(sp *spool.Spool) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
+	if p.sp != nil || sp == nil {
+		p.mu.Unlock()
+		return
+	}
+	p.sp = sp
+	p.drainWake = make(chan struct{}, 1)
+	p.drainStop = make(chan struct{})
+	p.drainDone = make(chan struct{})
+	p.mu.Unlock()
+	go p.drainLoop()
+	if sp.Depth() > 0 {
+		// A previous run left a backlog on disk; start replaying now.
+		p.wakeDrainer()
+	}
+}
+
+// dialLocked opens a broker connection under the policy deadlines.
+func (p *ReliablePublisher) dialLocked() (*Client, error) {
+	var conn net.Conn
+	var err error
+	if p.Dialer != nil {
+		conn, err = p.Dialer(p.addr)
+	} else {
+		conn, err = net.DialTimeout("tcp", p.addr, p.pol.DialTimeout)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c := NewClientConn(conn)
+	c.WriteTimeout = p.pol.WriteTimeout
+	c.AckTimeout = p.pol.AckTimeout
+	return c, nil
+}
+
+// publishLocked drives the retry loop for one message: breaker check
+// first (an open circuit fails fast with zero sleeps and zero dials),
+// jittered backoff before every retry, and a failed dial consumes
+// exactly one attempt — it no longer burns the whole budget in
+// microseconds against a dead broker. Callers hold p.mu.
+func (p *ReliablePublisher) publishLocked(body []byte) error {
+	p.initLocked()
 	met := p.metrics()
 	timer := met.publishSeconds.Start()
 	defer timer.Stop()
-	attempts := p.MaxAttempts
-	if attempts < 1 {
-		attempts = 1
-	}
 	var lastErr error
-	for try := 0; try < attempts; try++ {
+	for try := 0; try < p.pol.MaxAttempts; try++ {
+		if !p.breaker.Allow() {
+			if lastErr == nil {
+				lastErr = ErrCircuitOpen
+			}
+			break
+		}
+		if try > 0 {
+			time.Sleep(p.pol.Backoff(try, p.rng))
+		}
 		if p.client == nil {
-			c, err := Dial(p.addr)
+			c, err := p.dialLocked()
 			if err != nil {
 				lastErr = err
+				p.breaker.Failure()
 				continue
 			}
-			if try > 0 || p.published > 0 {
+			if try > 0 || p.published > 0 || p.replayed > 0 {
 				p.redials++
 				met.reconnects.Inc()
 			}
 			p.client = c
 		}
-		if err := p.client.Publish(p.queue, body); err != nil {
+		if err := p.client.PublishConfirmed(p.queue, body); err != nil {
 			lastErr = err
+			p.breaker.Failure()
 			p.client.Close()
 			p.client = nil
 			continue
 		}
+		p.breaker.Success()
 		p.published++
 		met.published.Inc()
 		return nil
 	}
-	p.dropped++
-	met.dropped.Inc()
-	return fmt.Errorf("broker: publish dropped after %d attempts: %w", attempts, lastErr)
+	return fmt.Errorf("broker: publish failed after %d attempts: %w",
+		p.pol.MaxAttempts, lastErr)
 }
 
-// Publish implements collect.Publisher: one snapshot per message.
+// PublishBytes sends one raw message, redialing as needed. Bytes
+// carry no snapshot to spool, so exhausted attempts drop the message;
+// snapshot callers should use Publish, which falls back to the spool.
+func (p *ReliablePublisher) PublishBytes(body []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	err := p.publishLocked(body)
+	if err != nil {
+		p.dropped++
+		p.metrics().dropped.Inc()
+	}
+	return err
+}
+
+// Publish implements collect.Publisher: one snapshot per message. When
+// a spool is attached, a snapshot that cannot be delivered — or that
+// arrives while a backlog is still replaying, so ordering holds — is
+// spooled instead of dropped.
 func (p *ReliablePublisher) Publish(s model.Snapshot) error {
 	body, err := EncodeSnapshot(s)
 	if err != nil {
 		return err
 	}
-	return p.PublishBytes(body)
+	p.mu.Lock()
+	if p.sp != nil && p.sp.Depth() > 0 {
+		// Live publishes must not overtake the spooled backlog: append
+		// behind it and let the drainer deliver everything in order.
+		err := p.spoolLocked(s)
+		p.mu.Unlock()
+		p.wakeDrainer()
+		return err
+	}
+	perr := p.publishLocked(body)
+	if perr == nil {
+		p.mu.Unlock()
+		return nil
+	}
+	if p.sp == nil {
+		p.dropped++
+		p.metrics().dropped.Inc()
+		p.mu.Unlock()
+		return perr
+	}
+	err = p.spoolLocked(s)
+	p.mu.Unlock()
+	p.wakeDrainer()
+	return err
 }
 
-// Stats reports (published, redials, dropped).
+// spoolLocked appends one undeliverable snapshot to the spool; callers
+// hold p.mu (lock order is always p.mu before the spool's own lock).
+func (p *ReliablePublisher) spoolLocked(s model.Snapshot) error {
+	if err := p.sp.Append(s); err != nil {
+		p.dropped++
+		p.metrics().dropped.Inc()
+		return fmt.Errorf("broker: publish failed and spool append failed: %w", err)
+	}
+	p.spooled++
+	p.metrics().spooled.Inc()
+	return nil
+}
+
+// wakeDrainer nudges the background drainer without blocking.
+func (p *ReliablePublisher) wakeDrainer() {
+	select {
+	case p.drainWake <- struct{}{}:
+	default:
+	}
+}
+
+// drainLoop replays the spool backlog whenever woken (a publish just
+// spooled) or on a backoff schedule after a failed replay. It exits on
+// Close.
+func (p *ReliablePublisher) drainLoop() {
+	defer close(p.drainDone)
+	p.mu.Lock()
+	p.initLocked()
+	pol := p.pol
+	rng := rand.New(rand.NewSource(p.rng.Int63()))
+	stop, wake := p.drainStop, p.drainWake
+	p.mu.Unlock()
+	failures := 0
+	for {
+		var retry <-chan time.Time
+		if p.sp.Depth() > 0 {
+			// Backlog remains (last replay failed, or new spools raced
+			// in): retry after a jittered backoff instead of spinning.
+			retry = time.After(pol.Backoff(failures+1, rng))
+		}
+		select {
+		case <-stop:
+			return
+		case <-wake:
+		case <-retry:
+		}
+		n, err := p.sp.Drain(p.replayOne)
+		if err != nil {
+			failures++
+			continue
+		}
+		if n > 0 {
+			failures = 0
+		}
+	}
+}
+
+// replayOne delivers one spooled snapshot; returning an error stops the
+// drain with the remainder intact for the next round. The spool
+// releases its own lock around this callback, so taking p.mu here keeps
+// the p.mu-before-spool lock order.
+func (p *ReliablePublisher) replayOne(s model.Snapshot) error {
+	body, err := EncodeSnapshot(s)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.publishLocked(body); err != nil {
+		return err
+	}
+	// publishLocked counted it as published; reclassify the live count
+	// as a replay so the two series stay distinguishable.
+	p.published--
+	p.replayed++
+	p.metrics().replayed.Inc()
+	return nil
+}
+
+// Stats reports (published, redials, dropped). Replays do not count as
+// published; see TransportStats for the full breakdown.
 func (p *ReliablePublisher) Stats() (published, redials, dropped int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.published, p.redials, p.dropped
 }
 
-// Close closes the current connection, if any.
+// TransportStats reports the full delivery ledger.
+func (p *ReliablePublisher) TransportStats() TransportStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return TransportStats{
+		Published: p.published,
+		Redials:   p.redials,
+		Dropped:   p.dropped,
+		Spooled:   p.spooled,
+		Replayed:  p.replayed,
+	}
+}
+
+// Breaker exposes the circuit breaker (nil before the first publish).
+func (p *ReliablePublisher) Breaker() *Breaker {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.breaker
+}
+
+// Close stops the drainer and closes the current connection, if any.
+// Spooled-but-unreplayed snapshots stay on disk for the next run.
 func (p *ReliablePublisher) Close() error {
+	p.mu.Lock()
+	stop := p.drainStop
+	done := p.drainDone
+	p.drainStop = nil
+	p.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.client == nil {

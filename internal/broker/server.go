@@ -34,6 +34,13 @@ type frame struct {
 	Queue string
 	Body  []byte
 	Err   string
+
+	// Confirm asks the server to ack a publish once the message is
+	// enqueued. Fire-and-forget publishes can be torn mid-frame by a
+	// connection reset without the producer ever learning; a confirmed
+	// publish turns that silent loss into a retryable error (at the cost
+	// of possible duplicates — consumers must tolerate at-least-once).
+	Confirm bool
 }
 
 // Frame op codes.
@@ -70,6 +77,20 @@ type Server struct {
 	// Metrics selects the registry broker telemetry lands in; set before
 	// Listen. Nil uses telemetry.Default().
 	Metrics *telemetry.Registry
+
+	// IdleTimeout, when > 0, bounds how long a producer connection may
+	// sit silent between frames before the server drops it. A client
+	// that hangs mid-frame (half-open TCP, blackholed route) otherwise
+	// pins a handler goroutine and a connection slot forever.
+	IdleTimeout time.Duration
+
+	// AckTimeout, when > 0, bounds how long the server waits for a
+	// consumer to ack a delivered message. On timeout the message is
+	// requeued for the next consumer and the stalled connection dropped.
+	AckTimeout time.Duration
+
+	// WriteTimeout, when > 0, bounds writing one frame to a client.
+	WriteTimeout time.Duration
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -123,13 +144,20 @@ func (s *Server) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	s.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Serve starts serving on an externally created listener in the
+// background. This is how fault-injection tests interpose a faulty
+// listener between clients and the broker.
+func (s *Server) Serve(ln net.Listener) {
 	s.mu.Lock()
 	s.ln = ln
 	s.metrics()
 	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.acceptLoop(ln)
-	return ln.Addr().String(), nil
 }
 
 func (s *Server) acceptLoop(ln net.Listener) {
@@ -207,6 +235,24 @@ func (t *firstByteTimer) lap() time.Duration {
 	return time.Since(t.start)
 }
 
+// armRead sets (or clears, d<=0) the connection's read deadline.
+func armRead(conn net.Conn, d time.Duration) {
+	if d > 0 {
+		conn.SetReadDeadline(time.Now().Add(d))
+	} else {
+		conn.SetReadDeadline(time.Time{})
+	}
+}
+
+// armWrite sets (or clears, d<=0) the connection's write deadline.
+func armWrite(conn net.Conn, d time.Duration) {
+	if d > 0 {
+		conn.SetWriteDeadline(time.Now().Add(d))
+	} else {
+		conn.SetWriteDeadline(time.Time{})
+	}
+}
+
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	defer s.dropConn(conn)
@@ -215,6 +261,8 @@ func (s *Server) handle(conn net.Conn) {
 	enc := gob.NewEncoder(conn)
 	met := s.metricsSnapshot()
 	for {
+		// A producer silent past IdleTimeout is dropped; it redials.
+		armRead(conn, s.IdleTimeout)
 		var f frame
 		if err := dec.Decode(&f); err != nil {
 			return
@@ -223,18 +271,30 @@ func (s *Server) handle(conn net.Conn) {
 		switch f.Op {
 		case opPub:
 			if f.Queue == "" {
+				armWrite(conn, s.WriteTimeout)
 				enc.Encode(frame{Op: opErr, Err: "publish without queue"})
 				return
 			}
 			s.getQueue(f.Queue).push(f.Body)
+			if f.Confirm {
+				armWrite(conn, s.WriteTimeout)
+				if err := enc.Encode(frame{Op: opAck}); err != nil {
+					return
+				}
+			}
 		case opSub:
 			if f.Queue == "" {
+				armWrite(conn, s.WriteTimeout)
 				enc.Encode(frame{Op: opErr, Err: "subscribe without queue"})
 				return
 			}
+			// Consumers legitimately idle while the queue is empty; the
+			// ack wait below is the bounded part.
+			armRead(conn, 0)
 			s.consumerLoop(conn, enc, dec, s.getQueue(f.Queue))
 			return
 		default:
+			armWrite(conn, s.WriteTimeout)
 			enc.Encode(frame{Op: opErr, Err: fmt.Sprintf("unexpected op %q", f.Op)})
 			return
 		}
@@ -256,12 +316,17 @@ func (s *Server) consumerLoop(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder,
 			}
 			msg = m
 		}
+		armWrite(conn, s.WriteTimeout)
 		t := met.encode.Start()
 		if err := enc.Encode(frame{Op: opMsg, Body: msg}); err != nil {
 			q.requeue(msg)
 			return
 		}
 		t.Stop()
+		// A consumer that never acks would pin the message forever under
+		// prefetch 1; past AckTimeout it is requeued and the connection
+		// dropped (the deadline error poisons the decoder below).
+		armRead(conn, s.AckTimeout)
 		var ack frame
 		if err := dec.Decode(&ack); err != nil || ack.Op != opAck {
 			q.requeue(msg)
@@ -338,9 +403,15 @@ var ErrClosed = errors.New("broker: connection closed")
 
 // Client is a broker connection for publishing.
 type Client struct {
+	// WriteTimeout, when > 0, bounds writing one publish frame.
+	WriteTimeout time.Duration
+	// AckTimeout, when > 0, bounds waiting for a PublishConfirmed ack.
+	AckTimeout time.Duration
+
 	mu   sync.Mutex
 	conn net.Conn
 	enc  *gob.Encoder
+	dec  *gob.Decoder
 }
 
 // Dial connects to a broker for publishing.
@@ -349,20 +420,71 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn, enc: gob.NewEncoder(conn)}, nil
+	return NewClientConn(conn), nil
 }
 
-// Publish sends one message to the named queue.
+// DialTimeout is Dial with a bounded connection attempt.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		return Dial(addr)
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return NewClientConn(conn), nil
+}
+
+// NewClientConn wraps an established connection (possibly a fault-
+// injecting one) as a publishing client.
+func NewClientConn(conn net.Conn) *Client {
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+}
+
+// Publish sends one message to the named queue, fire-and-forget: a
+// success return means the frame entered the local socket buffer, not
+// that the broker enqueued it. Use PublishConfirmed when that window
+// matters.
 func (c *Client) Publish(queueName string, body []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn == nil {
 		return ErrClosed
 	}
+	armWrite(c.conn, c.WriteTimeout)
 	if err := c.enc.Encode(frame{Op: opPub, Queue: queueName, Body: body}); err != nil {
 		return fmt.Errorf("broker: publish: %w", err)
 	}
 	return nil
+}
+
+// PublishConfirmed sends one message and blocks until the broker
+// acknowledges enqueueing it. A reset mid-frame therefore surfaces as an
+// error the caller can retry instead of silent loss; the retry may
+// duplicate the message, so consumers must dedup or tolerate repeats.
+func (c *Client) PublishConfirmed(queueName string, body []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return ErrClosed
+	}
+	armWrite(c.conn, c.WriteTimeout)
+	if err := c.enc.Encode(frame{Op: opPub, Queue: queueName, Body: body, Confirm: true}); err != nil {
+		return fmt.Errorf("broker: publish: %w", err)
+	}
+	armRead(c.conn, c.AckTimeout)
+	var f frame
+	if err := c.dec.Decode(&f); err != nil {
+		return fmt.Errorf("broker: publish confirm: %w", err)
+	}
+	switch f.Op {
+	case opAck:
+		return nil
+	case opErr:
+		return fmt.Errorf("broker: server error: %s", f.Err)
+	default:
+		return fmt.Errorf("broker: unexpected confirm frame %q", f.Op)
+	}
 }
 
 // Close closes the publishing connection.
@@ -390,6 +512,12 @@ func DialConsumer(addr, queueName string) (*Consumer, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewConsumerConn(conn, queueName)
+}
+
+// NewConsumerConn subscribes an established connection (possibly a
+// fault-injecting one) to a queue.
+func NewConsumerConn(conn net.Conn, queueName string) (*Consumer, error) {
 	c := &Consumer{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
 	if err := c.enc.Encode(frame{Op: opSub, Queue: queueName}); err != nil {
 		conn.Close()

@@ -222,8 +222,11 @@ func NewDaemonAgent(col *Collector, pub Publisher) *DaemonAgent {
 }
 
 // Tick collects and publishes. A publish failure is returned to the
-// caller (the daemon retries on its next interval; data for this tick is
-// lost, exactly the failure envelope of the real system).
+// caller; what it costs depends on the publisher. A bare publisher
+// drops this tick's data (the failure envelope of the original
+// deployment), while broker.ReliablePublisher with an attached spool
+// diverts it to disk and replays it later, so the error then means the
+// spool itself failed.
 func (a *DaemonAgent) Tick(now float64, jobIDs []string, mark string) error {
 	snap, _ := a.Col.Collect(now, jobIDs, mark)
 	if err := a.Pub.Publish(snap); err != nil {

@@ -1,0 +1,348 @@
+// Package faultnet injects deterministic, seedable network faults into
+// net.Conn, net.Listener and dial paths, so the transport layer can be
+// tested against the failure modes the paper's daemon mode actually
+// meets in production: a broker that is down (connection refused), a
+// network that resets connections mid-frame, links that corrupt bytes,
+// latency spikes, and blackholed routes that neither deliver nor fail.
+//
+// All randomness flows from one seeded source, so a chaos run is
+// reproducible: same seed, same fault schedule. On top of the random
+// faults sits an explicit outage gate (StartOutage/StopOutage) that
+// models a hard broker/network outage window: every dial is refused and
+// every established connection is reset, until the outage ends.
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Faults configures the fault mix a Network injects. The zero value
+// injects nothing (a transparent wrapper).
+type Faults struct {
+	// Seed makes the fault schedule reproducible. Zero seeds with 1.
+	Seed int64
+
+	// DialFailProb is the probability a dial is refused outright.
+	DialFailProb float64
+
+	// ResetAfterBytes, when > 0, resets each connection after roughly
+	// that many bytes have been written through it (the exact point is
+	// drawn per connection in [1, 2*ResetAfterBytes)), tearing frames
+	// mid-write.
+	ResetAfterBytes int64
+
+	// CorruptProb is the per-write probability that one byte of the
+	// written data is flipped in transit.
+	CorruptProb float64
+
+	// LatencyMin and LatencyMax bound a per-operation injected delay.
+	// Zero max disables latency injection.
+	LatencyMin, LatencyMax time.Duration
+
+	// BlackholeProb is the per-dial probability that the connection is a
+	// blackhole: writes appear to succeed but deliver nothing, reads
+	// block until the connection is closed or reset.
+	BlackholeProb float64
+}
+
+// Stats counts the faults a Network has injected.
+type Stats struct {
+	Dials        int // dial attempts seen
+	DialsRefused int // dials refused (probability or outage)
+	Resets       int // connections reset (byte budget or outage)
+	Corrupted    int // writes that had a byte flipped
+	Blackholes   int // blackholed connections handed out
+}
+
+// ErrInjectedRefusal is returned by refused dials.
+var ErrInjectedRefusal = errors.New("faultnet: connection refused (injected)")
+
+// ErrInjectedReset is surfaced by operations on a reset connection.
+var ErrInjectedReset = errors.New("faultnet: connection reset (injected)")
+
+// Network is a fault domain: connections created through it share one
+// deterministic fault schedule and one outage gate. Safe for concurrent
+// use.
+type Network struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	faults Faults
+	outage bool
+	conns  map[*Conn]struct{}
+	stats  Stats
+}
+
+// New returns a fault domain injecting the given fault mix.
+func New(f Faults) *Network {
+	seed := f.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Network{
+		rng:    rand.New(rand.NewSource(seed)),
+		faults: f,
+		conns:  make(map[*Conn]struct{}),
+	}
+}
+
+// Stats returns a copy of the fault counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// StartOutage begins a hard outage: subsequent dials are refused and
+// every currently established connection is reset immediately.
+func (n *Network) StartOutage() {
+	n.mu.Lock()
+	n.outage = true
+	conns := make([]*Conn, 0, len(n.conns))
+	for c := range n.conns {
+		conns = append(conns, c)
+	}
+	n.mu.Unlock()
+	for _, c := range conns {
+		c.Reset()
+	}
+}
+
+// StopOutage ends the outage window; dials succeed again.
+func (n *Network) StopOutage() {
+	n.mu.Lock()
+	n.outage = false
+	n.mu.Unlock()
+}
+
+// OutageActive reports whether the outage gate is closed.
+func (n *Network) OutageActive() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.outage
+}
+
+// Dial dials addr over TCP through the fault domain.
+func (n *Network) Dial(addr string) (net.Conn, error) {
+	return n.DialVia(addr, func(a string) (net.Conn, error) {
+		return net.DialTimeout("tcp", a, 5*time.Second)
+	})
+}
+
+// DialVia dials through base, applying dial faults and wrapping the
+// resulting connection.
+func (n *Network) DialVia(addr string, base func(string) (net.Conn, error)) (net.Conn, error) {
+	n.mu.Lock()
+	n.stats.Dials++
+	if n.outage || (n.faults.DialFailProb > 0 && n.rng.Float64() < n.faults.DialFailProb) {
+		n.stats.DialsRefused++
+		n.mu.Unlock()
+		return nil, &net.OpError{Op: "dial", Net: "tcp", Err: ErrInjectedRefusal}
+	}
+	n.mu.Unlock()
+	c, err := base(addr)
+	if err != nil {
+		return nil, err
+	}
+	return n.wrap(c), nil
+}
+
+// Dialer adapts the fault domain to a dial function signature, for
+// components that accept an injectable dialer.
+func (n *Network) Dialer(base func(string) (net.Conn, error)) func(string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) { return n.DialVia(addr, base) }
+}
+
+// Listen listens on addr ("127.0.0.1:0" picks a free port); accepted
+// connections pass through the fault domain.
+func (n *Network) Listen(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return n.WrapListener(ln), nil
+}
+
+// WrapListener wraps ln so accepted connections carry injected faults.
+// During an outage, accepted connections are reset immediately, which is
+// how a refused connection looks from the accepting side.
+func (n *Network) WrapListener(ln net.Listener) net.Listener {
+	return &listener{Listener: ln, n: n}
+}
+
+type listener struct {
+	net.Listener
+	n *Network
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	wc := l.n.wrap(c)
+	if l.n.OutageActive() {
+		wc.Reset()
+	}
+	return wc, nil
+}
+
+// wrap registers and returns a faulty connection.
+func (n *Network) wrap(c net.Conn) *Conn {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	fc := &Conn{Conn: c, n: n, done: make(chan struct{})}
+	if n.faults.ResetAfterBytes > 0 {
+		fc.budget = n.faults.ResetAfterBytes + n.rng.Int63n(n.faults.ResetAfterBytes)
+	} else {
+		fc.budget = -1
+	}
+	if n.faults.BlackholeProb > 0 && n.rng.Float64() < n.faults.BlackholeProb {
+		fc.blackhole = true
+		n.stats.Blackholes++
+	}
+	n.conns[fc] = struct{}{}
+	return fc
+}
+
+// latency draws an injected per-operation delay (0 when disabled).
+func (n *Network) latency() time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.faults.LatencyMax <= 0 {
+		return 0
+	}
+	span := n.faults.LatencyMax - n.faults.LatencyMin
+	if span <= 0 {
+		return n.faults.LatencyMin
+	}
+	return n.faults.LatencyMin + time.Duration(n.rng.Int63n(int64(span)))
+}
+
+// corrupt flips one byte of p in place when the draw says so.
+func (n *Network) corrupt(p []byte) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.faults.CorruptProb <= 0 || len(p) == 0 || n.rng.Float64() >= n.faults.CorruptProb {
+		return false
+	}
+	p[n.rng.Intn(len(p))] ^= 0xff
+	n.stats.Corrupted++
+	return true
+}
+
+func (n *Network) drop(c *Conn, reset bool) {
+	n.mu.Lock()
+	if _, ok := n.conns[c]; ok {
+		delete(n.conns, c)
+		if reset {
+			n.stats.Resets++
+		}
+	}
+	n.mu.Unlock()
+}
+
+// Conn is a net.Conn passing through a fault domain.
+type Conn struct {
+	net.Conn
+	n         *Network
+	blackhole bool
+
+	mu     sync.Mutex
+	budget int64 // bytes until forced reset; -1 = unlimited
+	reset  bool
+	done   chan struct{} // closed on reset/close, unblocks blackhole reads
+}
+
+// Reset force-fails the connection as a peer reset: the underlying
+// socket is closed so both ends see the failure mid-whatever they were
+// doing.
+func (c *Conn) Reset() {
+	c.mu.Lock()
+	if c.reset {
+		c.mu.Unlock()
+		return
+	}
+	c.reset = true
+	close(c.done)
+	c.mu.Unlock()
+	c.n.drop(c, true)
+	c.Conn.Close()
+}
+
+func (c *Conn) isReset() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reset
+}
+
+// Read applies latency and blackhole faults before delegating.
+func (c *Conn) Read(p []byte) (int, error) {
+	if d := c.n.latency(); d > 0 {
+		time.Sleep(d)
+	}
+	if c.isReset() {
+		return 0, &net.OpError{Op: "read", Net: "tcp", Err: ErrInjectedReset}
+	}
+	if c.blackhole {
+		<-c.done // blocks until Reset or Close
+		return 0, &net.OpError{Op: "read", Net: "tcp", Err: ErrInjectedReset}
+	}
+	return c.Conn.Read(p)
+}
+
+// Write applies latency, corruption and reset-budget faults.
+func (c *Conn) Write(p []byte) (int, error) {
+	if d := c.n.latency(); d > 0 {
+		time.Sleep(d)
+	}
+	if c.isReset() {
+		return 0, &net.OpError{Op: "write", Net: "tcp", Err: ErrInjectedReset}
+	}
+	if c.blackhole {
+		return len(p), nil // vanishes into the void, "successfully"
+	}
+	c.mu.Lock()
+	budget := c.budget
+	c.mu.Unlock()
+	if budget >= 0 && int64(len(p)) >= budget {
+		// Tear mid-frame: deliver the prefix, then reset.
+		nw, _ := c.Conn.Write(p[:budget])
+		c.Reset()
+		return nw, &net.OpError{Op: "write", Net: "tcp", Err: ErrInjectedReset}
+	}
+	buf := p
+	if c.n.faults.CorruptProb > 0 {
+		buf = append([]byte(nil), p...)
+		c.n.corrupt(buf)
+	}
+	nw, err := c.Conn.Write(buf)
+	if budget >= 0 {
+		c.mu.Lock()
+		c.budget -= int64(nw)
+		c.mu.Unlock()
+	}
+	return nw, err
+}
+
+// Close closes the connection and unblocks blackholed readers.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if !c.reset {
+		c.reset = true
+		close(c.done)
+	}
+	c.mu.Unlock()
+	c.n.drop(c, false)
+	return c.Conn.Close()
+}
+
+// String describes the fault mix for logs.
+func (f Faults) String() string {
+	return fmt.Sprintf("seed=%d dialfail=%.2f reset@%dB corrupt=%.3f lat=[%s,%s] blackhole=%.2f",
+		f.Seed, f.DialFailProb, f.ResetAfterBytes, f.CorruptProb, f.LatencyMin, f.LatencyMax, f.BlackholeProb)
+}

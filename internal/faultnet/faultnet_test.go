@@ -1,0 +1,242 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections on a faultnet listener and echoes bytes.
+func echoServer(t *testing.T, n *Network) (addr string, stop func()) {
+	t.Helper()
+	ln, err := n.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer c.Close()
+				io.Copy(c, c)
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close(); wg.Wait() }
+}
+
+func TestTransparentWhenNoFaults(t *testing.T) {
+	n := New(Faults{Seed: 7})
+	addr, stop := echoServer(t, n)
+	defer stop()
+	c, err := n.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	msg := []byte("hello through the fault domain")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo = %q", got)
+	}
+}
+
+func TestOutageRefusesDialsAndResetsConns(t *testing.T) {
+	n := New(Faults{Seed: 1})
+	addr, stop := echoServer(t, n)
+	defer stop()
+
+	c, err := n.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+
+	n.StartOutage()
+	if _, err := n.Dial(addr); err == nil {
+		t.Fatal("dial succeeded during outage")
+	} else if !errors.Is(err, ErrInjectedRefusal) {
+		t.Fatalf("dial err = %v", err)
+	}
+	// The established connection was reset.
+	if _, err := c.Write([]byte("y")); err == nil {
+		t.Fatal("write succeeded on reset conn")
+	}
+
+	n.StopOutage()
+	c2, err := n.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial after outage: %v", err)
+	}
+	c2.Close()
+
+	st := n.Stats()
+	if st.DialsRefused != 1 || st.Resets < 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	// Two networks with the same seed must make identical fault decisions.
+	run := func() []bool {
+		n := New(Faults{Seed: 42, DialFailProb: 0.5})
+		out := make([]bool, 40)
+		for i := range out {
+			_, err := n.DialVia("unused", func(string) (net.Conn, error) {
+				a, b := net.Pipe()
+				go func() { io.Copy(io.Discard, b) }()
+				return a, nil
+			})
+			out[i] = err == nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at dial %d", i)
+		}
+	}
+	refused := 0
+	for _, ok := range a {
+		if !ok {
+			refused++
+		}
+	}
+	if refused == 0 || refused == len(a) {
+		t.Fatalf("refused %d of %d, want a mix", refused, len(a))
+	}
+}
+
+func TestResetAfterBytesTearsMidStream(t *testing.T) {
+	n := New(Faults{Seed: 3, ResetAfterBytes: 64})
+	addr, stop := echoServer(t, New(Faults{}))
+	defer stop()
+	c, err := n.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var werr error
+	total := 0
+	for i := 0; i < 100; i++ {
+		nw, err := c.Write(make([]byte, 16))
+		total += nw
+		if err != nil {
+			werr = err
+			break
+		}
+	}
+	if werr == nil {
+		t.Fatal("connection never reset")
+	}
+	if total >= 100*16 {
+		t.Fatalf("wrote all %d bytes despite reset", total)
+	}
+	if n.Stats().Resets != 1 {
+		t.Errorf("resets = %d", n.Stats().Resets)
+	}
+}
+
+func TestCorruptionFlipsBytes(t *testing.T) {
+	n := New(Faults{Seed: 5, CorruptProb: 1})
+	addr, stop := echoServer(t, New(Faults{}))
+	defer stop()
+	c, err := n.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sent := bytes.Repeat([]byte{0xAA}, 32)
+	if _, err := c.Write(sent); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(sent))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, sent) {
+		t.Fatal("no corruption with CorruptProb=1")
+	}
+	// The caller's buffer must not be mutated.
+	if !bytes.Equal(sent, bytes.Repeat([]byte{0xAA}, 32)) {
+		t.Fatal("caller buffer mutated")
+	}
+	if n.Stats().Corrupted == 0 {
+		t.Error("corrupted counter not incremented")
+	}
+}
+
+func TestBlackholeReadsBlockUntilClose(t *testing.T) {
+	n := New(Faults{Seed: 9, BlackholeProb: 1})
+	addr, stop := echoServer(t, New(Faults{}))
+	defer stop()
+	c, err := n.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte("into the void")); err != nil {
+		t.Fatalf("blackhole write should 'succeed': %v", err)
+	}
+	readErr := make(chan error, 1)
+	go func() {
+		_, err := c.Read(make([]byte, 8))
+		readErr <- err
+	}()
+	select {
+	case err := <-readErr:
+		t.Fatalf("blackhole read returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	c.Close()
+	select {
+	case err := <-readErr:
+		if err == nil {
+			t.Error("blackhole read returned nil after close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blackhole read still blocked after close")
+	}
+}
+
+func TestChaosLatencyInjection(t *testing.T) {
+	n := New(Faults{Seed: 11, LatencyMin: 2 * time.Millisecond, LatencyMax: 4 * time.Millisecond})
+	addr, stop := echoServer(t, New(Faults{}))
+	defer stop()
+	c, err := n.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if _, err := c.Write([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(c, make([]byte, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 4*time.Millisecond {
+		t.Errorf("round trip %s, want >= 4ms of injected latency", el)
+	}
+}

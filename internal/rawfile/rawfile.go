@@ -251,13 +251,26 @@ func Parse(r io.Reader) (*File, error) {
 // node dies with a partially flushed log; recovering the intact prefix
 // beats discarding the day.
 func ParseLenient(r io.Reader) (*File, error) {
+	f, _, err := ParseRecover(r)
+	return f, err
+}
+
+// ParseRecover is ParseLenient exposing the damage itself: alongside the
+// intact-prefix parse it returns the torn tail bytes that were discarded
+// (nil for an undamaged file). Callers that need frame-granularity
+// durability (the daemon-mode write-ahead spool) inspect the tail to
+// decide whether the final recovered snapshot was itself mid-write when
+// the node died: a tail starting with a timestamp means the tear sits at
+// the NEXT frame's boundary, anything else means the last frame's own
+// block is incomplete.
+func ParseRecover(r io.Reader) (*File, []byte, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	f, perr := Parse(strings.NewReader(string(data)))
 	if perr == nil {
-		return f, nil
+		return f, nil, nil
 	}
 	// Truncation damage sits at the end of the file: walk back from the
 	// tail dropping one line at a time until the remainder parses. The
@@ -269,10 +282,20 @@ func ParseLenient(r io.Reader) (*File, error) {
 	for k := len(lines) - 1; k >= 0 && k >= len(lines)-maxBackoff; k-- {
 		candidate := strings.Join(lines[:k], "")
 		if f, err := Parse(strings.NewReader(candidate)); err == nil {
-			return f, perr
+			return f, []byte(strings.Join(lines[k:], "")), perr
 		}
 	}
-	return nil, perr
+	return nil, data, perr
+}
+
+// TornTailInsideLastFrame reports whether a ParseRecover torn tail
+// indicates the damage sits inside the final recovered frame's block
+// (record or mark lines torn: that frame's write never completed) rather
+// than at the start of a never-recovered next frame (tail begins with a
+// timestamp fragment, which starts with a digit).
+func TornTailInsideLastFrame(tail []byte) bool {
+	t := strings.TrimLeft(string(tail), " \t\r\n")
+	return t != "" && (t[0] < '0' || t[0] > '9')
 }
 
 // isTimestamp reports whether s looks like a "%.3f" epoch timestamp

@@ -216,6 +216,12 @@ type Listener struct {
 // to call while Run is executing.
 func (l *Listener) Processed() int { return int(l.processed.Load()) }
 
+// ShutdownRequested reports whether Shutdown has been called. A Run
+// that returns nil without a requested shutdown means the broker hung
+// up on its own — callers treating EOF as "clean exit" would otherwise
+// die silently with the queue still filling.
+func (l *Listener) ShutdownRequested() bool { return l.stopping.Load() }
+
 // Run consumes until the broker closes (io.EOF), Shutdown is called, or
 // a fatal error occurs. Each message is fully processed — archived,
 // monitored, ingested — BEFORE it is acknowledged, so a listener crash
