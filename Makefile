@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet fmt build test race chaos bench
+.PHONY: check vet fmt build test race chaos bench benchsmoke
 
-## check: everything CI runs — vet, formatting, build, chaos smoke, tests under -race
-check: vet fmt build chaos race
+## check: everything CI runs — vet, formatting, build, chaos smoke, tests under -race, benchmark smoke
+check: vet fmt build chaos race benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -27,5 +27,13 @@ race:
 chaos:
 	$(GO) test -run Chaos -race ./...
 
+## bench: run the root benchmark suite and record it machine-readably in
+## BENCH_PR4.json (name, ns/op, B/op, allocs/op) for the perf trajectory.
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench=. -benchmem -run='^$$' . | tee BENCH_PR4.txt
+	$(GO) run ./cmd/benchjson -o BENCH_PR4.json < BENCH_PR4.txt
+
+## benchsmoke: every benchmark runs once (-short skips the long suite) —
+## catches benchmarks that break without paying for full measurement.
+benchsmoke:
+	$(GO) test -short -bench=. -benchtime=1x -run='^$$' . > /dev/null

@@ -8,9 +8,11 @@ package gostats
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"gostats/internal/analysis"
@@ -28,6 +30,7 @@ import (
 	"gostats/internal/rawfile"
 	"gostats/internal/reldb"
 	"gostats/internal/schema"
+	"gostats/internal/telemetry"
 	"gostats/internal/tsdb"
 	"gostats/internal/workload"
 )
@@ -210,6 +213,7 @@ func BenchmarkPortalQuery(b *testing.B) {
 	defer srv.Close()
 	url := srv.URL + "/api/jobs?exe=wrf.exe&field1=runtime&op1=gte&val1=600"
 	b.ReportAllocs()
+	b.ResetTimer() // fixtures(b) may have just built the fleet
 	for i := 0; i < b.N; i++ {
 		resp, err := http.Get(url)
 		if err != nil {
@@ -372,6 +376,115 @@ func BenchmarkExperimentSuite(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---- E13: concurrent portal load (PR 4 read path) ----
+
+// BenchmarkPortalJobsConcurrent measures the full /jobs page — filter
+// scan, Fig 4 histogram quartet, flag sublist, HTML render — under
+// parallel clients on the 250-job fleet fixture. The "cold" variant
+// disables the response cache (every request renders); "cached" is the
+// production configuration. Pre-PR4 baseline: 3,997,027 ns/op.
+func BenchmarkPortalJobsConcurrent(b *testing.B) {
+	fixtures(b)
+	urls := []string{
+		"/jobs?field1=runtime&op1=gte&val1=600",
+		"/jobs?queue=normal&field1=cpu_usage&op1=gte&val1=0.5",
+		"/jobs?field1=metadatarate&op1=gte&val1=1000",
+		"/jobs?status=COMPLETED",
+	}
+	run := func(b *testing.B, useCache bool) {
+		ps := portal.NewServer(fix.fleetDB, fix.reg, nil)
+		ps.Metrics = telemetry.NewRegistry()
+		if !useCache {
+			ps.Cache = nil
+		}
+		srv := httptest.NewServer(ps)
+		defer srv.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				resp, err := http.Get(srv.URL + urls[i%len(urls)])
+				if err != nil {
+					b.Fatal(err)
+				}
+				if resp.StatusCode != 200 {
+					b.Fatalf("status %d", resp.StatusCode)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				i++
+			}
+		})
+	}
+	b.Run("cold", func(b *testing.B) { run(b, false) })
+	b.Run("cached", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkReldbStats compares the single-pass multi-field Stats sweep
+// against the one-Query-per-field projection it replaced.
+func BenchmarkReldbStats(b *testing.B) {
+	fixtures(b)
+	fields := []string{"runtime", "nodes", "waittime", "metadatarate"}
+	filter := reldb.F("status", "COMPLETED")
+	b.Run("single-pass", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := fix.fleetDB.Stats(fields, filter); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("per-field-scans", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, f := range fields {
+				if _, err := fix.fleetDB.Values(f, filter); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkTSDBGroupedDownsample measures the grouped, downsampled
+// aggregation path (flat-slice accumulator) over a many-series store.
+func BenchmarkTSDBGroupedDownsample(b *testing.B) {
+	db := tsdb.New()
+	for h := 0; h < 64; h++ {
+		tags := tsdb.Tags{Host: fmt.Sprintf("n%03d", h), DevType: "mdc", Device: "m0", Event: "reqs"}
+		for t := 0; t < 200; t++ {
+			db.Put(tags, float64(t*60), float64(t%17))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.Do(tsdb.Query{DevType: "mdc", Event: "reqs",
+			GroupBy: []string{"host"}, Downsample: 600, Aggregate: tsdb.Avg})
+		if err != nil || len(res) != 64 {
+			b.Fatalf("res=%d err=%v", len(res), err)
+		}
+	}
+}
+
+// BenchmarkTSDBPutParallel measures ingest throughput with many
+// concurrent writers — the contention case sharding addresses.
+func BenchmarkTSDBPutParallel(b *testing.B) {
+	db := tsdb.New()
+	var hostSeq atomic.Uint64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		h := hostSeq.Add(1)
+		tags := tsdb.Tags{Host: fmt.Sprintf("n%03d", h), DevType: "cpu", Device: "0", Event: "user"}
+		t := 0.0
+		for pb.Next() {
+			db.Put(tags, t, 1)
+			t += 600
+		}
+	})
 }
 
 // ---- Ablations (DESIGN.md §6) ----

@@ -1,0 +1,81 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a machine-readable JSON array, so the repo's perf trajectory can
+// be tracked across PRs:
+//
+//	go test -bench=. -benchmem -run='^$' . | benchjson -o BENCH_PR4.json
+//
+// Each element records {name, iterations, ns_per_op, b_per_op,
+// allocs_per_op}; lines that are not benchmark results are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkFoo/sub-8   1234   5678.9 ns/op   42 B/op   7 allocs/op
+//
+// The memory columns are optional (present with -benchmem).
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var results []Result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			r.BPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if m[5] != "" {
+			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("benchjson: read: %v", err)
+	}
+	if results == nil {
+		results = []Result{} // emit [] rather than null for empty input
+	}
+	buf, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(results), *out)
+}

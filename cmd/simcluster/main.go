@@ -7,6 +7,14 @@
 //
 //	simcluster [-mode cron|daemon] [-nodes 16] [-days 1] [-out ./simout]
 //	           [-telemetry 127.0.0.1:0] [-chaos] [-chaos-outage 1230]
+//	           [-portal-load 0] [-portal-requests 2000]
+//
+// With -portal-load N > 0, after the ETL builds the job table the run
+// serves an in-process portal over it and drives N concurrent readers
+// through a mixed /jobs query workload (-portal-requests total),
+// reporting throughput, p50/p95 latency, and the query cache's hit
+// ratio — the read-path capacity check matching the write-path
+// overhead summary below.
 //
 // Unless disabled with -telemetry off, the run serves its own ops
 // endpoint (/metrics, /healthz, /debug/pprof) and, at exit, scrapes it
@@ -33,7 +41,9 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gostats/internal/acct"
@@ -46,6 +56,7 @@ import (
 	"gostats/internal/hwsim"
 	"gostats/internal/lustresim"
 	"gostats/internal/model"
+	"gostats/internal/portal"
 	"gostats/internal/rawfile"
 	"gostats/internal/realtime"
 	"gostats/internal/reldb"
@@ -68,6 +79,10 @@ func main() {
 		"length of the injected broker outage (simulated seconds)")
 	telemetryAddr := flag.String("telemetry", "127.0.0.1:0",
 		`ops endpoint address ("off" to disable)`)
+	portalLoad := flag.Int("portal-load", 0,
+		"concurrent portal readers to drive after ETL (0 = off)")
+	portalRequests := flag.Int("portal-requests", 2000,
+		"total portal requests across all -portal-load readers")
 	flag.Parse()
 	if *chaos && *mode != "daemon" {
 		log.Fatalf("simcluster: -chaos requires -mode daemon")
@@ -300,7 +315,105 @@ func main() {
 	fmt.Printf("simcluster: mode=%s nodes=%d days=%g: started %d, finished %d jobs; %d ingested -> %s\n",
 		*mode, *nodes, *days, eng.Started, eng.Finished, len(ids), dbPath)
 	fmt.Printf("simcluster: browse with: portal -db %s -store %s\n", dbPath, filepath.Join(*out, "central"))
+	if *portalLoad > 0 {
+		if err := runPortalLoad(db, *portalLoad, *portalRequests); err != nil {
+			log.Fatalf("simcluster: portal load: %v", err)
+		}
+	}
 	printOverheadSummary(ops, *nodes, span)
+}
+
+// portalLoadMix is the read workload the -portal-load readers cycle
+// through: the job list with histograms, filtered variants, the JSON
+// API, and the aggregate pages — the same per-route mix the portal's
+// query cache is keyed on.
+var portalLoadMix = [...]string{
+	"/jobs",
+	"/jobs?status=COMPLETED",
+	"/jobs?field1=runtime&op1=gte&val1=600",
+	"/jobs?field1=nodes&op1=gte&val1=2&status=COMPLETED",
+	"/api/jobs?field1=runtime&op1=gte&val1=600",
+	"/dates",
+	"/energy",
+}
+
+// runPortalLoad serves an in-process portal over the freshly built job
+// table and drives `readers` concurrent clients through `total` requests
+// of the mixed workload, then reports throughput, latency percentiles,
+// and cache effectiveness from the portal's own telemetry.
+func runPortalLoad(db *reldb.DB, readers, total int) error {
+	if total <= 0 {
+		return fmt.Errorf("-portal-requests must be positive, got %d", total)
+	}
+	reg := telemetry.NewRegistry()
+	ps := portal.NewServer(db, chip.StampedeNode().Registry(), nil)
+	ps.Metrics = reg
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: ps}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	durs := make([]time.Duration, total)
+	var next atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	start := time.Now()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				t0 := time.Now()
+				resp, err := http.Get(base + portalLoadMix[i%len(portalLoadMix)])
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					firstErr.CompareAndSwap(nil,
+						fmt.Errorf("%s: status %d", portalLoadMix[i%len(portalLoadMix)], resp.StatusCode))
+					return
+				}
+				durs[i] = time.Since(t0)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, _ := firstErr.Load().(error); err != nil {
+		return err
+	}
+
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	pct := func(p float64) time.Duration { return durs[int(p*float64(total-1))] }
+	vals := telemetry.ParseExposition(reg.Exposition())
+	var hits, misses float64
+	for name, v := range vals {
+		if strings.HasPrefix(name, "gostats_portal_cache_hits_total") {
+			hits += v
+		} else if strings.HasPrefix(name, "gostats_portal_cache_misses_total") {
+			misses += v
+		}
+	}
+	fmt.Printf("simcluster portal-load: %d requests, %d readers in %.2fs = %.0f req/s\n",
+		total, readers, elapsed.Seconds(), float64(total)/elapsed.Seconds())
+	fmt.Printf("simcluster portal-load: latency p50=%s p95=%s max=%s\n",
+		pct(0.50), pct(0.95), durs[total-1])
+	if hits+misses > 0 {
+		fmt.Printf("simcluster portal-load: cache hits=%.0f misses=%.0f (%.1f%% hit ratio)\n",
+			hits, misses, 100*hits/(hits+misses))
+	}
+	return nil
 }
 
 // printOverheadSummary reports the fleet's self-measured monitoring cost

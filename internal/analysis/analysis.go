@@ -187,35 +187,42 @@ type QueryHistograms struct {
 	MaxMD   *stats.Histogram
 }
 
-// Histograms builds the Fig 4 histograms for the filtered jobs.
+// histogramFields is the Fig 4 quartet's field set.
+var histogramFields = []string{"runtime", "nodes", "waittime", "metadatarate"}
+
+// Histograms builds the Fig 4 histograms for the filtered jobs in a
+// single sweep (one filter scan + one projection pass via reldb.Stats,
+// instead of one full query per metric).
 func Histograms(db *reldb.DB, bins int, filters ...reldb.Filter) (*QueryHistograms, error) {
+	fs, err := db.Stats(histogramFields, filters...)
+	if err != nil {
+		return nil, err
+	}
+	return histogramsFromStats(fs, bins), nil
+}
+
+// HistogramsRows builds the Fig 4 histograms from an already-filtered
+// row set — the portal calls this with the rows it just fetched for
+// display, avoiding any second pass over the table.
+func HistogramsRows(rows []*reldb.JobRow, bins int) (*QueryHistograms, error) {
+	fs, err := reldb.StatsRows(rows, histogramFields...)
+	if err != nil {
+		return nil, err
+	}
+	return histogramsFromStats(fs, bins), nil
+}
+
+func histogramsFromStats(fs map[string]*reldb.FieldStats, bins int) *QueryHistograms {
 	if bins <= 0 {
 		bins = 20
 	}
-	get := func(field string) ([]float64, error) { return db.Values(field, filters...) }
-	rt, err := get("runtime")
-	if err != nil {
-		return nil, err
-	}
-	nodes, err := get("nodes")
-	if err != nil {
-		return nil, err
-	}
-	wait, err := get("waittime")
-	if err != nil {
-		return nil, err
-	}
-	md, err := get("metadatarate")
-	if err != nil {
-		return nil, err
-	}
 	return &QueryHistograms{
-		Jobs:    len(rt),
-		Runtime: stats.AutoHistogram(rt, bins),
-		Nodes:   stats.AutoHistogram(nodes, bins),
-		Wait:    stats.AutoHistogram(wait, bins),
-		MaxMD:   stats.AutoHistogram(md, bins),
-	}, nil
+		Jobs:    fs["runtime"].Count,
+		Runtime: stats.AutoHistogram(fs["runtime"].Values, bins),
+		Nodes:   stats.AutoHistogram(fs["nodes"].Values, bins),
+		Wait:    stats.AutoHistogram(fs["waittime"].Values, bins),
+		MaxMD:   stats.AutoHistogram(fs["metadatarate"].Values, bins),
+	}
 }
 
 // TopUsersBy returns the top-k users ranked by the mean of a numeric

@@ -1,0 +1,130 @@
+package portal
+
+import (
+	"bytes"
+	"net/http"
+	"sync"
+)
+
+// Cache is the portal's generation-stamped response cache. Entries are
+// keyed by route + canonical query string and stamped with the job
+// table's generation counter at render time; an Insert bumps the
+// generation, so every stale entry misses on its next lookup without
+// any explicit invalidation walk. Under steady browsing between ETL
+// loads — the portal's dominant regime — repeated queries are served
+// straight from memory.
+type Cache struct {
+	capacity int
+	mu       sync.Mutex
+	entries  map[string]*cacheEntry
+	order    []string // insertion order, for oldest-first eviction
+}
+
+type cacheEntry struct {
+	gen         uint64
+	contentType string
+	body        []byte
+}
+
+// NewCache returns a cache bounded to capacity entries (minimum 1).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{capacity: capacity, entries: make(map[string]*cacheEntry)}
+}
+
+// Len reports the number of live entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// get returns the entry for key if it was rendered at generation gen.
+// A stale entry is dropped on sight.
+func (c *Cache) get(key string, gen uint64) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	if e.gen != gen {
+		delete(c.entries, key)
+		return nil, false
+	}
+	return e, true
+}
+
+// put stores an entry, evicting oldest-inserted keys over capacity.
+func (c *Cache) put(key string, e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[key]; !exists {
+		c.order = append(c.order, key)
+	}
+	c.entries[key] = e
+	for len(c.entries) > c.capacity && len(c.order) > 0 {
+		victim := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, victim)
+	}
+}
+
+// captureWriter buffers a handler's response so it can be both sent to
+// the client and stored in the cache.
+type captureWriter struct {
+	header http.Header
+	status int
+	buf    bytes.Buffer
+}
+
+func newCaptureWriter() *captureWriter {
+	return &captureWriter{header: make(http.Header), status: http.StatusOK}
+}
+
+func (w *captureWriter) Header() http.Header { return w.header }
+
+func (w *captureWriter) WriteHeader(code int) { w.status = code }
+
+func (w *captureWriter) Write(p []byte) (int, error) { return w.buf.Write(p) }
+
+// cacheable wraps a GET handler with the response cache. The generation
+// is read before rendering: a concurrent Insert can only make the stored
+// entry stale-stamped (an extra miss later), never serve stale data
+// after the table changed.
+func (s *Server) cacheable(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		c := s.Cache
+		if c == nil || r.Method != http.MethodGet {
+			h(w, r)
+			return
+		}
+		reg := s.registry()
+		key := route + "?" + r.URL.Query().Encode() // Encode sorts params
+		gen := s.DB.Generation()
+		if e, ok := c.get(key, gen); ok {
+			reg.Counter("gostats_portal_cache_hits_total",
+				"Portal response cache hits by route.", "route", route).Inc()
+			w.Header().Set("Content-Type", e.contentType)
+			w.Write(e.body)
+			return
+		}
+		reg.Counter("gostats_portal_cache_misses_total",
+			"Portal response cache misses by route.", "route", route).Inc()
+		cw := newCaptureWriter()
+		h(cw, r)
+		for k, vs := range cw.header {
+			w.Header()[k] = vs
+		}
+		if cw.status != http.StatusOK {
+			w.WriteHeader(cw.status)
+		}
+		body := cw.buf.Bytes()
+		w.Write(body)
+		if cw.status == http.StatusOK {
+			c.put(key, &cacheEntry{gen: gen, contentType: cw.header.Get("Content-Type"), body: body})
+		}
+	}
+}

@@ -43,7 +43,11 @@ type Server struct {
 	// Metrics selects the registry request telemetry lands in; set
 	// before the first request. Nil uses telemetry.Default().
 	Metrics *telemetry.Registry
-	mux     *http.ServeMux
+	// Cache is the generation-stamped response cache for the list and
+	// aggregate pages; set it to nil (before the first request) to
+	// disable caching.
+	Cache *Cache
+	mux   *http.ServeMux
 }
 
 // NewServer builds a portal over the given job table.
@@ -53,17 +57,26 @@ func NewServer(db *reldb.DB, reg *schema.Registry, series SeriesSource) *Server 
 		Reg:    reg,
 		Flags:  flagging.Default(flagging.DefaultThresholds()),
 		Series: series,
+		Cache:  NewCache(512),
 		mux:    http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/", s.instrument("/", s.handleIndex))
-	s.mux.HandleFunc("/jobs", s.instrument("/jobs", s.handleJobs))
+	s.mux.HandleFunc("/jobs", s.instrument("/jobs", s.cacheable("/jobs", s.handleJobs)))
 	s.mux.HandleFunc("/job/", s.instrument("/job/", s.handleJobDetail))
-	s.mux.HandleFunc("/dates", s.instrument("/dates", s.handleDates))
+	s.mux.HandleFunc("/dates", s.instrument("/dates", s.cacheable("/dates", s.handleDates)))
 	s.mux.HandleFunc("/user/", s.instrument("/user/", s.handleUser))
-	s.mux.HandleFunc("/energy", s.instrument("/energy", s.handleEnergy))
+	s.mux.HandleFunc("/energy", s.instrument("/energy", s.cacheable("/energy", s.handleEnergy)))
 	s.mux.HandleFunc("/api/fields", s.instrument("/api/fields", s.handleFields))
-	s.mux.HandleFunc("/api/jobs", s.instrument("/api/jobs", s.handleAPIJobs))
+	s.mux.HandleFunc("/api/jobs", s.instrument("/api/jobs", s.cacheable("/api/jobs", s.handleAPIJobs)))
 	return s
+}
+
+// registry returns the telemetry registry requests are recorded in.
+func (s *Server) registry() *telemetry.Registry {
+	if s.Metrics != nil {
+		return s.Metrics
+	}
+	return telemetry.Default()
 }
 
 // ServeHTTP implements http.Handler.
@@ -87,10 +100,7 @@ func (w *statusWriter) WriteHeader(code int) {
 // would explode series cardinality).
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		reg := s.Metrics
-		if reg == nil {
-			reg = telemetry.Default()
-		}
+		reg := s.registry()
 		timer := reg.Histogram("gostats_portal_request_seconds",
 			"Portal request latency by route.", telemetry.LatencyBuckets,
 			"route", route).Start()
@@ -176,7 +186,9 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	hist, err := analysis.Histograms(s.DB, 20, filters...)
+	// One sweep over the rows already fetched builds all four Fig 4
+	// histograms — no second pass over the table.
+	hist, err := analysis.HistogramsRows(rows, 20)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return

@@ -32,54 +32,6 @@ func parseLookup(s string) (fieldName, op string) {
 	return strings.ToLower(s), "exact"
 }
 
-// pred compiles a Filter into a row predicate.
-func (f Filter) pred() (func(*JobRow) bool, error) {
-	name, op := parseLookup(f.Field)
-	col, ok := fields[name]
-	if !ok {
-		return nil, fmt.Errorf("reldb: unknown field %q", name)
-	}
-	if col.kind == kindStr {
-		want, ok := f.Value.(string)
-		if !ok {
-			return nil, fmt.Errorf("reldb: field %q wants a string operand", name)
-		}
-		switch op {
-		case "exact":
-			return func(r *JobRow) bool { return col.str(r) == want }, nil
-		case "ne":
-			return func(r *JobRow) bool { return col.str(r) != want }, nil
-		case "contains":
-			return func(r *JobRow) bool { return strings.Contains(col.str(r), want) }, nil
-		case "icontains":
-			lw := strings.ToLower(want)
-			return func(r *JobRow) bool { return strings.Contains(strings.ToLower(col.str(r)), lw) }, nil
-		default:
-			return nil, fmt.Errorf("reldb: string field %q does not support op %q", name, op)
-		}
-	}
-	want, err := toFloat(f.Value)
-	if err != nil {
-		return nil, fmt.Errorf("reldb: field %q: %w", name, err)
-	}
-	switch op {
-	case "exact":
-		return func(r *JobRow) bool { return col.num(r) == want }, nil
-	case "ne":
-		return func(r *JobRow) bool { return col.num(r) != want }, nil
-	case "gt":
-		return func(r *JobRow) bool { return col.num(r) > want }, nil
-	case "gte":
-		return func(r *JobRow) bool { return col.num(r) >= want }, nil
-	case "lt":
-		return func(r *JobRow) bool { return col.num(r) < want }, nil
-	case "lte":
-		return func(r *JobRow) bool { return col.num(r) <= want }, nil
-	default:
-		return nil, fmt.Errorf("reldb: numeric field %q does not support op %q", name, op)
-	}
-}
-
 func toFloat(v interface{}) (float64, error) {
 	switch x := v.(type) {
 	case float64:
@@ -98,19 +50,32 @@ func toFloat(v interface{}) (float64, error) {
 }
 
 // index is a sorted projection of one numeric field for range scans.
+// Both arrays are immutable once built; a rebuild installs a fresh pair.
 type index struct {
 	vals []float64 // sorted
 	rows []*JobRow // parallel to vals
 }
 
+// colcache holds columnar projections of numeric fields, built lazily
+// per requested field against one table generation. Columns are
+// immutable once built.
+type colcache struct {
+	gen  uint64
+	cols map[string][]float64
+}
+
 // DB is the in-memory job table. All methods are safe for concurrent
-// use.
+// use. Reads snapshot the row slice, indexes and columns under one lock
+// acquisition and then scan lock-free: Insert never mutates a published
+// slice in place (replacement copies the row slice first).
 type DB struct {
 	mu      sync.RWMutex
+	gen     uint64 // bumped by every Insert; stamps caches
 	rows    []*JobRow
 	byID    map[string]*JobRow
 	indexes map[string]*index // field name -> index (rebuilt lazily)
-	dirty   bool
+	ixGen   uint64            // generation the indexes were built at
+	cc      *colcache
 }
 
 // New returns an empty DB.
@@ -122,9 +87,15 @@ func New() *DB {
 func (db *DB) Insert(rows ...*JobRow) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	cloned := false
 	for _, r := range rows {
 		if old, ok := db.byID[r.JobID]; ok {
-			// Replace in place.
+			if !cloned {
+				// Copy-on-write: concurrent readers may hold the current
+				// slice, so replacement must not write into it.
+				db.rows = append([]*JobRow(nil), db.rows...)
+				cloned = true
+			}
 			for i, x := range db.rows {
 				if x == old {
 					db.rows[i] = r
@@ -136,7 +107,15 @@ func (db *DB) Insert(rows ...*JobRow) {
 		}
 		db.byID[r.JobID] = r
 	}
-	db.dirty = true
+	db.gen++
+}
+
+// Generation returns a counter that changes on every Insert — the cheap
+// invalidation stamp the portal's response cache keys on.
+func (db *DB) Generation() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.gen
 }
 
 // Len reports the number of rows.
@@ -191,100 +170,29 @@ func (db *DB) buildIndexLocked(name string) *index {
 	return ix
 }
 
-// freshIndex returns a current index for the field if one is declared.
-func (db *DB) freshIndex(name string) *index {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	ix, declared := db.indexes[name]
-	if !declared {
-		return nil
+// colLocked returns the columnar projection for one numeric field at the
+// current generation. With build unset it only reports whether a fresh
+// column exists; with build set (write lock held) it materializes it.
+func (db *DB) colLocked(name string, build bool) ([]float64, bool) {
+	if db.cc == nil || db.cc.gen != db.gen {
+		if !build {
+			return nil, false
+		}
+		db.cc = &colcache{gen: db.gen, cols: make(map[string][]float64)}
 	}
-	if ix == nil || db.dirty {
-		// Rebuild every declared index when the table changed.
-		for n := range db.indexes {
-			db.buildIndexLocked(n)
+	col, ok := db.cc.cols[name]
+	if !ok {
+		if !build {
+			return nil, false
 		}
-		db.dirty = false
-		ix = db.indexes[name]
+		get := fields[name].num
+		col = make([]float64, len(db.rows))
+		for i, r := range db.rows {
+			col[i] = get(r)
+		}
+		db.cc.cols[name] = col
 	}
-	return ix
-}
-
-// Query returns the rows matching every filter (AND semantics), in
-// insertion order. With a single range filter on an indexed field the
-// sorted index narrows the candidate set before residual filtering.
-func (db *DB) Query(filters ...Filter) ([]*JobRow, error) {
-	preds := make([]func(*JobRow) bool, 0, len(filters))
-	// Try index acceleration: first range filter on an indexed field.
-	var candidates []*JobRow
-	usedIdx := -1
-	for i, f := range filters {
-		name, op := parseLookup(f.Field)
-		if op != "gt" && op != "gte" && op != "lt" && op != "lte" {
-			continue
-		}
-		ix := db.freshIndex(name)
-		if ix == nil {
-			continue
-		}
-		want, err := toFloat(f.Value)
-		if err != nil {
-			return nil, fmt.Errorf("reldb: field %q: %w", name, err)
-		}
-		switch op {
-		case "gt":
-			k := sort.SearchFloat64s(ix.vals, want)
-			for k < len(ix.vals) && ix.vals[k] == want {
-				k++
-			}
-			candidates = ix.rows[k:]
-		case "gte":
-			k := sort.SearchFloat64s(ix.vals, want)
-			candidates = ix.rows[k:]
-		case "lt":
-			k := sort.SearchFloat64s(ix.vals, want)
-			candidates = ix.rows[:k]
-		case "lte":
-			k := sort.SearchFloat64s(ix.vals, want)
-			for k < len(ix.vals) && ix.vals[k] == want {
-				k++
-			}
-			candidates = ix.rows[:k]
-		}
-		usedIdx = i
-		break
-	}
-	for i, f := range filters {
-		if i == usedIdx {
-			continue
-		}
-		p, err := f.pred()
-		if err != nil {
-			return nil, err
-		}
-		preds = append(preds, p)
-	}
-
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	src := candidates
-	if usedIdx < 0 {
-		src = db.rows
-	}
-	var out []*JobRow
-	for _, r := range src {
-		match := true
-		for _, p := range preds {
-			if !p(r) {
-				match = false
-				break
-			}
-		}
-		if match {
-			out = append(out, r)
-		}
-	}
-	return out, nil
+	return col, true
 }
 
 // Count returns the number of rows matching the filters.
@@ -378,16 +286,20 @@ func (db *DB) All() []*JobRow {
 }
 
 // QueryOpts extends Query with ordering and truncation — the ORM's
-// order_by()[:n] idiom the portal's job lists use.
+// order_by()[offset:offset+n] idiom the portal's job lists use.
 type QueryOpts struct {
 	// OrderBy is a numeric field name, optionally prefixed with "-" for
-	// descending order ("-starttime"). Empty keeps insertion order.
+	// descending order ("-starttime"). Empty keeps insertion order. Ties
+	// on equal sort keys keep their pre-sort relative order.
 	OrderBy string
-	// Limit truncates the result (0 = no limit).
+	// Offset skips that many rows after ordering; an offset at or past
+	// the end yields an empty result.
+	Offset int
+	// Limit truncates the result after Offset (0 = no limit).
 	Limit int
 }
 
-// QueryOrdered runs Query and then applies ordering and limit.
+// QueryOrdered runs Query and then applies ordering, offset and limit.
 func (db *DB) QueryOrdered(opts QueryOpts, filters ...Filter) ([]*JobRow, error) {
 	rows, err := db.Query(filters...)
 	if err != nil {
@@ -411,6 +323,12 @@ func (db *DB) QueryOrdered(opts QueryOpts, filters ...Filter) ([]*JobRow, error)
 			}
 			return a < b
 		})
+	}
+	if opts.Offset > 0 {
+		if opts.Offset >= len(rows) {
+			return nil, nil
+		}
+		rows = rows[opts.Offset:]
 	}
 	if opts.Limit > 0 && len(rows) > opts.Limit {
 		rows = rows[:opts.Limit]

@@ -1,0 +1,108 @@
+package reldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FieldStats is one numeric field's distribution over a filtered row
+// set, computed in a single sweep by Stats.
+type FieldStats struct {
+	Field  string
+	Count  int
+	Min    float64
+	Max    float64
+	Sum    float64
+	Values []float64 // per-row projection, in result order
+}
+
+// Mean returns the arithmetic mean (0 for an empty selection).
+func (s *FieldStats) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Stats computes the values and aggregates of several numeric fields
+// over the filtered rows in one pass: one filter scan plus one
+// projection sweep, instead of one full Query per field. The portal's
+// histogram quartet is the canonical caller. Keys in the returned map
+// are the lowercased field names.
+func (db *DB) Stats(fieldNames []string, filters ...Filter) (map[string]*FieldStats, error) {
+	getters := make([]func(*JobRow) float64, len(fieldNames))
+	accs := make([]*FieldStats, len(fieldNames))
+	for i, n := range fieldNames {
+		name := strings.ToLower(n)
+		f, ok := fields[name]
+		if !ok {
+			return nil, fmt.Errorf("reldb: unknown field %q", n)
+		}
+		if f.kind != kindNum {
+			return nil, fmt.Errorf("reldb: field %q is not numeric", n)
+		}
+		getters[i] = f.num
+		accs[i] = &FieldStats{Field: name}
+	}
+	rows, err := db.Query(filters...)
+	if err != nil {
+		return nil, err
+	}
+	for i := range accs {
+		accs[i].Values = make([]float64, 0, len(rows))
+	}
+	for _, r := range rows {
+		for i, get := range getters {
+			v := get(r)
+			a := accs[i]
+			if a.Count == 0 {
+				a.Min, a.Max = v, v
+			} else if v < a.Min {
+				a.Min = v
+			} else if v > a.Max {
+				a.Max = v
+			}
+			a.Count++
+			a.Sum += v
+			a.Values = append(a.Values, v)
+		}
+	}
+	out := make(map[string]*FieldStats, len(accs))
+	for _, a := range accs {
+		out[a.Field] = a
+	}
+	return out, nil
+}
+
+// StatsRows computes the same per-field sweep over an already-filtered
+// row set (e.g. the rows a handler just fetched for display), avoiding a
+// second filter scan entirely.
+func StatsRows(rows []*JobRow, fieldNames ...string) (map[string]*FieldStats, error) {
+	out := make(map[string]*FieldStats, len(fieldNames))
+	for _, n := range fieldNames {
+		name := strings.ToLower(n)
+		f, ok := fields[name]
+		if !ok {
+			return nil, fmt.Errorf("reldb: unknown field %q", n)
+		}
+		if f.kind != kindNum {
+			return nil, fmt.Errorf("reldb: field %q is not numeric", n)
+		}
+		a := &FieldStats{Field: name, Values: make([]float64, 0, len(rows))}
+		for _, r := range rows {
+			v := f.num(r)
+			if a.Count == 0 {
+				a.Min, a.Max = v, v
+			} else if v < a.Min {
+				a.Min = v
+			} else if v > a.Max {
+				a.Max = v
+			}
+			a.Count++
+			a.Sum += v
+			a.Values = append(a.Values, v)
+		}
+		out[name] = a
+	}
+	return out, nil
+}

@@ -1,0 +1,179 @@
+package tsdb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// ---- downsample bucket-boundary alignment ----
+
+// TestDownsampleBucketEdges: points landing exactly on a bucket edge
+// belong to the bucket they open, and bucket labels are the bucket start
+// times.
+func TestDownsampleBucketEdges(t *testing.T) {
+	db := New()
+	// Edge points at 0, 10, 20 with ds=10: each opens its own bucket.
+	put(db, "a", "cpu", "0", "user",
+		DataPoint{0, 1}, DataPoint{10, 2}, DataPoint{20, 4})
+	res, err := db.Do(Query{Host: "a", Downsample: 10, Aggregate: Sum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := res[0].Points
+	if len(pts) != 3 {
+		t.Fatalf("buckets = %v", pts)
+	}
+	want := []DataPoint{{0, 1}, {10, 2}, {20, 4}}
+	for i, p := range pts {
+		if p != want[i] {
+			t.Errorf("bucket %d = %v, want %v", i, p, want[i])
+		}
+	}
+	// A point just below the edge joins the earlier bucket.
+	put(db, "a", "cpu", "0", "user", DataPoint{9.999, 100})
+	res, _ = db.Do(Query{Host: "a", Downsample: 10, Aggregate: Sum})
+	if res[0].Points[0].Value != 101 {
+		t.Errorf("sub-edge point not in bucket 0: %v", res[0].Points)
+	}
+	if res[0].Points[1].Value != 2 {
+		t.Errorf("bucket 1 polluted: %v", res[0].Points)
+	}
+}
+
+// TestDownsampleSparseSeries: buckets with no points must not appear,
+// even with the flat accumulator spanning the gap.
+func TestDownsampleSparseSeries(t *testing.T) {
+	db := New()
+	put(db, "a", "cpu", "0", "user", DataPoint{0, 1}, DataPoint{1000, 2})
+	res, err := db.Do(Query{Host: "a", Downsample: 10, Aggregate: Sum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res[0].Points) != 2 {
+		t.Fatalf("sparse buckets = %v", res[0].Points)
+	}
+	if res[0].Points[0] != (DataPoint{0, 1}) || res[0].Points[1] != (DataPoint{1000, 2}) {
+		t.Errorf("points = %v", res[0].Points)
+	}
+}
+
+// TestDownsampleHugeSpanFallsBack: a span too wide for the flat
+// accumulator still aggregates correctly via the map path.
+func TestDownsampleHugeSpanFallsBack(t *testing.T) {
+	db := New()
+	span := float64(maxFlatBuckets) * 2
+	put(db, "a", "cpu", "0", "user",
+		DataPoint{0, 1}, DataPoint{span, 2}, DataPoint{span + 0.5, 3})
+	res, err := db.Do(Query{Host: "a", Downsample: 1, Aggregate: Sum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res[0].Points) != 2 {
+		t.Fatalf("points = %v", res[0].Points)
+	}
+	if res[0].Points[1].Value != 5 {
+		t.Errorf("far bucket = %v", res[0].Points[1])
+	}
+}
+
+// TestDownsampleGrouped: grouping and downsampling compose, with each
+// group getting its own bucket row.
+func TestDownsampleGrouped(t *testing.T) {
+	db := New()
+	put(db, "a", "cpu", "0", "user", DataPoint{0, 1}, DataPoint{5, 3}, DataPoint{10, 5})
+	put(db, "b", "cpu", "0", "user", DataPoint{0, 10}, DataPoint{10, 20})
+	res, err := db.Do(Query{Event: "user", GroupBy: []string{"host"}, Downsample: 10, Aggregate: Avg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("groups = %d", len(res))
+	}
+	if res[0].Group["host"] != "a" || res[0].Points[0] != (DataPoint{0, 2}) || res[0].Points[1] != (DataPoint{10, 5}) {
+		t.Errorf("group a = %+v", res[0])
+	}
+	if res[1].Group["host"] != "b" || res[1].Points[0] != (DataPoint{0, 10}) {
+		t.Errorf("group b = %+v", res[1])
+	}
+}
+
+// ---- generation counter ----
+
+func TestGeneration(t *testing.T) {
+	db := New()
+	g0 := db.Generation()
+	db.Put(Tags{Host: "a", DevType: "cpu", Device: "0", Event: "user"}, 1, 1)
+	if db.Generation() == g0 {
+		t.Error("generation unchanged by Put")
+	}
+}
+
+// ---- sharding ----
+
+// TestShardDistribution: distinct hosts should not all land in one
+// shard (the hash must actually spread the tag space).
+func TestShardDistribution(t *testing.T) {
+	db := New()
+	for h := 0; h < 256; h++ {
+		db.Put(Tags{Host: fmt.Sprintf("n%03d", h), DevType: "cpu", Device: "0", Event: "user"}, 1, 1)
+	}
+	used := 0
+	for i := range db.shards {
+		db.shards[i].mu.RLock()
+		if len(db.shards[i].series) > 0 {
+			used++
+		}
+		db.shards[i].mu.RUnlock()
+	}
+	if used < numShards/2 {
+		t.Errorf("only %d/%d shards used for 256 hosts", used, numShards)
+	}
+}
+
+// ---- concurrent readers + writers ----
+
+// TestConcurrentPutDo hammers Put from several ingester goroutines while
+// readers run grouped, downsampled and wildcard queries. Under -race
+// this exercises the per-shard locking.
+func TestConcurrentPutDo(t *testing.T) {
+	db := New()
+	hosts := 16
+	var wg sync.WaitGroup
+	for h := 0; h < hosts; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			tags := Tags{Host: fmt.Sprintf("n%02d", h), DevType: "mdc", Device: "m0", Event: "reqs"}
+			for i := 0; i < 2000; i++ {
+				db.Put(tags, float64(i), float64(i))
+			}
+		}(h)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if _, err := db.Do(Query{DevType: "mdc", Event: "reqs", Aggregate: Sum, Downsample: 10}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := db.Do(Query{GroupBy: []string{"host"}, Aggregate: Max}); err != nil {
+					t.Error(err)
+					return
+				}
+				db.NumSeries()
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := db.Do(Query{Host: "n03", Aggregate: Avg}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if db.NumSeries() != hosts {
+		t.Errorf("series = %d, want %d", db.NumSeries(), hosts)
+	}
+}

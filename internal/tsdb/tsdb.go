@@ -4,6 +4,12 @@
 // be filtered and aggregated along any subset of those tags — the
 // operation that lets one user's metadata storm be correlated with other
 // users' mounting Lustre wait times.
+//
+// The store is sharded by host hash: concurrent ingesters (one stream
+// per node) Put into disjoint shards without serializing, host-filtered
+// queries touch exactly one shard, and Do holds each shard's read lock
+// only long enough to memcpy the matching point ranges into a pooled
+// buffer before aggregating outside any lock.
 package tsdb
 
 import (
@@ -12,6 +18,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Tags is the fixed tag tuple of the paper's OpenTSDB layout.
@@ -36,6 +43,23 @@ func (t Tags) tagValue(key string) (string, error) {
 	default:
 		return "", fmt.Errorf("tsdb: unknown tag key %q", key)
 	}
+}
+
+// hostHash is FNV-1a over the host tag. Sharding by host keeps each
+// node's ingest stream (its devices × events) in one shard — concurrent
+// ingesters for different hosts never contend — and lets host-filtered
+// queries touch exactly one shard.
+func hostHash(host string) uint32 {
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	for i := 0; i < len(host); i++ {
+		h ^= uint32(host[i])
+		h *= prime
+	}
+	return h
 }
 
 // DataPoint is one timestamped value.
@@ -101,43 +125,77 @@ func (a Agg) String() string {
 	return "?"
 }
 
-// DB is the time-series database. Safe for concurrent use.
-type DB struct {
+// numShards is the lock-striping width: wide enough that a rack's worth
+// of concurrent ingesters rarely collide, small enough that a wildcard
+// Do sweep stays cheap.
+const numShards = 32
+
+// shard is one lock stripe: a series map plus its posting lists.
+type shard struct {
 	mu     sync.RWMutex
 	series map[Tags]*series
 	// posting lists: tag key -> tag value -> matching tag tuples.
 	postings map[string]map[string][]Tags
 }
 
+// tagKeys is the fixed posting-list key set.
+var tagKeys = [...]string{"host", "devtype", "device", "event"}
+
+// DB is the time-series database. Safe for concurrent use; Put and Do
+// on different shards never contend.
+type DB struct {
+	gen    atomic.Uint64
+	shards [numShards]shard
+}
+
 // New returns an empty DB.
 func New() *DB {
-	return &DB{
-		series:   make(map[Tags]*series),
-		postings: map[string]map[string][]Tags{"host": {}, "devtype": {}, "device": {}, "event": {}},
+	db := &DB{}
+	for i := range db.shards {
+		db.shards[i].series = make(map[Tags]*series)
+		db.shards[i].postings = map[string]map[string][]Tags{
+			"host": {}, "devtype": {}, "device": {}, "event": {},
+		}
 	}
+	return db
+}
+
+func (db *DB) shardFor(tags Tags) *shard {
+	return &db.shards[hostHash(tags.Host)%numShards]
 }
 
 // Put appends one point to the series labeled by tags.
 func (db *DB) Put(tags Tags, t, v float64) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	s := db.series[tags]
+	sh := db.shardFor(tags)
+	sh.mu.Lock()
+	s := sh.series[tags]
 	if s == nil {
 		s = &series{}
-		db.series[tags] = s
-		for _, key := range []string{"host", "devtype", "device", "event"} {
+		sh.series[tags] = s
+		for _, key := range tagKeys {
 			val, _ := tags.tagValue(key)
-			db.postings[key][val] = append(db.postings[key][val], tags)
+			sh.postings[key][val] = append(sh.postings[key][val], tags)
 		}
 	}
 	s.put(DataPoint{Time: t, Value: v})
+	sh.mu.Unlock()
+	db.gen.Add(1)
 }
+
+// Generation returns a counter that changes on every Put — the cheap
+// invalidation stamp read-side caches key on.
+func (db *DB) Generation() uint64 { return db.gen.Load() }
 
 // NumSeries reports the number of distinct series.
 func (db *DB) NumSeries() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.series)
+	n := 0
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		n += len(sh.series)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Query describes one read: tag filters (empty string = wildcard), a
@@ -162,27 +220,30 @@ type Result struct {
 	Points []DataPoint       // time-sorted
 }
 
-// matchingSeries selects tag tuples matching the query's filters, using
-// the smallest applicable posting list.
-func (db *DB) matchingSeries(q Query) []Tags {
-	filters := map[string]string{"host": q.Host, "devtype": q.DevType, "device": q.Device, "event": q.Event}
-	var bestKey string
+// matchingSeries selects this shard's tag tuples matching the query's
+// filters, using the smallest applicable posting list. Caller holds the
+// shard's read lock.
+func (sh *shard) matchingSeries(q Query) []Tags {
+	filters := [...]struct{ key, val string }{
+		{"host", q.Host}, {"devtype", q.DevType}, {"device", q.Device}, {"event", q.Event},
+	}
+	var bestKey, bestVal string
 	bestLen := -1
-	for key, val := range filters {
-		if val == "" {
+	for _, f := range filters {
+		if f.val == "" {
 			continue
 		}
-		l := len(db.postings[key][val])
+		l := len(sh.postings[f.key][f.val])
 		if bestLen < 0 || l < bestLen {
-			bestKey, bestLen = key, l
+			bestKey, bestVal, bestLen = f.key, f.val, l
 		}
 	}
 	var cands []Tags
 	if bestLen >= 0 {
-		cands = db.postings[bestKey][filters[bestKey]]
+		cands = sh.postings[bestKey][bestVal]
 	} else {
-		cands = make([]Tags, 0, len(db.series))
-		for t := range db.series {
+		cands = make([]Tags, 0, len(sh.series))
+		for t := range sh.series {
 			cands = append(cands, t)
 		}
 	}
@@ -198,67 +259,184 @@ func (db *DB) matchingSeries(q Query) []Tags {
 	return out
 }
 
-// groupKey renders the grouping identity of a tag tuple.
-func groupKey(t Tags, groupBy []string) (string, map[string]string, error) {
-	key := ""
-	m := map[string]string{}
-	for _, g := range groupBy {
-		v, err := t.tagValue(g)
-		if err != nil {
-			return "", nil, err
-		}
-		key += g + "=" + v + ";"
-		m[g] = v
-	}
-	return key, m, nil
+// pointBufPool recycles the scratch buffers Do copies matching point
+// ranges into while holding a shard lock.
+var pointBufPool = sync.Pool{New: func() interface{} { return new([]DataPoint) }}
+
+// matchRef is one matched series' copied range: pts[lo:hi] of the shared
+// scratch buffer (offsets, because append may relocate the buffer).
+type matchRef struct {
+	tags   Tags
+	lo, hi int
 }
+
+// groupAcc accumulates one group's (time -> bucket) cells. With a
+// downsample width and a dense-enough span it uses a flat slice keyed by
+// bucket index (no per-cell allocation, already time-ordered);
+// otherwise it falls back to a map of times into a shared bucket slice.
+type groupAcc struct {
+	res *Result
+	// flat path
+	flat []bucket
+	base int64
+	// map path
+	idx     map[float64]int
+	buckets []bucket
+	times   []float64
+}
+
+// maxFlatBuckets bounds the flat accumulator's memory for sparse series
+// spanning huge time ranges; beyond it the map path takes over.
+const maxFlatBuckets = 1 << 21
 
 // Do executes the query.
 func (db *DB) Do(q Query) ([]Result, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	matched := db.matchingSeries(q)
-	groups := map[string]*Result{}
-	accum := map[string]map[float64]*bucket{}
-	var order []string
-
-	for _, tags := range matched {
-		key, gtags, err := groupKey(tags, q.GroupBy)
-		if err != nil {
+	// Validate grouping keys before touching any shard.
+	for _, g := range q.GroupBy {
+		if _, err := (Tags{}).tagValue(g); err != nil {
 			return nil, err
 		}
-		res := groups[key]
-		if res == nil {
-			res = &Result{Group: gtags}
-			groups[key] = res
-			accum[key] = map[float64]*bucket{}
+	}
+
+	// Phase 1: copy matching point ranges out of each shard under its
+	// read lock, into one pooled scratch buffer. A host filter pins the
+	// query to one shard (shards are keyed by host hash).
+	bufp := pointBufPool.Get().(*[]DataPoint)
+	pts := (*bufp)[:0]
+	var refs []matchRef
+	shFirst, shLast := 0, numShards
+	if q.Host != "" {
+		shFirst = int(hostHash(q.Host) % numShards)
+		shLast = shFirst + 1
+	}
+	for i := shFirst; i < shLast; i++ {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		for _, tags := range sh.matchingSeries(q) {
+			r := sh.series[tags].rangePoints(q.Start, q.End)
+			lo := len(pts)
+			pts = append(pts, r...)
+			refs = append(refs, matchRef{tags: tags, lo: lo, hi: len(pts)})
+		}
+		sh.mu.RUnlock()
+	}
+
+	// Decide the accumulator layout: with a downsample width and a
+	// bounded bucket span, a flat slice indexed by bucket number.
+	useFlat := false
+	var base int64
+	width := 0
+	if q.Downsample > 0 && len(pts) > 0 {
+		lo, hi := int64(0), int64(0)
+		first := true
+		for _, ref := range refs {
+			if ref.lo == ref.hi {
+				continue
+			}
+			// Truncation toward zero is monotone in time, so the first
+			// and last points of each (time-sorted) range bound its
+			// bucket indexes.
+			blo := int64(pts[ref.lo].Time / q.Downsample)
+			bhi := int64(pts[ref.hi-1].Time / q.Downsample)
+			if first {
+				lo, hi, first = blo, bhi, false
+			} else {
+				if blo < lo {
+					lo = blo
+				}
+				if bhi > hi {
+					hi = bhi
+				}
+			}
+		}
+		if !first && hi-lo+1 <= maxFlatBuckets {
+			useFlat, base, width = true, lo, int(hi-lo+1)
+		}
+	}
+
+	// Phase 2: group and accumulate, lock-free.
+	groups := make(map[string]*groupAcc)
+	var order []string
+	plainGroup := len(q.GroupBy) == 0
+	var keyBuf []byte
+	for _, ref := range refs {
+		var acc *groupAcc
+		if plainGroup {
+			acc = groups[""]
+		} else {
+			keyBuf = keyBuf[:0]
+			for _, g := range q.GroupBy {
+				v, _ := ref.tags.tagValue(g)
+				keyBuf = append(keyBuf, g...)
+				keyBuf = append(keyBuf, '=')
+				keyBuf = append(keyBuf, v...)
+				keyBuf = append(keyBuf, ';')
+			}
+			acc = groups[string(keyBuf)]
+		}
+		if acc == nil {
+			gtags := make(map[string]string, len(q.GroupBy))
+			for _, g := range q.GroupBy {
+				gtags[g], _ = ref.tags.tagValue(g)
+			}
+			acc = &groupAcc{res: &Result{Group: gtags}, base: base}
+			if useFlat {
+				acc.flat = make([]bucket, width)
+			} else {
+				acc.idx = make(map[float64]int)
+			}
+			key := ""
+			if !plainGroup {
+				key = string(keyBuf)
+			}
+			groups[key] = acc
 			order = append(order, key)
 		}
-		for _, p := range db.series[tags].rangePoints(q.Start, q.End) {
+		for _, p := range pts[ref.lo:ref.hi] {
+			if useFlat {
+				acc.flat[int64(p.Time/q.Downsample)-acc.base].add(p.Value)
+				continue
+			}
 			t := p.Time
 			if q.Downsample > 0 {
 				t = float64(int64(p.Time/q.Downsample)) * q.Downsample
 			}
-			b := accum[key][t]
-			if b == nil {
-				b = &bucket{}
-				accum[key][t] = b
+			bi, ok := acc.idx[t]
+			if !ok {
+				bi = len(acc.buckets)
+				acc.buckets = append(acc.buckets, bucket{})
+				acc.times = append(acc.times, t)
+				acc.idx[t] = bi
 			}
-			b.add(p.Value)
+			acc.buckets[bi].add(p.Value)
 		}
 	}
 
+	*bufp = pts[:0]
+	pointBufPool.Put(bufp)
+
+	// Phase 3: emit, groups ordered by key, points by time.
 	sort.Strings(order)
 	out := make([]Result, 0, len(order))
 	for _, key := range order {
-		res := groups[key]
-		times := make([]float64, 0, len(accum[key]))
-		for t := range accum[key] {
-			times = append(times, t)
-		}
-		sort.Float64s(times)
-		for _, t := range times {
-			res.Points = append(res.Points, DataPoint{Time: t, Value: accum[key][t].result(q.Aggregate)})
+		acc := groups[key]
+		res := acc.res
+		if useFlat {
+			for i := range acc.flat {
+				if acc.flat[i].n == 0 {
+					continue
+				}
+				res.Points = append(res.Points, DataPoint{
+					Time:  float64(acc.base+int64(i)) * q.Downsample,
+					Value: acc.flat[i].result(q.Aggregate),
+				})
+			}
+		} else {
+			times := append([]float64(nil), acc.times...)
+			sort.Float64s(times)
+			for _, t := range times {
+				res.Points = append(res.Points, DataPoint{Time: t, Value: acc.buckets[acc.idx[t]].result(q.Aggregate)})
+			}
 		}
 		out = append(out, *res)
 	}
@@ -317,13 +495,16 @@ type persisted struct {
 
 // Save writes the database to path.
 func (db *DB) Save(path string) error {
-	db.mu.RLock()
 	img := persisted{}
-	for t, s := range db.series {
-		img.Tags = append(img.Tags, t)
-		img.Points = append(img.Points, append([]DataPoint(nil), s.points...))
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		for t, s := range sh.series {
+			img.Tags = append(img.Tags, t)
+			img.Points = append(img.Points, append([]DataPoint(nil), s.points...))
+		}
+		sh.mu.RUnlock()
 	}
-	db.mu.RUnlock()
 	f, err := os.Create(path)
 	if err != nil {
 		return err
