@@ -11,6 +11,9 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -19,6 +22,7 @@ import (
 	"gostats/internal/broker"
 	"gostats/internal/chip"
 	"gostats/internal/cluster"
+	"gostats/internal/codec"
 	"gostats/internal/collect"
 	"gostats/internal/core"
 	"gostats/internal/etl"
@@ -692,5 +696,186 @@ func BenchmarkRawfileRoundTrip(b *testing.B) {
 		if _, err := rawfile.Parse(&buf); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---- PR5: versioned snapshot codec + streaming ingest ----
+
+// codecBenchStream returns the reference job's snapshot stream for one
+// host — a realistic full-registry sequence whose counters advance
+// monotonically, which is exactly what the binary codec's delta
+// encoding is shaped for.
+func codecBenchStream(b *testing.B) ([]model.Snapshot, codec.Header) {
+	fixtures(b)
+	var snaps []model.Snapshot
+	for _, s := range fix.run.Snapshots {
+		if s.Host == fix.run.Hosts[0] {
+			snaps = append(snaps, s)
+		}
+	}
+	if len(snaps) == 0 {
+		b.Fatal("no snapshots for reference host")
+	}
+	return snaps, codec.Header{Hostname: fix.run.Hosts[0], Arch: "sandybridge", Registry: fix.reg}
+}
+
+// BenchmarkSnapshotCodec measures encode and decode of one host-day
+// stream in each codec, reporting bytes per snapshot alongside speed —
+// the size/CPU trade the -codec flag selects.
+func BenchmarkSnapshotCodec(b *testing.B) {
+	snaps, header := codecBenchStream(b)
+	for _, v := range []codec.Version{codec.V1Text, codec.V2Binary} {
+		var ref bytes.Buffer
+		enc, err := codec.NewEncoder(&ref, header, v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range snaps {
+			if err := enc.WriteSnapshot(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := enc.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		perSnap := float64(ref.Len()) / float64(len(snaps))
+
+		b.Run(v.String()+"/encode", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var buf bytes.Buffer
+				enc, _ := codec.NewEncoder(&buf, header, v)
+				for _, s := range snaps {
+					if err := enc.WriteSnapshot(s); err != nil {
+						b.Fatal(err)
+					}
+				}
+				enc.Flush()
+			}
+			b.ReportMetric(perSnap, "bytes/snap")
+			b.ReportMetric(float64(len(snaps))*float64(b.N)/b.Elapsed().Seconds(), "snaps/s")
+		})
+		b.Run(v.String()+"/decode", func(b *testing.B) {
+			b.ReportAllocs()
+			data := ref.Bytes()
+			for i := 0; i < b.N; i++ {
+				st, err := codec.DecodeAll(bytes.NewReader(data))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(st.Snapshots) != len(snaps) {
+					b.Fatalf("decoded %d of %d", len(st.Snapshots), len(snaps))
+				}
+			}
+			b.ReportMetric(perSnap, "bytes/snap")
+			b.ReportMetric(float64(len(snaps))*float64(b.N)/b.Elapsed().Seconds(), "snaps/s")
+		})
+	}
+}
+
+// BenchmarkWireCodec measures one self-contained broker message per
+// snapshot — encode plus decode — for the legacy gob framing and both
+// versioned codecs, reporting the per-message wire size.
+func BenchmarkWireCodec(b *testing.B) {
+	snaps, _ := codecBenchStream(b)
+	s := snaps[len(snaps)/2]
+	b.Run("gob", func(b *testing.B) {
+		b.ReportAllocs()
+		body, err := broker.EncodeSnapshot(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			body, err = broker.EncodeSnapshot(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := broker.DecodeSnapshot(body); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(body)), "bytes/snap")
+	})
+	for _, v := range []codec.Version{codec.V1Text, codec.V2Binary} {
+		b.Run(v.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			body, err := codec.EncodeWire(s, fix.reg, v)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				body, err = codec.EncodeWire(s, fix.reg, v)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := codec.DecodeWire(body, fix.reg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(body)), "bytes/snap")
+		})
+	}
+}
+
+// BenchmarkStreamIngest is the end-to-end write path per codec: every
+// snapshot of the fixture run is archived into a fresh raw store (the
+// listend write side) and the store is then walked snapshot-by-snapshot
+// through the streaming assembler into job rows (the ETL read side).
+// The binary/text throughput ratio here is the whole-pipeline payoff of
+// the v2 codec: smaller frames to format on the way in and fewer bytes
+// to parse on the way out.
+func BenchmarkStreamIngest(b *testing.B) {
+	fixtures(b)
+	for _, v := range []codec.Version{codec.V1Text, codec.V2Binary} {
+		b.Run(v.String(), func(b *testing.B) {
+			base := b.TempDir()
+			var lastDir string
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lastDir = filepath.Join(base, strconv.Itoa(i))
+				st, err := rawfile.NewStore(lastDir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st.SetCodec(v)
+				arch := rawfile.NewArchiver(st, 0)
+				for _, s := range fix.run.Snapshots {
+					h := rawfile.Header{Hostname: s.Host, Arch: "sandybridge", Registry: fix.reg}
+					if err := arch.Append(s.Host, h, s); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := arch.Close(); err != nil {
+					b.Fatal(err)
+				}
+				db := reldb.New()
+				ids, err := etl.IngestStore(st, fix.reg, nil, db)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(ids) != 1 {
+					b.Fatalf("ingested %v", ids)
+				}
+			}
+			b.StopTimer()
+			var onDisk int64
+			st, err := rawfile.NewStore(lastDir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			hosts, _ := st.Hosts()
+			for _, host := range hosts {
+				dir, _ := st.HostDir(host)
+				entries, _ := os.ReadDir(dir)
+				for _, e := range entries {
+					if info, err := e.Info(); err == nil {
+						onDisk += info.Size()
+					}
+				}
+			}
+			b.ReportMetric(float64(onDisk)/float64(len(fix.run.Snapshots)), "bytes/snap")
+			b.ReportMetric(float64(len(fix.run.Snapshots))*float64(b.N)/b.Elapsed().Seconds(), "snaps/s")
+		})
 	}
 }

@@ -2,10 +2,16 @@
 // into a machine-readable JSON array, so the repo's perf trajectory can
 // be tracked across PRs:
 //
-//	go test -bench=. -benchmem -run='^$' . | benchjson -o BENCH_PR4.json
+//	go test -bench=. -benchmem -run='^$' . | benchjson -o BENCH_PR5.json
 //
 // Each element records {name, iterations, ns_per_op, b_per_op,
 // allocs_per_op}; lines that are not benchmark results are ignored.
+//
+// With -baseline pointing at a previous PR's JSON (e.g. BENCH_PR4.json),
+// benchjson also diffs the fresh results against it and prints per-
+// benchmark deltas, flagging ns/op regressions beyond -regress-pct.
+// The diff is informational — machine variance is not a build failure —
+// so the exit status stays zero.
 package main
 
 import (
@@ -38,6 +44,8 @@ var benchLine = regexp.MustCompile(
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "previous PR's JSON to diff against (missing file = skip)")
+	regressPct := flag.Float64("regress-pct", 10, "ns/op increase (percent) that counts as a regression")
 	flag.Parse()
 
 	var results []Result
@@ -72,10 +80,56 @@ func main() {
 	buf = append(buf, '\n')
 	if *out == "" {
 		os.Stdout.Write(buf)
+	} else {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			log.Fatalf("benchjson: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(results), *out)
+	}
+	if *baseline != "" {
+		diffBaseline(results, *baseline, *regressPct)
+	}
+}
+
+// diffBaseline prints per-benchmark ns/op deltas against a previous
+// PR's JSON, flagging regressions past the threshold. A missing or
+// unreadable baseline is reported and skipped: the first PR that
+// records a suite has nothing to diff against.
+func diffBaseline(results []Result, path string, regressPct float64) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: no baseline (%v), skipping diff\n", err)
 		return
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		log.Fatalf("benchjson: %v", err)
+	var base []Result
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: baseline %s: %v, skipping diff\n", path, err)
+		return
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(results), *out)
+	prev := make(map[string]Result, len(base))
+	for _, r := range base {
+		prev[r.Name] = r
+	}
+	regressions := 0
+	for _, r := range results {
+		b, ok := prev[r.Name]
+		if !ok || b.NsPerOp == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %-60s new (no baseline entry)\n", r.Name)
+			continue
+		}
+		pct := (r.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		tag := ""
+		if pct >= regressPct {
+			tag = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %-60s %12.0f -> %12.0f ns/op (%+6.1f%%)%s\n",
+			r.Name, b.NsPerOp, r.NsPerOp, pct, tag)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) past %.0f%% vs %s\n",
+			regressions, regressPct, path)
+	} else {
+		fmt.Fprintf(os.Stderr, "benchjson: no regressions past %.0f%% vs %s\n", regressPct, path)
+	}
 }

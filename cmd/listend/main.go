@@ -6,7 +6,7 @@
 // Usage:
 //
 //	listend -broker 127.0.0.1:5672 -store ./central [-arch stampede]
-//	        [-telemetry 127.0.0.1:9102]
+//	        [-codec binary] [-telemetry 127.0.0.1:9102]
 //
 // On SIGINT/SIGTERM the consumer shuts down gracefully: the in-flight
 // message is fully archived and acknowledged before the connection
@@ -26,6 +26,7 @@ import (
 
 	"gostats/internal/broker"
 	"gostats/internal/chip"
+	"gostats/internal/codec"
 	"gostats/internal/rawfile"
 	"gostats/internal/realtime"
 	"gostats/internal/schema"
@@ -36,8 +37,14 @@ func main() {
 	brokerAddr := flag.String("broker", "127.0.0.1:5672", "broker address")
 	storeDir := flag.String("store", "central", "central raw store directory")
 	arch := flag.String("arch", "stampede", "node type the fleet runs (schema source)")
+	codecName := flag.String("codec", "text", "archive codec for new store files: text (v1) or binary (v2)")
 	telemetryAddr := flag.String("telemetry", "", "ops endpoint address (empty = disabled)")
 	flag.Parse()
+
+	archiveCodec, err := codec.ParseVersion(*codecName)
+	if err != nil {
+		log.Fatalf("listend: %v", err)
+	}
 
 	var reg *schema.Registry
 	switch *arch {
@@ -67,6 +74,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("listend: %v", err)
 	}
+	store.SetCodec(archiveCodec)
 	cons, err := broker.DialConsumer(*brokerAddr, broker.StatsQueue)
 	if err != nil {
 		if ops != nil {
@@ -82,9 +90,10 @@ func main() {
 		fmt.Printf("ALERT %s\n", a)
 	}
 	l := &realtime.Listener{
-		Cons:    cons,
-		Monitor: mon,
-		Store:   store,
+		Cons:     cons,
+		Monitor:  mon,
+		Store:    store,
+		Registry: reg,
 		Headers: func(host string) rawfile.Header {
 			return rawfile.Header{Hostname: host, Arch: *arch, Registry: reg}
 		},

@@ -6,8 +6,15 @@
 // Usage:
 //
 //	simcluster [-mode cron|daemon] [-nodes 16] [-days 1] [-out ./simout]
-//	           [-telemetry 127.0.0.1:0] [-chaos] [-chaos-outage 1230]
+//	           [-codec text|binary] [-telemetry 127.0.0.1:0]
+//	           [-chaos] [-chaos-outage 1230]
 //	           [-portal-load 0] [-portal-requests 2000]
+//
+// -codec selects the snapshot encoding end to end: the wire messages
+// nodes publish, the node spools, and the central archive files. The
+// run summary reports actual bytes-on-wire per snapshot alongside what
+// the same stream costs in each codec, so the text/binary trade is
+// visible without rerunning.
 //
 // With -portal-load N > 0, after the ETL builds the job table the run
 // serves an in-process portal over it and drives N concurrent readers
@@ -50,6 +57,7 @@ import (
 	"gostats/internal/broker"
 	"gostats/internal/chip"
 	"gostats/internal/cluster"
+	"gostats/internal/codec"
 	"gostats/internal/collect"
 	"gostats/internal/etl"
 	"gostats/internal/faultnet"
@@ -60,6 +68,7 @@ import (
 	"gostats/internal/rawfile"
 	"gostats/internal/realtime"
 	"gostats/internal/reldb"
+	"gostats/internal/schema"
 	"gostats/internal/spool"
 	"gostats/internal/telemetry"
 	"gostats/internal/workload"
@@ -77,6 +86,8 @@ func main() {
 		"daemon mode only: inject broker faults and assert snapshot conservation")
 	chaosOutage := flag.Float64("chaos-outage", 1230,
 		"length of the injected broker outage (simulated seconds)")
+	codecName := flag.String("codec", "text",
+		"snapshot codec for wire, spools, and archive: text (v1) or binary (v2)")
 	telemetryAddr := flag.String("telemetry", "127.0.0.1:0",
 		`ops endpoint address ("off" to disable)`)
 	portalLoad := flag.Int("portal-load", 0,
@@ -86,6 +97,10 @@ func main() {
 	flag.Parse()
 	if *chaos && *mode != "daemon" {
 		log.Fatalf("simcluster: -chaos requires -mode daemon")
+	}
+	runCodec, err := codec.ParseVersion(*codecName)
+	if err != nil {
+		log.Fatalf("simcluster: %v", err)
 	}
 
 	var ops *telemetry.OpsServer
@@ -107,6 +122,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("simcluster: %v", err)
 	}
+	store.SetCodec(runCodec)
 	span := *days * 86400
 	nJobs := *jobs
 	if nJobs == 0 {
@@ -157,6 +173,7 @@ func main() {
 	var srv *broker.Server
 	var listener *realtime.Listener
 	var ctl *chaosController
+	var ledger *wireLedger
 	listenDone := make(chan error, 1)
 	switch *mode {
 	case "cron":
@@ -166,6 +183,7 @@ func main() {
 			if err != nil {
 				return nil, err
 			}
+			logger.SetCodec(runCodec)
 			return cronSink{logger}, nil
 		}
 		eng.SyncHook = func(host string, now float64) error {
@@ -196,11 +214,13 @@ func main() {
 			eng.NewSink = func(n *hwsim.Node, col *collect.Collector) (cluster.Sink, error) {
 				pub := broker.NewReliablePublisher(addr, broker.StatsQueue)
 				pub.Policy = chaosPolicy()
+				pub.Codec = runCodec
+				pub.Registry = reg
 				pub.Dialer = ctl.net.Dialer(func(a string) (net.Conn, error) {
 					return net.DialTimeout("tcp", a, 2*time.Second)
 				})
 				sp, err := spool.Open(filepath.Join(*out, "nodespool", n.Host()),
-					col.Header(), spool.Options{})
+					col.Header(), spool.Options{Codec: runCodec})
 				if err != nil {
 					return nil, err
 				}
@@ -214,7 +234,7 @@ func main() {
 				if err != nil {
 					return nil, err
 				}
-				return daemonSink{broker.SnapshotPublisher{C: client}, client}, nil
+				return daemonSink{broker.SnapshotPublisher{C: client, Codec: runCodec, Registry: reg}, client}, nil
 			}
 		}
 		cons, err := broker.DialConsumer(addr, broker.StatsQueue)
@@ -224,13 +244,20 @@ func main() {
 		mon := realtime.NewMonitor(reg, realtime.DefaultRules())
 		mon.Notify = func(a realtime.Alert) { fmt.Printf("ALERT %s\n", a) }
 		listener = &realtime.Listener{
-			Cons: cons, Monitor: mon, Store: store,
+			Cons: cons, Monitor: mon, Store: store, Registry: reg,
 			Headers: func(host string) rawfile.Header {
 				return rawfile.Header{Hostname: host, Arch: "sandybridge", Registry: reg}
 			},
 		}
+		ledger = &wireLedger{reg: reg}
+		listener.OnDecoded = ledger.observe
 		if ctl != nil {
-			listener.OnSnapshot = ctl.collect
+			listener.OnSnapshot = func(s model.Snapshot) {
+				ledger.sample(s)
+				ctl.collect(s)
+			}
+		} else {
+			listener.OnSnapshot = ledger.sample
 		}
 		go func() { listenDone <- listener.Run() }()
 	default:
@@ -274,6 +301,7 @@ func main() {
 		fmt.Printf("simcluster: broker published=%d delivered=%d redelivered=%d acked=%d backlog=%d listener_processed=%d\n",
 			qs.Published, qs.Delivered, qs.Redelivered, qs.Acked,
 			srv.QueueDepth(broker.StatsQueue), listener.Processed())
+		ledger.print()
 		srv.Close()
 		if err := <-listenDone; err != nil {
 			log.Fatalf("simcluster: listener: %v", err)
@@ -464,6 +492,73 @@ func printOverheadSummary(ops *telemetry.OpsServer, nodes int, spanSec float64) 
 		sum, float64(nodes)*spanSec, frac*100, budgetFraction*100, verdict(frac <= budgetFraction))
 }
 
+// wireLedger accounts the actual bytes-on-wire per snapshot and, from a
+// bounded sample of the decoded stream, what the same snapshots cost in
+// each codec — so one run shows the text/binary trade.
+type wireLedger struct {
+	reg *schema.Registry
+
+	mu        sync.Mutex
+	count     int64
+	bytes     int64
+	ver       codec.Version
+	sampled   int64
+	textBytes int64
+	binBytes  int64
+}
+
+// wireSampleMax bounds the re-encoded comparison sample; beyond a few
+// hundred snapshots the per-codec averages are stable.
+const wireSampleMax = 256
+
+// observe books one delivered message's actual codec and size.
+func (l *wireLedger) observe(v codec.Version, wireBytes int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.count++
+	l.bytes += int64(wireBytes)
+	l.ver = v
+}
+
+// sample re-encodes one decoded snapshot in both codecs for the
+// comparative per-snapshot averages.
+func (l *wireLedger) sample(s model.Snapshot) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.sampled >= wireSampleMax {
+		return
+	}
+	tb, terr := codec.EncodeWire(s, l.reg, codec.V1Text)
+	bb, berr := codec.EncodeWire(s, l.reg, codec.V2Binary)
+	if terr != nil || berr != nil {
+		return
+	}
+	l.textBytes += int64(len(tb))
+	l.binBytes += int64(len(bb))
+	l.sampled++
+}
+
+// print emits the wire summary lines.
+func (l *wireLedger) print() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.count == 0 {
+		return
+	}
+	name := "gob"
+	if l.ver != 0 {
+		name = l.ver.String()
+	}
+	fmt.Printf("simcluster wire: %d snapshots over codec %s, %d bytes on wire (%.0f B/snap)\n",
+		l.count, name, l.bytes, float64(l.bytes)/float64(l.count))
+	if l.sampled > 0 {
+		t := float64(l.textBytes) / float64(l.sampled)
+		b := float64(l.binBytes) / float64(l.sampled)
+		fmt.Printf("simcluster wire: per-snapshot cost by codec (sample of %d): text=%.0f B, binary=%.0f B (%.1fx smaller)\n",
+			l.sampled, t, b, t/b)
+	}
+}
+
 type cronSink struct{ logger *rawfile.NodeLogger }
 
 func (s cronSink) Handle(snap model.Snapshot) error { return s.logger.Log(snap) }
@@ -628,6 +723,7 @@ func (c *chaosController) report() error {
 		st.Dropped += ps.Dropped
 		st.Spooled += ps.Spooled
 		st.Replayed += ps.Replayed
+		st.BytesOnWire += ps.BytesOnWire
 	}
 	var missing []string
 	for k := range c.emitted {
@@ -638,8 +734,14 @@ func (c *chaosController) report() error {
 	sort.Strings(missing)
 	fmt.Printf("simcluster chaos: emitted=%d archived=%d spool_remaining=%d duplicates=%d missing=%d\n",
 		len(c.emitted), len(c.collected), len(spoolResident), c.duplicates, len(missing))
-	fmt.Printf("simcluster chaos: transport published=%d redials=%d spooled=%d replayed=%d dropped=%d; faults %+v\n",
-		st.Published, st.Redials, st.Spooled, st.Replayed, st.Dropped, c.net.Stats())
+	delivered := st.Published + st.Replayed
+	perSnap := 0.0
+	if delivered > 0 {
+		perSnap = float64(st.BytesOnWire) / float64(delivered)
+	}
+	fmt.Printf("simcluster chaos: transport published=%d redials=%d spooled=%d replayed=%d dropped=%d bytes_on_wire=%d (%.0f B/snap); faults %+v\n",
+		st.Published, st.Redials, st.Spooled, st.Replayed, st.Dropped,
+		st.BytesOnWire, perSnap, c.net.Stats())
 	if len(missing) > 0 {
 		n := len(missing)
 		if n > 10 {

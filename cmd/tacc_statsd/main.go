@@ -9,7 +9,7 @@
 //
 //	tacc_statsd -broker 127.0.0.1:5672 [-host c401-101] [-job 4001]
 //	            [-workload wrf|storm|idle] [-interval 600] [-speedup 600]
-//	            [-ticks 12] [-telemetry 127.0.0.1:9101]
+//	            [-ticks 12] [-codec binary] [-telemetry 127.0.0.1:9101]
 //	            [-spool /var/spool/gostats] [-spool-max-bytes N]
 //	            [-spool-max-age SECONDS] [-spool-sync]
 //
@@ -33,6 +33,7 @@ import (
 
 	"gostats/internal/broker"
 	"gostats/internal/chip"
+	"gostats/internal/codec"
 	"gostats/internal/collect"
 	"gostats/internal/hwsim"
 	"gostats/internal/spool"
@@ -68,8 +69,14 @@ func main() {
 	spoolAge := flag.Float64("spool-max-age", 0,
 		"evict spooled snapshots older than this many seconds (0 = unlimited)")
 	spoolSync := flag.Bool("spool-sync", false, "fsync the spool after every append")
+	codecName := flag.String("codec", "text", "wire and spool codec: text (v1) or binary (v2)")
 	telemetryAddr := flag.String("telemetry", "", "ops endpoint address (empty = disabled)")
 	flag.Parse()
+
+	wireCodec, err := codec.ParseVersion(*codecName)
+	if err != nil {
+		log.Fatalf("tacc_statsd: %v", err)
+	}
 
 	var ops *telemetry.OpsServer
 	if *telemetryAddr != "" {
@@ -99,11 +106,14 @@ func main() {
 	// interval's sample; with one, the sample waits on disk instead.
 	col := collect.New(node)
 	pub := broker.NewReliablePublisher(*brokerAddr, broker.StatsQueue)
+	pub.Codec = wireCodec
+	pub.Registry = chip.StampedeNode().Registry()
 	if *spoolDir != "" {
 		sp, err := spool.Open(*spoolDir, col.Header(), spool.Options{
 			MaxBytes: *spoolMax,
 			MaxAge:   *spoolAge,
 			Sync:     *spoolSync,
+			Codec:    wireCodec,
 		})
 		if err != nil {
 			log.Fatalf("tacc_statsd: open spool: %v", err)

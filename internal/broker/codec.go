@@ -3,16 +3,19 @@ package broker
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 
+	"gostats/internal/codec"
 	"gostats/internal/model"
+	"gostats/internal/schema"
 )
 
 // StatsQueue is the conventional queue name node daemons publish raw
 // collections to.
 const StatsQueue = "gostats.raw"
 
-// EncodeSnapshot serializes a snapshot for transport.
+// EncodeSnapshot serializes a snapshot in the legacy (v0) gob framing.
 func EncodeSnapshot(s model.Snapshot) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
@@ -21,7 +24,7 @@ func EncodeSnapshot(s model.Snapshot) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// DecodeSnapshot deserializes a snapshot from transport bytes.
+// DecodeSnapshot deserializes a legacy gob snapshot.
 func DecodeSnapshot(b []byte) (model.Snapshot, error) {
 	var s model.Snapshot
 	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&s); err != nil {
@@ -30,17 +33,48 @@ func DecodeSnapshot(b []byte) (model.Snapshot, error) {
 	return s, nil
 }
 
+// EncodeSnapshotWire serializes a snapshot for transport in the given
+// codec version; zero selects the legacy gob framing.
+func EncodeSnapshotWire(s model.Snapshot, reg *schema.Registry, v codec.Version) ([]byte, error) {
+	if v == 0 {
+		return EncodeSnapshot(s)
+	}
+	return codec.EncodeWire(s, reg, v)
+}
+
+// DecodeSnapshotWire deserializes a transport message of any vintage:
+// tagged codec messages (v1 text, v2 binary) decode against reg; bytes
+// that are neither fall back to legacy gob. The returned version is the
+// codec that matched (zero for gob), letting consumers account traffic
+// per codec in mixed-version fleets.
+func DecodeSnapshotWire(b []byte, reg *schema.Registry) (model.Snapshot, codec.Version, error) {
+	s, v, err := codec.DecodeWire(b, reg)
+	if err == nil {
+		return s, v, nil
+	}
+	if errors.Is(err, codec.ErrUnknownWire) {
+		s, gerr := DecodeSnapshot(b)
+		return s, 0, gerr
+	}
+	return model.Snapshot{}, v, err
+}
+
 // SnapshotPublisher adapts a Client to the collect.Publisher interface:
-// each snapshot becomes one message on StatsQueue.
+// each snapshot becomes one message on StatsQueue. With a zero Codec it
+// publishes legacy gob; set Codec (and Registry) to publish the
+// versioned wire encodings.
 type SnapshotPublisher struct {
-	C *Client
+	C        *Client
+	Codec    codec.Version
+	Registry *schema.Registry
 }
 
 // Publish implements collect.Publisher.
 func (p SnapshotPublisher) Publish(s model.Snapshot) error {
-	b, err := EncodeSnapshot(s)
+	b, err := EncodeSnapshotWire(s, p.Registry, p.Codec)
 	if err != nil {
 		return err
 	}
+	p.C.Codec = p.Codec
 	return p.C.Publish(StatsQueue, b)
 }

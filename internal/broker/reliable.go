@@ -7,7 +7,9 @@ import (
 	"sync"
 	"time"
 
+	"gostats/internal/codec"
 	"gostats/internal/model"
+	"gostats/internal/schema"
 	"gostats/internal/spool"
 	"gostats/internal/telemetry"
 )
@@ -21,6 +23,7 @@ type publisherMetrics struct {
 	spooled        *telemetry.Counter
 	replayed       *telemetry.Counter
 	breakerState   *telemetry.Gauge
+	bytesOnWire    *telemetry.Counter
 }
 
 func newPublisherMetrics(reg *telemetry.Registry, queue string) *publisherMetrics {
@@ -44,16 +47,19 @@ func newPublisherMetrics(reg *telemetry.Registry, queue string) *publisherMetric
 		breakerState: reg.Gauge("gostats_publish_breaker_state",
 			"Publish circuit breaker state (0=closed, 1=open, 2=half-open).",
 			"queue", queue),
+		bytesOnWire: reg.Counter("gostats_publish_bytes_total",
+			"Encoded snapshot bytes delivered to the broker.", "queue", queue),
 	}
 }
 
 // TransportStats are the lifetime counters of one ReliablePublisher.
 type TransportStats struct {
-	Published int // snapshots delivered to the broker (live path)
-	Redials   int // reconnects after a dropped broker connection
-	Dropped   int // snapshots lost for good (no spool, or spool failed)
-	Spooled   int // snapshots diverted to the durable spool
-	Replayed  int // spooled snapshots later delivered by the drainer
+	Published   int   // snapshots delivered to the broker (live path)
+	Redials     int   // reconnects after a dropped broker connection
+	Dropped     int   // snapshots lost for good (no spool, or spool failed)
+	Spooled     int   // snapshots diverted to the durable spool
+	Replayed    int   // spooled snapshots later delivered by the drainer
+	BytesOnWire int64 // encoded bytes of every delivered snapshot
 }
 
 // ReliablePublisher is the publisher the node daemon actually runs: it
@@ -89,6 +95,13 @@ type ReliablePublisher struct {
 	// before the first publish. Nil uses telemetry.Default().
 	Metrics *telemetry.Registry
 
+	// Codec selects the wire encoding for snapshots (zero = legacy
+	// gob); Registry must be set when Codec is. Set before the first
+	// publish — the version is also declared on the connection so a
+	// pinned broker can reject a mismatch outright.
+	Codec    codec.Version
+	Registry *schema.Registry
+
 	mu      sync.Mutex
 	client  *Client
 	met     *publisherMetrics
@@ -101,11 +114,12 @@ type ReliablePublisher struct {
 	drainStop chan struct{}
 	drainDone chan struct{}
 
-	published int
-	redials   int
-	dropped   int
-	spooled   int
-	replayed  int
+	published   int
+	redials     int
+	dropped     int
+	spooled     int
+	replayed    int
+	bytesOnWire int64
 }
 
 // NewReliablePublisher returns a publisher for the queue at addr. No
@@ -178,6 +192,7 @@ func (p *ReliablePublisher) dialLocked() (*Client, error) {
 	c := NewClientConn(conn)
 	c.WriteTimeout = p.pol.WriteTimeout
 	c.AckTimeout = p.pol.AckTimeout
+	c.Codec = p.Codec
 	return c, nil
 }
 
@@ -225,6 +240,8 @@ func (p *ReliablePublisher) publishLocked(body []byte) error {
 		p.breaker.Success()
 		p.published++
 		met.published.Inc()
+		p.bytesOnWire += int64(len(body))
+		met.bytesOnWire.Add(uint64(len(body)))
 		return nil
 	}
 	return fmt.Errorf("broker: publish failed after %d attempts: %w",
@@ -250,7 +267,7 @@ func (p *ReliablePublisher) PublishBytes(body []byte) error {
 // arrives while a backlog is still replaying, so ordering holds — is
 // spooled instead of dropped.
 func (p *ReliablePublisher) Publish(s model.Snapshot) error {
-	body, err := EncodeSnapshot(s)
+	body, err := EncodeSnapshotWire(s, p.Registry, p.Codec)
 	if err != nil {
 		return err
 	}
@@ -342,7 +359,7 @@ func (p *ReliablePublisher) drainLoop() {
 // releases its own lock around this callback, so taking p.mu here keeps
 // the p.mu-before-spool lock order.
 func (p *ReliablePublisher) replayOne(s model.Snapshot) error {
-	body, err := EncodeSnapshot(s)
+	body, err := EncodeSnapshotWire(s, p.Registry, p.Codec)
 	if err != nil {
 		return err
 	}
@@ -372,11 +389,12 @@ func (p *ReliablePublisher) TransportStats() TransportStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return TransportStats{
-		Published: p.published,
-		Redials:   p.redials,
-		Dropped:   p.dropped,
-		Spooled:   p.spooled,
-		Replayed:  p.replayed,
+		Published:   p.published,
+		Redials:     p.redials,
+		Dropped:     p.dropped,
+		Spooled:     p.spooled,
+		Replayed:    p.replayed,
+		BytesOnWire: p.bytesOnWire,
 	}
 }
 

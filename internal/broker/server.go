@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"gostats/internal/codec"
 	"gostats/internal/telemetry"
 )
 
@@ -35,6 +36,16 @@ type frame struct {
 	Body  []byte
 	Err   string
 
+	// Code is a machine-readable error discriminator on "err" frames so
+	// clients can map server rejections to named errors.
+	Code string
+
+	// Codec declares the snapshot codec version of a publish's Body
+	// (codec.Version). Legacy producers gob-encode frames without the
+	// field, which decodes as 0 (unknown) — a server pinned to a wire
+	// version rejects those instead of misframing the queue.
+	Codec uint8
+
 	// Confirm asks the server to ack a publish once the message is
 	// enqueued. Fire-and-forget publishes can be torn mid-frame by a
 	// connection reset without the producer ever learning; a confirmed
@@ -42,6 +53,14 @@ type frame struct {
 	// of possible duplicates — consumers must tolerate at-least-once).
 	Confirm bool
 }
+
+// codeCodecMismatch marks the err frame a version-pinned server sends a
+// producer publishing a different codec.
+const codeCodecMismatch = "codec-mismatch"
+
+// ErrCodecMismatch is returned to a producer whose declared snapshot
+// codec does not match the broker's pinned wire version.
+var ErrCodecMismatch = errors.New("broker: producer codec does not match broker wire version")
 
 // Frame op codes.
 const (
@@ -91,6 +110,13 @@ type Server struct {
 
 	// WriteTimeout, when > 0, bounds writing one frame to a client.
 	WriteTimeout time.Duration
+
+	// WireVersion, when non-zero, pins the snapshot codec this broker
+	// accepts: a publish declaring any other codec (including legacy
+	// producers that declare none) is rejected with a codec-mismatch
+	// error frame and the connection dropped. Zero accepts everything —
+	// mixed fleets negotiate per message instead.
+	WireVersion codec.Version
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -275,6 +301,13 @@ func (s *Server) handle(conn net.Conn) {
 				enc.Encode(frame{Op: opErr, Err: "publish without queue"})
 				return
 			}
+			if s.WireVersion != 0 && codec.Version(f.Codec) != s.WireVersion {
+				armWrite(conn, s.WriteTimeout)
+				enc.Encode(frame{Op: opErr, Code: codeCodecMismatch,
+					Err: fmt.Sprintf("producer codec %s, broker pinned to %s",
+						codec.Version(f.Codec), s.WireVersion)})
+				return
+			}
 			s.getQueue(f.Queue).push(f.Body)
 			if f.Confirm {
 				armWrite(conn, s.WriteTimeout)
@@ -407,6 +440,10 @@ type Client struct {
 	WriteTimeout time.Duration
 	// AckTimeout, when > 0, bounds waiting for a PublishConfirmed ack.
 	AckTimeout time.Duration
+	// Codec declares the snapshot codec of published bodies in the
+	// handshake; a server pinned to a different WireVersion rejects the
+	// publish with ErrCodecMismatch. Zero declares "legacy" (gob).
+	Codec codec.Version
 
 	mu   sync.Mutex
 	conn net.Conn
@@ -452,7 +489,7 @@ func (c *Client) Publish(queueName string, body []byte) error {
 		return ErrClosed
 	}
 	armWrite(c.conn, c.WriteTimeout)
-	if err := c.enc.Encode(frame{Op: opPub, Queue: queueName, Body: body}); err != nil {
+	if err := c.enc.Encode(frame{Op: opPub, Queue: queueName, Body: body, Codec: uint8(c.Codec)}); err != nil {
 		return fmt.Errorf("broker: publish: %w", err)
 	}
 	return nil
@@ -469,7 +506,7 @@ func (c *Client) PublishConfirmed(queueName string, body []byte) error {
 		return ErrClosed
 	}
 	armWrite(c.conn, c.WriteTimeout)
-	if err := c.enc.Encode(frame{Op: opPub, Queue: queueName, Body: body, Confirm: true}); err != nil {
+	if err := c.enc.Encode(frame{Op: opPub, Queue: queueName, Body: body, Codec: uint8(c.Codec), Confirm: true}); err != nil {
 		return fmt.Errorf("broker: publish: %w", err)
 	}
 	armRead(c.conn, c.AckTimeout)
@@ -481,6 +518,9 @@ func (c *Client) PublishConfirmed(queueName string, body []byte) error {
 	case opAck:
 		return nil
 	case opErr:
+		if f.Code == codeCodecMismatch {
+			return fmt.Errorf("%w: %s", ErrCodecMismatch, f.Err)
+		}
 		return fmt.Errorf("broker: server error: %s", f.Err)
 	default:
 		return fmt.Errorf("broker: unexpected confirm frame %q", f.Op)

@@ -1,0 +1,613 @@
+// Codec v2: the framed binary snapshot format. Compared with the text
+// codec it trades human readability for size and decode speed:
+//
+//   - the schema registry is carried once in a header frame, and every
+//     record names its class by index into that header's schema order;
+//   - instance names and job ids are dictionary-encoded against a
+//     per-stream string table (a reference equal to the current table
+//     size introduces a new string inline);
+//   - counter vectors are delta-encoded per (class, instance) against
+//     the previous snapshot and written as zigzag varints — monotone
+//     counters sampled every few minutes produce small deltas, so most
+//     values fit in one or two bytes;
+//   - every frame carries a CRC-32C, making crash recovery exact at
+//     frame granularity.
+//
+// A header frame resets all decoder state (string table, delta bases),
+// which is what makes appending to an existing file safe: a
+// continuation encoder just emits a fresh header frame.
+package codec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"gostats/internal/model"
+	"gostats/internal/schema"
+)
+
+// binMagic prefixes every v2 binary stream. The leading NUL cannot
+// appear at the start of a v1 text file, so sniffing is unambiguous.
+var binMagic = [4]byte{0x00, 'G', 'S', 'B'}
+
+const (
+	frameHeader   = 'H'
+	frameSnapshot = 'S'
+
+	// maxFramePayload bounds a single frame so a corrupt or hostile
+	// length prefix cannot make the decoder allocate gigabytes.
+	maxFramePayload = 1 << 26
+	// arenaChunk is how many uint64s the decoder allocates at a time
+	// for record value slices.
+	arenaChunk = 4096
+	// maxStringTable bounds the per-stream dictionary for the same
+	// reason; real streams hold a few hundred instance names.
+	maxStringTable = 1 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// zigzag encoding maps small signed deltas to small unsigned varints.
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// binEncoder implements SnapshotEncoder for codec v2.
+type binEncoder struct {
+	w            io.Writer
+	header       Header
+	continuation bool
+	wroteHeader  bool
+	err          error
+
+	classIdx map[schema.Class]uint64
+	strIndex map[string]uint64
+	prevMs   int64
+	prevVals map[uint64][]uint64 // (classIdx<<32 | instRef) -> last values
+
+	buf []byte // scratch frame payload
+	out []byte // scratch assembled frame, written in one call
+}
+
+func newBinaryEncoder(w io.Writer, h Header, continuation bool) (*binEncoder, error) {
+	if h.Registry == nil {
+		return nil, fmt.Errorf("codec: binary encoder requires a schema registry")
+	}
+	return &binEncoder{w: w, header: h, continuation: continuation}, nil
+}
+
+// WriteHeader emits the stream preamble (magic + version, unless this is
+// a continuation of an existing file) and a header frame, and resets all
+// stream state.
+func (e *binEncoder) WriteHeader() error {
+	if e.err != nil {
+		return e.err
+	}
+	if e.wroteHeader {
+		return nil
+	}
+	e.wroteHeader = true
+
+	e.classIdx = make(map[schema.Class]uint64)
+	e.strIndex = make(map[string]uint64)
+	e.prevMs = 0
+	e.prevVals = make(map[uint64][]uint64)
+
+	if !e.continuation {
+		pre := append(append([]byte(nil), binMagic[:]...), byte(V2Binary))
+		if _, err := e.w.Write(pre); err != nil {
+			e.err = err
+			return err
+		}
+	}
+
+	classes := e.header.Registry.Classes()
+	e.buf = e.buf[:0]
+	e.buf = appendString(e.buf, e.header.Hostname)
+	e.buf = appendString(e.buf, e.header.Arch)
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(classes)))
+	for i, c := range classes {
+		e.classIdx[c] = uint64(i)
+		e.buf = appendString(e.buf, e.header.Registry.Get(c).Line())
+	}
+	return e.writeFrame(frameHeader, e.buf)
+}
+
+// WriteSnapshot appends one snapshot frame.
+func (e *binEncoder) WriteSnapshot(s model.Snapshot) error {
+	if err := e.WriteHeader(); err != nil {
+		return err
+	}
+	ms := int64(math.Round(s.Time * 1000))
+	e.buf = e.buf[:0]
+	e.buf = binary.AppendUvarint(e.buf, zigzag(ms-e.prevMs))
+	e.prevMs = ms
+
+	jobs := sortedJobIDs(s.JobIDs)
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(jobs)))
+	for _, j := range jobs {
+		e.putStringRef(j)
+	}
+	e.buf = appendString(e.buf, s.Mark)
+
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(s.Records)))
+	for _, r := range s.Records {
+		ci, ok := e.classIdx[r.Class]
+		if !ok {
+			e.err = fmt.Errorf("codec: record for unknown class %q", r.Class)
+			return e.err
+		}
+		e.buf = binary.AppendUvarint(e.buf, ci)
+		instRef := e.putStringRef(sanitizeInstance(r.Instance))
+		e.buf = binary.AppendUvarint(e.buf, uint64(len(r.Values)))
+
+		key := ci<<32 | instRef
+		prev := e.prevVals[key]
+		if prev == nil {
+			prev = make([]uint64, len(r.Values))
+			e.prevVals[key] = prev
+		} else if len(prev) != len(r.Values) {
+			// Value-vector length changed mid-stream (shouldn't happen
+			// with a fixed schema); restart the delta base.
+			prev = make([]uint64, len(r.Values))
+			e.prevVals[key] = prev
+		}
+		for i, v := range r.Values {
+			e.buf = binary.AppendUvarint(e.buf, zigzag(int64(v-prev[i])))
+			prev[i] = v
+		}
+	}
+	return e.writeFrame(frameSnapshot, e.buf)
+}
+
+// putStringRef dictionary-encodes s into the scratch payload and returns
+// its table index.
+func (e *binEncoder) putStringRef(s string) uint64 {
+	if ref, ok := e.strIndex[s]; ok {
+		e.buf = binary.AppendUvarint(e.buf, ref)
+		return ref
+	}
+	ref := uint64(len(e.strIndex))
+	e.strIndex[s] = ref
+	e.buf = binary.AppendUvarint(e.buf, ref)
+	e.buf = appendString(e.buf, s)
+	return ref
+}
+
+// writeFrame assembles a complete frame and hands it to the underlying
+// writer in a single Write, so a frame is the atomic unit of output.
+func (e *binEncoder) writeFrame(typ byte, payload []byte) error {
+	if e.err != nil {
+		return e.err
+	}
+	e.out = append(e.out[:0], typ)
+	e.out = binary.AppendUvarint(e.out, uint64(len(payload)))
+	e.out = append(e.out, payload...)
+	e.out = binary.LittleEndian.AppendUint32(e.out, crc32.Checksum(payload, crcTable))
+	if _, err := e.w.Write(e.out); err != nil {
+		e.err = err
+	}
+	return e.err
+}
+
+// Flush implements SnapshotEncoder; frames are written unbuffered, so
+// there is nothing to push.
+func (e *binEncoder) Flush() error { return e.err }
+
+// binState is the decode-side stream state shared by the streaming
+// decoder and the crash-recovery scanner. A header frame resets it.
+type binState struct {
+	h        Header
+	classes  []*schema.Schema // in header frame order (== sorted order)
+	strTable []string
+	prevMs   int64
+	prevVals map[uint64][]uint64
+	arena    []uint64 // chunked backing for decoded value slices
+}
+
+// applyHeader parses a header frame payload and resets all state.
+func (st *binState) applyHeader(payload []byte) error {
+	c := byteCursor{b: payload}
+	host, err := c.str()
+	if err != nil {
+		return fmt.Errorf("codec: header hostname: %w", err)
+	}
+	arch, err := c.str()
+	if err != nil {
+		return fmt.Errorf("codec: header arch: %w", err)
+	}
+	n, err := c.count(2)
+	if err != nil {
+		return fmt.Errorf("codec: header schema count: %w", err)
+	}
+	schemas := make([]*schema.Schema, 0, n)
+	for i := 0; i < n; i++ {
+		line, err := c.str()
+		if err != nil {
+			return fmt.Errorf("codec: header schema line %d: %w", i, err)
+		}
+		s, err := schema.ParseLine(line)
+		if err != nil {
+			return fmt.Errorf("codec: %w", err)
+		}
+		schemas = append(schemas, s)
+	}
+	reg, err := schema.NewRegistry(schemas...)
+	if err != nil {
+		return fmt.Errorf("codec: %w", err)
+	}
+	st.h = Header{Hostname: host, Arch: arch, Registry: reg}
+	st.classes = schemas
+	st.strTable = st.strTable[:0]
+	st.prevMs = 0
+	st.prevVals = make(map[uint64][]uint64)
+	return nil
+}
+
+// applySnapshot parses a snapshot frame payload against current state.
+func (st *binState) applySnapshot(payload []byte) (model.Snapshot, error) {
+	var zero model.Snapshot
+	if st.classes == nil {
+		return zero, fmt.Errorf("codec: snapshot frame before header")
+	}
+	c := byteCursor{b: payload}
+	dt, err := c.varint()
+	if err != nil {
+		return zero, fmt.Errorf("codec: snapshot time: %w", err)
+	}
+	st.prevMs += dt
+	s := model.Snapshot{Time: float64(st.prevMs) / 1000, Host: st.h.Hostname}
+
+	njobs, err := c.count(1)
+	if err != nil {
+		return zero, fmt.Errorf("codec: job count: %w", err)
+	}
+	for i := 0; i < njobs; i++ {
+		j, err := st.stringRef(&c)
+		if err != nil {
+			return zero, fmt.Errorf("codec: job id: %w", err)
+		}
+		s.JobIDs = append(s.JobIDs, j)
+	}
+	if s.Mark, err = c.str(); err != nil {
+		return zero, fmt.Errorf("codec: mark: %w", err)
+	}
+
+	nrec, err := c.count(3)
+	if err != nil {
+		return zero, fmt.Errorf("codec: record count: %w", err)
+	}
+	if nrec > 0 {
+		s.Records = make([]model.Record, 0, nrec)
+	}
+	for i := 0; i < nrec; i++ {
+		ci, err := c.uvarint()
+		if err != nil {
+			return zero, fmt.Errorf("codec: record class: %w", err)
+		}
+		if ci >= uint64(len(st.classes)) {
+			return zero, fmt.Errorf("codec: record class ref %d out of range", ci)
+		}
+		sch := st.classes[ci]
+		inst, instRef, err := st.stringRefIdx(&c)
+		if err != nil {
+			return zero, fmt.Errorf("codec: record instance: %w", err)
+		}
+		nvals, err := c.count(1)
+		if err != nil {
+			return zero, fmt.Errorf("codec: value count: %w", err)
+		}
+		if nvals != sch.Len() {
+			return zero, fmt.Errorf("codec: class %q has %d values, schema wants %d",
+				sch.Class, nvals, sch.Len())
+		}
+		key := ci<<32 | instRef
+		prev := st.prevVals[key]
+		if prev == nil || len(prev) != nvals {
+			prev = make([]uint64, nvals)
+			st.prevVals[key] = prev
+		}
+		// Value slices are carved out of a shared arena chunk: one
+		// allocation amortized over hundreds of records instead of one
+		// per record. The three-index slice keeps each record's slice
+		// capacity-bounded so a consumer's append cannot bleed into the
+		// next record's values.
+		if len(st.arena) < nvals {
+			st.arena = make([]uint64, max(arenaChunk, nvals))
+		}
+		vals := st.arena[:nvals:nvals]
+		st.arena = st.arena[nvals:]
+		for k := 0; k < nvals; k++ {
+			d, err := c.varint()
+			if err != nil {
+				return zero, fmt.Errorf("codec: value delta: %w", err)
+			}
+			prev[k] += uint64(d)
+			vals[k] = prev[k]
+		}
+		s.Records = append(s.Records, model.Record{Class: sch.Class, Instance: inst, Values: vals})
+	}
+	if c.off != len(c.b) {
+		return zero, fmt.Errorf("codec: %d trailing bytes in snapshot frame", len(c.b)-c.off)
+	}
+	return s, nil
+}
+
+func (st *binState) stringRef(c *byteCursor) (string, error) {
+	s, _, err := st.stringRefIdx(c)
+	return s, err
+}
+
+func (st *binState) stringRefIdx(c *byteCursor) (string, uint64, error) {
+	ref, err := c.uvarint()
+	if err != nil {
+		return "", 0, err
+	}
+	if ref < uint64(len(st.strTable)) {
+		return st.strTable[ref], ref, nil
+	}
+	if ref != uint64(len(st.strTable)) {
+		return "", 0, fmt.Errorf("string ref %d skips table size %d", ref, len(st.strTable))
+	}
+	if len(st.strTable) >= maxStringTable {
+		return "", 0, fmt.Errorf("string table overflow")
+	}
+	s, err := c.str()
+	if err != nil {
+		return "", 0, err
+	}
+	st.strTable = append(st.strTable, s)
+	return s, ref, nil
+}
+
+// byteCursor is a bounds-checked reader over a frame payload.
+type byteCursor struct {
+	b   []byte
+	off int
+}
+
+func (c *byteCursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.b[c.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("truncated varint at offset %d", c.off)
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *byteCursor) varint() (int64, error) {
+	u, err := c.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	return unzigzag(u), nil
+}
+
+// count reads an element count and sanity-checks it against the bytes
+// remaining (each element occupies at least minBytes), so a corrupt
+// count cannot drive a huge allocation.
+func (c *byteCursor) count(minBytes int) (int, error) {
+	v, err := c.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(len(c.b)-c.off)/uint64(minBytes)+1 {
+		return 0, fmt.Errorf("count %d exceeds frame size", v)
+	}
+	return int(v), nil
+}
+
+func (c *byteCursor) str() (string, error) {
+	n, err := c.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(c.b)-c.off) {
+		return "", fmt.Errorf("string length %d exceeds frame size", n)
+	}
+	s := string(c.b[c.off : c.off+int(n)])
+	c.off += int(n)
+	return s, nil
+}
+
+// binDecoder implements SnapshotDecoder for codec v2.
+type binDecoder struct {
+	r   *bufio.Reader
+	st  binState
+	buf []byte // reused frame payload buffer; apply* copies everything out
+	err error
+}
+
+func newBinaryDecoder(r *bufio.Reader) (*binDecoder, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("codec: short binary preamble: %w", err)
+	}
+	ver, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("codec: binary version: %w", err)
+	}
+	if Version(ver) != V2Binary {
+		return nil, fmt.Errorf("codec: unsupported binary version %d", ver)
+	}
+	d := &binDecoder{r: r}
+	// Consume frames until the first header so Header() is valid
+	// immediately; a snapshot frame before any header is an error.
+	for {
+		typ, payload, err := d.readFrame()
+		if err != nil {
+			if err == io.EOF {
+				return nil, fmt.Errorf("codec: binary stream has no header frame")
+			}
+			return nil, err
+		}
+		switch typ {
+		case frameHeader:
+			if err := d.st.applyHeader(payload); err != nil {
+				return nil, err
+			}
+			return d, nil
+		case frameSnapshot:
+			return nil, fmt.Errorf("codec: snapshot frame before header")
+		default:
+			// Unknown frame types are forward-compatible noise.
+		}
+	}
+}
+
+func (d *binDecoder) Version() Version { return V2Binary }
+func (d *binDecoder) Header() Header   { return d.st.h }
+
+// readFrame reads one CRC-verified frame. io.EOF at a frame boundary is
+// a clean end of stream.
+func (d *binDecoder) readFrame() (byte, []byte, error) {
+	typ, err := d.r.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, err
+	}
+	n, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return 0, nil, fmt.Errorf("codec: truncated frame length: %w", eofToUnexpected(err))
+	}
+	if n > maxFramePayload {
+		return 0, nil, fmt.Errorf("codec: frame payload %d exceeds limit", n)
+	}
+	if uint64(cap(d.buf)) < n {
+		d.buf = make([]byte, n)
+	}
+	payload := d.buf[:n]
+	if _, err := io.ReadFull(d.r, payload); err != nil {
+		return 0, nil, fmt.Errorf("codec: truncated frame payload: %w", eofToUnexpected(err))
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(d.r, crc[:]); err != nil {
+		return 0, nil, fmt.Errorf("codec: truncated frame CRC: %w", eofToUnexpected(err))
+	}
+	if got := crc32.Checksum(payload, crcTable); got != binary.LittleEndian.Uint32(crc[:]) {
+		return 0, nil, fmt.Errorf("codec: frame CRC mismatch")
+	}
+	return typ, payload, nil
+}
+
+func eofToUnexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Next returns the next snapshot frame, handling mid-stream header
+// frames (appended continuations) and skipping unknown frame types.
+func (d *binDecoder) Next() (model.Snapshot, error) {
+	if d.err != nil {
+		return model.Snapshot{}, d.err
+	}
+	for {
+		typ, payload, err := d.readFrame()
+		if err != nil {
+			d.err = err
+			return model.Snapshot{}, err
+		}
+		switch typ {
+		case frameHeader:
+			if err := d.st.applyHeader(payload); err != nil {
+				d.err = err
+				return model.Snapshot{}, err
+			}
+		case frameSnapshot:
+			s, err := d.st.applySnapshot(payload)
+			if err != nil {
+				d.err = err
+				return model.Snapshot{}, err
+			}
+			return s, nil
+		default:
+			// Skip unknown frame types.
+		}
+	}
+}
+
+// recoverBinary scans a damaged binary stream frame by frame, keeping
+// everything up to the first frame that fails its CRC, truncates, or
+// does not decode. Frames are atomic, so recovered snapshots are always
+// whole — there is no partial-last-snapshot case as in the text codec.
+func recoverBinary(data []byte) (*Stream, []byte, error) {
+	if len(data) < len(binMagic)+1 {
+		return nil, data, fmt.Errorf("codec: short binary preamble")
+	}
+	ver, vn := binary.Uvarint(data[len(binMagic):])
+	if vn <= 0 || Version(ver) != V2Binary {
+		return nil, data, fmt.Errorf("codec: unsupported binary version")
+	}
+	off := len(binMagic) + vn
+	st := &Stream{Version: V2Binary}
+	var state binState
+	sawHeader := false
+	var damage error
+
+	good := off
+	for off < len(data) {
+		typ := data[off]
+		pos := off + 1
+		n, un := binary.Uvarint(data[pos:])
+		if un <= 0 {
+			damage = fmt.Errorf("codec: truncated frame length at offset %d", pos)
+			break
+		}
+		pos += un
+		if n > maxFramePayload || uint64(len(data)-pos) < n+4 {
+			damage = fmt.Errorf("codec: truncated frame at offset %d", off)
+			break
+		}
+		payload := data[pos : pos+int(n)]
+		pos += int(n)
+		want := binary.LittleEndian.Uint32(data[pos : pos+4])
+		pos += 4
+		if crc32.Checksum(payload, crcTable) != want {
+			damage = fmt.Errorf("codec: frame CRC mismatch at offset %d", off)
+			break
+		}
+		switch typ {
+		case frameHeader:
+			if err := state.applyHeader(payload); err != nil {
+				damage = err
+				break
+			}
+			sawHeader = true
+		case frameSnapshot:
+			s, err := state.applySnapshot(payload)
+			if err != nil {
+				damage = err
+				break
+			}
+			st.Snapshots = append(st.Snapshots, s)
+		}
+		if damage != nil {
+			break
+		}
+		off = pos
+		good = off
+	}
+	if !sawHeader {
+		if damage == nil {
+			damage = fmt.Errorf("codec: binary stream has no header frame")
+		}
+		return nil, data, damage
+	}
+	st.Header = state.h
+	if damage == nil {
+		return st, nil, nil
+	}
+	return st, data[good:], damage
+}

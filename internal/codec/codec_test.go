@@ -1,0 +1,426 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"gostats/internal/model"
+	"gostats/internal/schema"
+)
+
+func testHeader() Header {
+	return Header{Hostname: "c401-101", Arch: "sandybridge", Registry: schema.DefaultRegistry()}
+}
+
+// normalize applies the canonical form both codecs emit so expected
+// snapshots can be compared against decoded ones.
+func normalize(s model.Snapshot, host string) model.Snapshot {
+	out := s.Clone()
+	out.Host = host
+	out.Time = float64(int64(s.Time*1000+0.5)) / 1000
+	out.JobIDs = sortedJobIDs(s.JobIDs)
+	for i := range out.Records {
+		out.Records[i].Instance = sanitizeInstance(out.Records[i].Instance)
+	}
+	if out.Records == nil {
+		out.Records = []model.Record{}
+	}
+	return out
+}
+
+func fixtureSnapshots(reg *schema.Registry) []model.Snapshot {
+	mkRec := func(c schema.Class, inst string, seed uint64) model.Record {
+		sch := reg.Get(c)
+		vals := make([]uint64, sch.Len())
+		for i := range vals {
+			vals[i] = seed + uint64(i)*7
+		}
+		return model.Record{Class: c, Instance: inst, Values: vals}
+	}
+	return []model.Snapshot{
+		{
+			Time: 1451606400, JobIDs: []string{"4002", "4001"}, Mark: "begin 4001",
+			Records: []model.Record{mkRec(schema.ClassCPU, "0", 100), mkRec(schema.ClassCPU, "1", 200)},
+		},
+		{
+			Time: 1451606700.25, JobIDs: []string{"4001"},
+			Records: []model.Record{
+				mkRec(schema.ClassCPU, "0", 150), mkRec(schema.ClassCPU, "1", 260),
+				mkRec(schema.ClassIB, "mlx4_0/1", 9000), mkRec(schema.ClassMem, "", 4096),
+			},
+		},
+		{
+			Time: 1451607000.999, Mark: "end 4001",
+			Records: []model.Record{mkRec(schema.ClassCPU, "0", 170)},
+		},
+	}
+}
+
+func encodeAll(t *testing.T, h Header, v Version, snaps []model.Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc, err := NewEncoder(&buf, h, v)
+	if err != nil {
+		t.Fatalf("NewEncoder(%s): %v", v, err)
+	}
+	for _, s := range snaps {
+		if err := enc.WriteSnapshot(s); err != nil {
+			t.Fatalf("WriteSnapshot(%s): %v", v, err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatalf("Flush(%s): %v", v, err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTripBothVersions(t *testing.T) {
+	h := testHeader()
+	snaps := fixtureSnapshots(h.Registry)
+	for _, v := range []Version{V1Text, V2Binary} {
+		data := encodeAll(t, h, v, snaps)
+		st, err := DecodeAll(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("DecodeAll(%s): %v", v, err)
+		}
+		if st.Version != v {
+			t.Fatalf("decoded version = %s, want %s", st.Version, v)
+		}
+		if st.Header.Hostname != h.Hostname || st.Header.Arch != h.Arch {
+			t.Fatalf("decoded header = %+v", st.Header)
+		}
+		if len(st.Snapshots) != len(snaps) {
+			t.Fatalf("%s: decoded %d snapshots, want %d", v, len(st.Snapshots), len(snaps))
+		}
+		for i, got := range st.Snapshots {
+			want := normalize(snaps[i], h.Hostname)
+			if got.Records == nil {
+				got.Records = []model.Record{}
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s snapshot %d:\n got %+v\nwant %+v", v, i, got, want)
+			}
+		}
+	}
+}
+
+func TestSniff(t *testing.T) {
+	h := testHeader()
+	snaps := fixtureSnapshots(h.Registry)
+	if v, err := Sniff(encodeAll(t, h, V1Text, snaps)); err != nil || v != V1Text {
+		t.Fatalf("Sniff(text) = %v, %v", v, err)
+	}
+	if v, err := Sniff(encodeAll(t, h, V2Binary, snaps)); err != nil || v != V2Binary {
+		t.Fatalf("Sniff(binary) = %v, %v", v, err)
+	}
+	if _, err := Sniff([]byte("garbage")); err == nil {
+		t.Fatal("Sniff(garbage) should fail")
+	}
+	if _, err := Sniff(nil); err == nil {
+		t.Fatal("Sniff(empty) should fail")
+	}
+}
+
+// TestPropertyEquivalence is the randomized codec-equivalence property
+// test: for arbitrary snapshots covering every schema class, marks,
+// multi-job labels, and empty/hostile instance names, decode(encode(s))
+// must be identical under v1 text and v2 binary.
+func TestPropertyEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	h := testHeader()
+	classes := h.Registry.Classes()
+	instances := []string{"", "0", "1", "mlx4_0/1", "has space", "tab\tchar", "-", "eth0"}
+	marks := []string{"", "begin 77", "end 77", "procdump"}
+
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(5)
+		snaps := make([]model.Snapshot, 0, n)
+		// Times at millisecond granularity, increasing but with jitter.
+		tms := int64(1451606400000) + int64(rng.Intn(1000))*137
+		for i := 0; i < n; i++ {
+			tms += int64(rng.Intn(600000))
+			s := model.Snapshot{Time: float64(tms) / 1000, Mark: marks[rng.Intn(len(marks))]}
+			for j := rng.Intn(4); j > 0; j-- {
+				s.JobIDs = append(s.JobIDs, string(rune('a'+rng.Intn(5)))+"42")
+			}
+			for r := rng.Intn(8); r > 0; r-- {
+				c := classes[rng.Intn(len(classes))]
+				sch := h.Registry.Get(c)
+				vals := make([]uint64, sch.Len())
+				for k := range vals {
+					// Mix huge counters, small gauges, and zero.
+					switch rng.Intn(3) {
+					case 0:
+						vals[k] = rng.Uint64()
+					case 1:
+						vals[k] = uint64(rng.Intn(1000))
+					}
+				}
+				s.Records = append(s.Records, model.Record{
+					Class: c, Instance: instances[rng.Intn(len(instances))], Values: vals,
+				})
+			}
+			snaps = append(snaps, s)
+		}
+
+		text := encodeAll(t, h, V1Text, snaps)
+		bin := encodeAll(t, h, V2Binary, snaps)
+		stText, err := DecodeAll(bytes.NewReader(text))
+		if err != nil {
+			t.Fatalf("trial %d: decode text: %v", trial, err)
+		}
+		stBin, err := DecodeAll(bytes.NewReader(bin))
+		if err != nil {
+			t.Fatalf("trial %d: decode binary: %v", trial, err)
+		}
+		if !reflect.DeepEqual(stText.Snapshots, stBin.Snapshots) {
+			t.Fatalf("trial %d: text and binary decode differ:\ntext %+v\nbin  %+v",
+				trial, stText.Snapshots, stBin.Snapshots)
+		}
+		if !reflect.DeepEqual(stText.Header, stBin.Header) {
+			t.Fatalf("trial %d: headers differ: %+v vs %+v", trial, stText.Header, stBin.Header)
+		}
+	}
+}
+
+// TestContinuation verifies appending to an existing stream with
+// NewContinuation yields one decodable stream for both codecs.
+func TestContinuation(t *testing.T) {
+	h := testHeader()
+	snaps := fixtureSnapshots(h.Registry)
+	for _, v := range []Version{V1Text, V2Binary} {
+		var buf bytes.Buffer
+		enc, err := NewEncoder(&buf, h, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.WriteSnapshot(snaps[0]); err != nil {
+			t.Fatal(err)
+		}
+		enc.Flush()
+
+		cont, err := NewContinuation(&buf, h, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range snaps[1:] {
+			if err := cont.WriteSnapshot(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cont.Flush()
+
+		st, err := DecodeAll(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: decode continued stream: %v", v, err)
+		}
+		if len(st.Snapshots) != len(snaps) {
+			t.Fatalf("%s: decoded %d snapshots, want %d", v, len(st.Snapshots), len(snaps))
+		}
+		for i, got := range st.Snapshots {
+			if got.Time != normalize(snaps[i], h.Hostname).Time {
+				t.Fatalf("%s: snapshot %d time = %v", v, i, got.Time)
+			}
+		}
+	}
+}
+
+// TestBinaryCrashRecovery truncates a binary stream at every byte
+// offset and verifies RecoverFrames always yields a whole-frame prefix:
+// each recovered snapshot is complete and identical to the original.
+func TestBinaryCrashRecovery(t *testing.T) {
+	h := testHeader()
+	snaps := fixtureSnapshots(h.Registry)
+	data := encodeAll(t, h, V2Binary, snaps)
+	full, err := DecodeAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := 0; cut < len(data); cut++ {
+		// A cut exactly at a frame boundary is indistinguishable from a
+		// clean end of stream, so rerr may be nil there; what recovery
+		// must never do is yield a partial or corrupted snapshot.
+		st, _, _ := RecoverFrames(data[:cut])
+		if st == nil {
+			continue // header never recovered — acceptable for early cuts
+		}
+		if len(st.Snapshots) > len(full.Snapshots) {
+			t.Fatalf("cut %d: recovered %d snapshots from prefix", cut, len(st.Snapshots))
+		}
+		for i, got := range st.Snapshots {
+			if !reflect.DeepEqual(got, full.Snapshots[i]) {
+				t.Fatalf("cut %d: snapshot %d differs after recovery:\n got %+v\nwant %+v",
+					cut, i, got, full.Snapshots[i])
+			}
+		}
+	}
+
+	// Corruption (bit flip) inside a frame must also stop recovery at the
+	// preceding frame boundary, not yield garbage.
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)-10] ^= 0x40
+	st, _, rerr := RecoverFrames(corrupt)
+	if rerr == nil {
+		t.Fatal("bit flip went undetected")
+	}
+	if st != nil {
+		for i, got := range st.Snapshots {
+			if !reflect.DeepEqual(got, full.Snapshots[i]) {
+				t.Fatalf("post-corruption snapshot %d differs", i)
+			}
+		}
+	}
+}
+
+// TestTextRecoveryUnchanged pins the v1 recovery semantics the spool
+// depends on: a tail torn inside the last snapshot's block drops that
+// snapshot under RecoverFrames but keeps its complete records under
+// RecoverPrefix.
+func TestTextRecoveryUnchanged(t *testing.T) {
+	h := testHeader()
+	snaps := fixtureSnapshots(h.Registry)
+	data := encodeAll(t, h, V1Text, snaps)
+
+	// Cut mid-record-line inside the last snapshot's block.
+	idx := bytes.LastIndexByte(bytes.TrimRight(data, "\n"), ' ')
+	cut := data[:idx]
+
+	st, tail, err := RecoverPrefix(cut)
+	if err == nil {
+		t.Fatal("expected damage error")
+	}
+	if len(st.Snapshots) != len(snaps) {
+		t.Fatalf("RecoverPrefix kept %d snapshots, want %d (partial last)", len(st.Snapshots), len(snaps))
+	}
+	if !TextTornInsideLastFrame(tail) {
+		t.Fatalf("tail %q should read as torn inside last frame", tail)
+	}
+
+	stf, _, err := RecoverFrames(cut)
+	if err == nil {
+		t.Fatal("expected damage error")
+	}
+	if len(stf.Snapshots) != len(snaps)-1 {
+		t.Fatalf("RecoverFrames kept %d snapshots, want %d", len(stf.Snapshots), len(snaps)-1)
+	}
+}
+
+func TestStreamingDecoderNext(t *testing.T) {
+	h := testHeader()
+	snaps := fixtureSnapshots(h.Registry)
+	data := encodeAll(t, h, V2Binary, snaps)
+	d, err := NewDecoder(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Header().Hostname != h.Hostname {
+		t.Fatalf("Header() = %+v before first Next", d.Header())
+	}
+	var n int
+	for {
+		_, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != len(snaps) {
+		t.Fatalf("streamed %d snapshots, want %d", n, len(snaps))
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	h := testHeader()
+	snaps := fixtureSnapshots(h.Registry)
+	for _, v := range []Version{V1Text, V2Binary} {
+		for i, s := range snaps {
+			s.Host = h.Hostname
+			msg, err := EncodeWire(s, h.Registry, v)
+			if err != nil {
+				t.Fatalf("EncodeWire(%s): %v", v, err)
+			}
+			got, gotV, err := DecodeWire(msg, h.Registry)
+			if err != nil {
+				t.Fatalf("DecodeWire(%s): %v", v, err)
+			}
+			if gotV != v {
+				t.Fatalf("wire version = %s, want %s", gotV, v)
+			}
+			want := normalize(s, h.Hostname)
+			if got.Records == nil {
+				got.Records = []model.Record{}
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s wire snapshot %d:\n got %+v\nwant %+v", v, i, got, want)
+			}
+		}
+	}
+}
+
+func TestWireFingerprintMismatch(t *testing.T) {
+	h := testHeader()
+	s := fixtureSnapshots(h.Registry)[0]
+	s.Host = h.Hostname
+	msg, err := EncodeWire(s, h.Registry, V2Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, _ := schema.NewRegistry(schema.CPUSchema())
+	if _, _, err := DecodeWire(msg, other); !errors.Is(err, ErrFingerprintMismatch) {
+		t.Fatalf("DecodeWire with wrong registry = %v, want ErrFingerprintMismatch", err)
+	}
+}
+
+func TestWireUnknownBytes(t *testing.T) {
+	if _, _, err := DecodeWire([]byte{0x1f, 0x02, 0x03}, schema.DefaultRegistry()); !errors.Is(err, ErrUnknownWire) {
+		t.Fatalf("gob-ish bytes = %v, want ErrUnknownWire", err)
+	}
+}
+
+func TestParseVersion(t *testing.T) {
+	for in, want := range map[string]Version{
+		"text": V1Text, "v1": V1Text, "1": V1Text, "v1-text": V1Text,
+		"binary": V2Binary, "V2": V2Binary, "2": V2Binary, "v2-binary": V2Binary,
+	} {
+		got, err := ParseVersion(in)
+		if err != nil || got != want {
+			t.Errorf("ParseVersion(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseVersion("protobuf"); err == nil {
+		t.Error("ParseVersion(protobuf) should fail")
+	}
+}
+
+// TestBinarySmallerThanText is the compression sanity gate backing the
+// bytes-on-wire acceptance criterion.
+func TestBinarySmallerThanText(t *testing.T) {
+	h := testHeader()
+	var snaps []model.Snapshot
+	base := fixtureSnapshots(h.Registry)
+	for i := 0; i < 200; i++ {
+		s := base[i%len(base)].Clone()
+		s.Time += float64(i * 300)
+		snaps = append(snaps, s)
+	}
+	text := len(encodeAll(t, h, V1Text, snaps))
+	bin := len(encodeAll(t, h, V2Binary, snaps))
+	if bin*2 > text {
+		t.Fatalf("binary stream %dB not ≥2× smaller than text %dB", bin, text)
+	}
+}
+
+func TestDecoderRejectsGarbageAfterMagic(t *testing.T) {
+	bad := append(append([]byte(nil), binMagic[:]...), 0x02, frameSnapshot, 0x01, 0xff)
+	if _, err := DecodeAll(bytes.NewReader(bad)); err == nil {
+		t.Fatal("snapshot-before-header stream should fail")
+	}
+}

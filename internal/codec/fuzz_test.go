@@ -1,0 +1,45 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+
+	"gostats/internal/schema"
+)
+
+// FuzzBinaryDecode throws arbitrary bytes at every binary entry point.
+// The decoder must reject damage with an error — never panic, never
+// allocate unboundedly — and recovery must stay within the input.
+func FuzzBinaryDecode(f *testing.F) {
+	h := testHeader()
+	reg := schema.DefaultRegistry()
+	var snaps = fixtureSnapshots(reg)
+
+	var buf bytes.Buffer
+	enc, _ := NewEncoder(&buf, h, V2Binary)
+	for _, s := range snaps {
+		enc.WriteSnapshot(s)
+	}
+	full := buf.Bytes()
+	f.Add(full)
+	f.Add(full[:len(full)/2])
+	f.Add(full[:len(binMagic)+1])
+	if wire, err := EncodeWire(snaps[0], reg, V2Binary); err == nil {
+		f.Add(wire)
+	}
+	f.Add([]byte{0x00, 'G', 'S', 'B', 0x02})
+	f.Add([]byte{0x00, 'G', 'S', 'W', 0x02})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if st, err := DecodeAll(bytes.NewReader(data)); err == nil && st == nil {
+			t.Fatal("nil stream without error")
+		}
+		if st, tail, err := RecoverPrefix(data); err == nil && st == nil {
+			t.Fatal("recovery reported success with nil stream")
+		} else if len(tail) > len(data) {
+			t.Fatal("recovered tail longer than input")
+		}
+		RecoverFrames(data)
+		DecodeWire(data, reg)
+	})
+}

@@ -13,7 +13,6 @@ import (
 	"gostats/internal/chip"
 	"gostats/internal/cluster"
 	"gostats/internal/core"
-	"gostats/internal/jobmap"
 	"gostats/internal/model"
 	"gostats/internal/rawfile"
 	"gostats/internal/reldb"
@@ -167,55 +166,31 @@ func MetaFromSpec(s workload.Spec) Meta {
 	}
 }
 
-// IngestStore reads every archived host file in a central raw store,
-// maps snapshots to jobs, reduces complete jobs to rows, joins the
-// accounting metadata, and inserts into db. Jobs missing metadata are
-// ingested with blank accounting fields rather than dropped — data
-// beats completeness here, as in the real system. It returns the ids
-// ingested.
+// IngestStore streams every archived snapshot in a central raw store —
+// all hosts merged in global time order, damaged files recovered to
+// their intact prefix — through the incremental Assembler, reducing
+// each complete job to a row, joining the accounting metadata, and
+// inserting into db. Jobs missing metadata are ingested with blank
+// accounting fields rather than dropped — data beats completeness here,
+// as in the real system. It returns the ids ingested, sorted.
+//
+// This is the batch face of the streaming core: raw files are decoded
+// one snapshot at a time (text or binary, sniffed per file) and never
+// materialized whole; memory scales with in-flight jobs, not with the
+// store.
 func IngestStore(st *rawfile.Store, reg *schema.Registry, meta map[string]Meta, db *reldb.DB) ([]string, error) {
 	met := newETLMetrics(telemetry.Default())
 	timer := met.batchSeconds.Start()
 	defer timer.Stop()
-	m, err := jobmap.FromStore(st)
-	if err != nil {
+	a := &Assembler{Registry: reg, Meta: meta, DB: db, EndGrace: DefaultEndGrace}
+	if _, err := st.Walk(func(s model.Snapshot) error {
+		a.Feed(s)
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	met.jobsMapped.Add(uint64(len(m.JobIDs())))
-	var ingested []string
-	for _, id := range m.JobIDs() {
-		jd := m.Jobs()[id]
-		sum, err := core.Compute(jd, reg)
-		if err != nil {
-			// A job with a single sample (e.g. node died mid-job) cannot
-			// be reduced; skip it rather than fail the batch.
-			continue
-		}
-		row := &reldb.JobRow{JobID: id, Hosts: jd.HostNames(), Metrics: *sum}
-		if b, e, ok := m.Bounds(id); ok {
-			row.StartTime, row.EndTime = b, e
-		} else {
-			// Job missing a begin or end mark (e.g. still running when
-			// the window closed): fall back to the observed sample span.
-			row.StartTime, row.EndTime = observedSpan(jd)
-		}
-		if md, ok := meta[id]; ok {
-			row.User, row.Account, row.Exe, row.JobName = md.User, md.Account, md.Exe, md.JobName
-			row.Queue, row.Status = md.Queue, md.Status
-			row.Nodes, row.Wayness = md.Nodes, md.Wayness
-			row.SubmitTime = md.Submit
-		}
-		if row.Status == "" {
-			row.Status = "RUNNING"
-		}
-		if row.Nodes == 0 {
-			row.Nodes = len(jd.Hosts)
-		}
-		db.Insert(row)
-		met.rowsIngested.Inc()
-		ingested = append(ingested, id)
-	}
-	return ingested, nil
+	a.Flush()
+	return a.IngestedIDs(), nil
 }
 
 // observedSpan returns the earliest and latest sample times across a

@@ -1,0 +1,219 @@
+package etl
+
+import (
+	"sort"
+
+	"gostats/internal/core"
+	"gostats/internal/model"
+	"gostats/internal/reldb"
+	"gostats/internal/schema"
+	"gostats/internal/telemetry"
+)
+
+// DefaultEndGrace is the grace window the batch driver uses: one
+// canonical collection interval (the paper's 10-minute tick), long
+// enough that every host's same-cycle samples land before the reduce.
+const DefaultEndGrace = 600
+
+// Assembler is the streaming job-run assembler at the heart of the
+// incremental ETL: it consumes decoded snapshots as they arrive — from
+// the live broker stream or a raw-store walk — and finalizes each job
+// into a relational row the moment the stream says it is over, without
+// ever materializing whole raw files.
+//
+// A job finalizes when:
+//
+//   - its "% end <id>" mark has been seen and the stream watermark (the
+//     maximum snapshot time observed) has advanced past the end time by
+//     EndGrace — the grace window lets straggler hosts of a multi-node
+//     job flush their last samples before the row is reduced; or
+//   - the watermark has advanced IdleTimeout past the job's last sample
+//     with no end mark — the job's node died, or the scheduler never
+//     delivered the epilog; cron mode would have carried such a job
+//     forever, the streaming path closes it out.
+//
+// Both triggers are evaluated against stream time, not wall time, so a
+// historical replay behaves identically to a live tail. Flush finalizes
+// everything left (batch end-of-input).
+//
+// Not safe for concurrent use; the listener serializes messages anyway.
+type Assembler struct {
+	// Registry reduces each finalized job to Table I metrics.
+	Registry *schema.Registry
+	// Meta joins scheduler accounting onto finalized rows (may be nil:
+	// rows then carry blank accounting, as in the batch path).
+	Meta map[string]Meta
+	// DB receives finalized rows.
+	DB *reldb.DB
+
+	// EndGrace is how far (stream seconds) the watermark must pass a
+	// job's end mark before the row is reduced. Zero finalizes on the
+	// first snapshot after the mark.
+	EndGrace float64
+	// IdleTimeout, when > 0, finalizes a job with no end mark once the
+	// watermark is this far past its last sample.
+	IdleTimeout float64
+
+	// OnRow, if set, observes every finalized row (tests, metrics).
+	OnRow func(*reldb.JobRow)
+
+	// Metrics selects the telemetry registry; nil uses Default().
+	Metrics *telemetry.Registry
+
+	jobs      map[string]*jobState
+	watermark float64
+	ingested  []string
+	skipped   int
+	met       *etlMetrics
+}
+
+// jobState is one in-flight job's accumulation.
+type jobState struct {
+	jd        *model.JobData
+	begin     float64
+	end       float64
+	haveBegin bool
+	haveEnd   bool
+	lastSeen  float64 // max snapshot time labeled with this job
+}
+
+func (a *Assembler) init() {
+	if a.jobs == nil {
+		a.jobs = make(map[string]*jobState)
+	}
+	if a.met == nil {
+		reg := a.Metrics
+		if reg == nil {
+			reg = telemetry.Default()
+		}
+		a.met = newETLMetrics(reg)
+	}
+}
+
+func (a *Assembler) job(id string) *jobState {
+	js := a.jobs[id]
+	if js == nil {
+		js = &jobState{jd: model.NewJobData(id)}
+		a.jobs[id] = js
+		a.met.jobsMapped.Inc()
+	}
+	return js
+}
+
+// Feed folds one snapshot into every job it is labeled with, records
+// begin/end marks, advances the watermark, and finalizes any job whose
+// trigger fired. Snapshots must arrive in globally non-decreasing time
+// order for the idle trigger to be meaningful (Store.Walk and the live
+// stream both provide this); out-of-order samples are still folded
+// correctly, they just cannot un-fire a timeout.
+func (a *Assembler) Feed(s model.Snapshot) {
+	a.init()
+	for _, id := range s.JobIDs {
+		js := a.job(id)
+		h := js.jd.Host(s.Host)
+		for _, r := range s.Records {
+			h.Append(s.Time, r)
+		}
+		if s.Time > js.lastSeen {
+			js.lastSeen = s.Time
+		}
+	}
+	switch {
+	case len(s.Mark) > 6 && s.Mark[:6] == "begin ":
+		js := a.job(s.Mark[6:])
+		js.begin, js.haveBegin = s.Time, true
+	case len(s.Mark) > 4 && s.Mark[:4] == "end ":
+		js := a.job(s.Mark[4:])
+		js.end, js.haveEnd = s.Time, true
+	}
+	if s.Time > a.watermark {
+		a.watermark = s.Time
+	}
+	a.sweep()
+}
+
+// sweep finalizes every job whose end-mark or idle trigger has fired at
+// the current watermark.
+func (a *Assembler) sweep() {
+	var due []string
+	for id, js := range a.jobs {
+		switch {
+		case js.haveEnd && a.watermark >= js.end+a.EndGrace:
+			due = append(due, id)
+		case a.IdleTimeout > 0 && js.lastSeen > 0 &&
+			a.watermark-js.lastSeen >= a.IdleTimeout:
+			due = append(due, id)
+		}
+	}
+	sort.Strings(due)
+	for _, id := range due {
+		a.finalize(id)
+	}
+}
+
+// finalize reduces one job to its row, joins metadata, inserts, and
+// forgets the accumulated state. Jobs too thin to reduce (a single
+// sample — the node died between ticks) are dropped, as in the batch
+// path.
+func (a *Assembler) finalize(id string) {
+	js := a.jobs[id]
+	delete(a.jobs, id)
+	sum, err := core.Compute(js.jd, a.Registry)
+	if err != nil {
+		a.skipped++
+		return
+	}
+	row := &reldb.JobRow{JobID: id, Hosts: js.jd.HostNames(), Metrics: *sum}
+	if js.haveBegin && js.haveEnd {
+		row.StartTime, row.EndTime = js.begin, js.end
+	} else {
+		row.StartTime, row.EndTime = observedSpan(js.jd)
+	}
+	if md, ok := a.Meta[id]; ok {
+		row.User, row.Account, row.Exe, row.JobName = md.User, md.Account, md.Exe, md.JobName
+		row.Queue, row.Status = md.Queue, md.Status
+		row.Nodes, row.Wayness = md.Nodes, md.Wayness
+		row.SubmitTime = md.Submit
+	}
+	if row.Status == "" {
+		row.Status = "RUNNING"
+	}
+	if row.Nodes == 0 {
+		row.Nodes = len(js.jd.Hosts)
+	}
+	if a.DB != nil {
+		a.DB.Insert(row)
+	}
+	a.met.rowsIngested.Inc()
+	a.ingested = append(a.ingested, id)
+	if a.OnRow != nil {
+		a.OnRow(row)
+	}
+}
+
+// Flush finalizes every job still in flight, in sorted id order —
+// end-of-input for a batch, or shutdown for a live tail.
+func (a *Assembler) Flush() {
+	a.init()
+	ids := make([]string, 0, len(a.jobs))
+	for id := range a.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		a.finalize(id)
+	}
+}
+
+// Pending reports how many jobs are accumulating but not yet finalized.
+func (a *Assembler) Pending() int { return len(a.jobs) }
+
+// IngestedIDs returns every finalized job id so far, sorted.
+func (a *Assembler) IngestedIDs() []string {
+	ids := append([]string(nil), a.ingested...)
+	sort.Strings(ids)
+	return ids
+}
+
+// Skipped reports jobs dropped because they were too thin to reduce.
+func (a *Assembler) Skipped() int { return a.skipped }

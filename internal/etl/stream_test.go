@@ -1,0 +1,144 @@
+package etl
+
+import (
+	"reflect"
+	"testing"
+
+	"gostats/internal/chip"
+	"gostats/internal/collect"
+	"gostats/internal/hwsim"
+	"gostats/internal/model"
+	"gostats/internal/reldb"
+)
+
+// streamFixture collects a two-job stream on one simulated node: job 7
+// runs ticks 0–1200 with begin/end marks; job 8 starts at 1800 and
+// never ends (its node "dies").
+func streamFixture(t *testing.T) []model.Snapshot {
+	t.Helper()
+	cfg := chip.StampedeNode()
+	n, err := hwsim.NewNode("c1", cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := collect.New(n)
+	var snaps []model.Snapshot
+	tick := func(at float64, jobs []string, mark string) {
+		s, _ := col.Collect(at, jobs, mark)
+		snaps = append(snaps, s)
+	}
+	tick(0, []string{"7"}, collect.JobMark(collect.MarkBegin, "7"))
+	n.Advance(600, hwsim.Demand{CPUUserFrac: 0.6, IPC: 1})
+	tick(600, []string{"7"}, "")
+	n.Advance(600, hwsim.Demand{CPUUserFrac: 0.6, IPC: 1})
+	tick(1200, []string{"7"}, collect.JobMark(collect.MarkEnd, "7"))
+	n.Advance(600, hwsim.Demand{})
+	tick(1800, []string{"8"}, collect.JobMark(collect.MarkBegin, "8"))
+	n.Advance(600, hwsim.Demand{CPUUserFrac: 0.3, IPC: 1})
+	tick(2400, []string{"8"}, "")
+	n.Advance(600, hwsim.Demand{})
+	tick(3000, nil, "")
+	n.Advance(3600, hwsim.Demand{})
+	tick(6600, nil, "")
+	return snaps
+}
+
+// A job must finalize as soon as the watermark clears its end mark plus
+// the grace window — not at Flush — and the row must match the batch
+// reduction exactly.
+func TestAssemblerFinalizesOnEndMark(t *testing.T) {
+	snaps := streamFixture(t)
+	reg := chip.StampedeNode().Registry()
+	db := reldb.New()
+	var rows []string
+	a := &Assembler{Registry: reg, DB: db, EndGrace: 600,
+		OnRow: func(r *reldb.JobRow) { rows = append(rows, r.JobID) }}
+	for i, s := range snaps {
+		a.Feed(s)
+		// Job 7 ends at 1200; grace 600 means the t=1800 snapshot
+		// (index 3) fires the reduce.
+		if i < 3 && len(rows) != 0 {
+			t.Fatalf("job finalized early at snapshot %d: %v", i, rows)
+		}
+	}
+	if !reflect.DeepEqual(rows, []string{"7"}) {
+		t.Fatalf("mid-stream finalized = %v, want [7]", rows)
+	}
+	row := db.Get("7")
+	if row == nil || row.StartTime != 0 || row.EndTime != 1200 {
+		t.Fatalf("row bounds = %+v", row)
+	}
+	if a.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1 (job 8 still open)", a.Pending())
+	}
+	a.Flush()
+	if got := a.IngestedIDs(); !reflect.DeepEqual(got, []string{"7", "8"}) {
+		t.Fatalf("ingested = %v", got)
+	}
+}
+
+// A job with no end mark must finalize once the stream runs IdleTimeout
+// past its last sample — stream time, not wall time.
+func TestAssemblerIdleTimeout(t *testing.T) {
+	snaps := streamFixture(t)
+	reg := chip.StampedeNode().Registry()
+	db := reldb.New()
+	a := &Assembler{Registry: reg, DB: db, EndGrace: 600, IdleTimeout: 3600}
+	for _, s := range snaps {
+		a.Feed(s)
+	}
+	// Job 8's last sample is t=2400; the t=6600 snapshot puts the
+	// watermark 4200 > 3600 past it, closing the job without a mark.
+	if a.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0 after idle timeout", a.Pending())
+	}
+	row := db.Get("8")
+	if row == nil {
+		t.Fatal("idle job not ingested")
+	}
+	// No end mark: bounds fall back to the observed sample span.
+	if row.StartTime != 1800 || row.EndTime != 2400 {
+		t.Fatalf("idle job bounds = %g/%g", row.StartTime, row.EndTime)
+	}
+	if row.Status != "RUNNING" {
+		t.Fatalf("status = %q", row.Status)
+	}
+}
+
+// Feeding the assembler snapshot-by-snapshot must produce the same rows
+// as the one-shot batch ingest over the same data.
+func TestAssemblerMatchesBatchIngest(t *testing.T) {
+	snaps := streamFixture(t)
+	reg := chip.StampedeNode().Registry()
+
+	streamDB := reldb.New()
+	a := &Assembler{Registry: reg, DB: streamDB, EndGrace: DefaultEndGrace}
+	for _, s := range snaps {
+		a.Feed(s)
+	}
+	a.Flush()
+
+	// Reference: a grace window past the end of input, so nothing
+	// finalizes mid-stream and Flush reduces everything at once — the
+	// old batch semantics.
+	batchDB := reldb.New()
+	b := &Assembler{Registry: reg, DB: batchDB, EndGrace: 1e18}
+	for _, s := range snaps {
+		b.Feed(s)
+	}
+	b.Flush()
+
+	for _, id := range []string{"7", "8"} {
+		sr, br := streamDB.Get(id), batchDB.Get(id)
+		if sr == nil || br == nil {
+			t.Fatalf("job %s missing (stream %v, batch %v)", id, sr != nil, br != nil)
+		}
+		if !reflect.DeepEqual(sr.Metrics, br.Metrics) {
+			t.Errorf("job %s metrics differ:\nstream %+v\nbatch  %+v", id, sr.Metrics, br.Metrics)
+		}
+		if sr.StartTime != br.StartTime || sr.EndTime != br.EndTime {
+			t.Errorf("job %s bounds differ: %g/%g vs %g/%g",
+				id, sr.StartTime, sr.EndTime, br.StartTime, br.EndTime)
+		}
+	}
+}

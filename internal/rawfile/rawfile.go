@@ -1,120 +1,54 @@
-// Package rawfile implements the raw stats file format gostats nodes
-// produce — the on-disk lingua franca between collection (either mode)
-// and the job-mapping ETL.
+// Package rawfile is the on-disk raw stats archive layer: node loggers,
+// the central store, and the archiver that the daemon-mode consumer
+// writes through.
 //
-// A raw file is line-oriented text:
-//
-//	$gostats 2.0                 file format version
-//	$hostname c401-101           header properties
-//	$arch sandybridge
-//	!cpu user,E,U=cs nice,E ...  one schema line per device class
-//	                             (blank line ends the header)
-//	1451606400.000 4001,4002     timestamp line: time + job ids
-//	% begin 4001                 optional mark line
-//	cpu 0 183983 2944 ...        record lines: class instance values...
-//	ib mlx4_0/1 18349 ...
-//
-// The format matches TACC Stats' raw format in structure (header with
-// schema lines, timestamped blocks of positional values) so the parser
-// exercises the same concerns: schema-driven decoding, marks, multi-job
-// labels, and blocks appended across rotations.
+// The snapshot encodings themselves live in internal/codec — the
+// line-oriented text format this package originally implemented is
+// codec v1 there (byte-identical), alongside the framed binary codec
+// v2. This package re-exports the v1-era API (Writer, Parse,
+// ParseRecover) as thin wrappers so existing callers and archived files
+// keep working; readers sniff the codec per file, so text and binary
+// archives coexist in one store.
 package rawfile
 
 import (
-	"bufio"
-	"fmt"
 	"io"
-	"sort"
-	"strconv"
-	"strings"
 
+	"gostats/internal/codec"
 	"gostats/internal/model"
-	"gostats/internal/schema"
 )
 
-// Version is the file format version this package reads and writes.
-const Version = "2.0"
+// Version is the text file format version this package reads and writes.
+const Version = codec.TextVersion
 
 // Header carries the per-file metadata and the schema registry needed to
 // interpret record lines.
-type Header struct {
-	Hostname string
-	Arch     string
-	Registry *schema.Registry
-}
+type Header = codec.Header
 
-// Writer emits raw stats files.
+// Writer emits raw stats files in the v1 text codec.
 type Writer struct {
-	w           *bufio.Writer
-	header      Header
-	wroteHeader bool
+	enc codec.SnapshotEncoder
 }
 
-// NewWriter wraps w for raw stats output with the given header.
+// NewWriter wraps w for text raw stats output with the given header.
 func NewWriter(w io.Writer, h Header) *Writer {
-	return &Writer{w: bufio.NewWriter(w), header: h}
+	enc, err := codec.NewEncoder(w, h, codec.V1Text)
+	if err != nil {
+		// The text encoder has no failing constructions.
+		panic(err)
+	}
+	return &Writer{enc: enc}
 }
 
 // WriteHeader emits the file header. It is called automatically by the
 // first WriteSnapshot if not called explicitly.
-func (w *Writer) WriteHeader() error {
-	if w.wroteHeader {
-		return nil
-	}
-	w.wroteHeader = true
-	fmt.Fprintf(w.w, "$gostats %s\n", Version)
-	fmt.Fprintf(w.w, "$hostname %s\n", w.header.Hostname)
-	if w.header.Arch != "" {
-		fmt.Fprintf(w.w, "$arch %s\n", w.header.Arch)
-	}
-	for _, c := range w.header.Registry.Classes() {
-		fmt.Fprintln(w.w, w.header.Registry.Get(c).Line())
-	}
-	fmt.Fprintln(w.w)
-	return w.w.Flush()
-}
-
-// sanitizeInstance makes an instance name safe for the space-separated
-// format.
-func sanitizeInstance(s string) string {
-	if s == "" {
-		return "-"
-	}
-	return strings.Map(func(r rune) rune {
-		if r == ' ' || r == '\t' || r == '\n' {
-			return '_'
-		}
-		return r
-	}, s)
-}
+func (w *Writer) WriteHeader() error { return w.enc.WriteHeader() }
 
 // WriteSnapshot appends one collection block.
-func (w *Writer) WriteSnapshot(s model.Snapshot) error {
-	if err := w.WriteHeader(); err != nil {
-		return err
-	}
-	jobs := "-"
-	if len(s.JobIDs) > 0 {
-		sorted := append([]string(nil), s.JobIDs...)
-		sort.Strings(sorted)
-		jobs = strings.Join(sorted, ",")
-	}
-	fmt.Fprintf(w.w, "%.3f %s\n", s.Time, jobs)
-	if s.Mark != "" {
-		fmt.Fprintf(w.w, "%% %s\n", s.Mark)
-	}
-	for _, r := range s.Records {
-		fmt.Fprintf(w.w, "%s %s", r.Class, sanitizeInstance(r.Instance))
-		for _, v := range r.Values {
-			fmt.Fprintf(w.w, " %d", v)
-		}
-		fmt.Fprintln(w.w)
-	}
-	return w.w.Flush()
-}
+func (w *Writer) WriteSnapshot(s model.Snapshot) error { return w.enc.WriteSnapshot(s) }
 
 // Flush flushes buffered output.
-func (w *Writer) Flush() error { return w.w.Flush() }
+func (w *Writer) Flush() error { return w.enc.Flush() }
 
 // File is a fully parsed raw stats file.
 type File struct {
@@ -122,126 +56,24 @@ type File struct {
 	Snapshots []model.Snapshot
 }
 
-// Parse reads a complete raw stats file. Records whose class is absent
-// from the header registry are rejected: a schema mismatch means the file
-// and the reader disagree about layout and silently guessing would
-// corrupt every downstream metric.
+func fromStream(st *codec.Stream) *File {
+	if st == nil {
+		return nil
+	}
+	return &File{Header: st.Header, Snapshots: st.Snapshots}
+}
+
+// Parse reads a complete raw stats file in either codec (sniffed from
+// the first bytes). Records whose class is absent from the header
+// registry are rejected: a schema mismatch means the file and the
+// reader disagree about layout and silently guessing would corrupt
+// every downstream metric.
 func Parse(r io.Reader) (*File, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<22)
-	f := &File{}
-	var schemas []*schema.Schema
-	var cur *model.Snapshot
-	lineNo := 0
-	inHeader := true
-
-	flush := func() {
-		if cur != nil {
-			f.Snapshots = append(f.Snapshots, *cur)
-			cur = nil
-		}
-	}
-
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimRight(sc.Text(), "\r")
-		if inHeader {
-			switch {
-			case line == "":
-				reg, err := schema.NewRegistry(schemas...)
-				if err != nil {
-					return nil, fmt.Errorf("rawfile: line %d: %w", lineNo, err)
-				}
-				f.Header.Registry = reg
-				inHeader = false
-			case strings.HasPrefix(line, "$"):
-				parts := strings.SplitN(line[1:], " ", 2)
-				if len(parts) != 2 {
-					return nil, fmt.Errorf("rawfile: line %d: malformed property %q", lineNo, line)
-				}
-				switch parts[0] {
-				case "gostats":
-					if parts[1] != Version {
-						return nil, fmt.Errorf("rawfile: unsupported version %q", parts[1])
-					}
-				case "hostname":
-					f.Header.Hostname = parts[1]
-				case "arch":
-					f.Header.Arch = parts[1]
-				default:
-					// Unknown properties are forward-compatible noise.
-				}
-			case strings.HasPrefix(line, "!"):
-				s, err := schema.ParseLine(line)
-				if err != nil {
-					return nil, fmt.Errorf("rawfile: line %d: %w", lineNo, err)
-				}
-				schemas = append(schemas, s)
-			default:
-				return nil, fmt.Errorf("rawfile: line %d: unexpected header line %q", lineNo, line)
-			}
-			continue
-		}
-
-		switch {
-		case line == "":
-			continue
-		case strings.HasPrefix(line, "% "):
-			if cur == nil {
-				return nil, fmt.Errorf("rawfile: line %d: mark before timestamp", lineNo)
-			}
-			cur.Mark = line[2:]
-		default:
-			fields := strings.Fields(line)
-			if len(fields) == 2 && isTimestamp(fields[0]) {
-				// Timestamp line: time jobids
-				flush()
-				t, err := strconv.ParseFloat(fields[0], 64)
-				if err != nil {
-					return nil, fmt.Errorf("rawfile: line %d: bad timestamp: %w", lineNo, err)
-				}
-				snap := model.Snapshot{Time: t, Host: f.Header.Hostname}
-				if fields[1] != "-" {
-					snap.JobIDs = strings.Split(fields[1], ",")
-				}
-				cur = &snap
-				continue
-			}
-			if cur == nil {
-				return nil, fmt.Errorf("rawfile: line %d: record before timestamp", lineNo)
-			}
-			if len(fields) < 2 {
-				return nil, fmt.Errorf("rawfile: line %d: short record %q", lineNo, line)
-			}
-			cls := schema.Class(fields[0])
-			sch := f.Header.Registry.Get(cls)
-			if sch == nil {
-				return nil, fmt.Errorf("rawfile: line %d: record for unknown class %q", lineNo, cls)
-			}
-			vals := fields[2:]
-			if len(vals) != sch.Len() {
-				return nil, fmt.Errorf("rawfile: line %d: class %q has %d values, schema wants %d",
-					lineNo, cls, len(vals), sch.Len())
-			}
-			rec := model.Record{Class: cls, Instance: fields[1], Values: make([]uint64, len(vals))}
-			for i, v := range vals {
-				u, err := strconv.ParseUint(v, 10, 64)
-				if err != nil {
-					return nil, fmt.Errorf("rawfile: line %d: bad value %q: %w", lineNo, v, err)
-				}
-				rec.Values[i] = u
-			}
-			cur.Records = append(cur.Records, rec)
-		}
-	}
-	if err := sc.Err(); err != nil {
+	st, err := codec.DecodeAll(r)
+	if err != nil {
 		return nil, err
 	}
-	if inHeader {
-		return nil, fmt.Errorf("rawfile: truncated header")
-	}
-	flush()
-	return f, nil
+	return fromStream(st), nil
 }
 
 // ParseLenient parses as much of a raw stats file as possible: a file
@@ -260,50 +92,22 @@ func ParseLenient(r io.Reader) (*File, error) {
 // (nil for an undamaged file). Callers that need frame-granularity
 // durability (the daemon-mode write-ahead spool) inspect the tail to
 // decide whether the final recovered snapshot was itself mid-write when
-// the node died: a tail starting with a timestamp means the tear sits at
-// the NEXT frame's boundary, anything else means the last frame's own
-// block is incomplete.
+// the node died: for text files a tail starting with a timestamp means
+// the tear sits at the NEXT frame's boundary; binary frames are atomic,
+// so recovered snapshots are always whole.
 func ParseRecover(r io.Reader) (*File, []byte, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, nil, err
 	}
-	f, perr := Parse(strings.NewReader(string(data)))
-	if perr == nil {
-		return f, nil, nil
-	}
-	// Truncation damage sits at the end of the file: walk back from the
-	// tail dropping one line at a time until the remainder parses. The
-	// scan is bounded — if the last maxBackoff lines don't contain the
-	// damage boundary, the file is corrupt beyond end-truncation and we
-	// give up rather than scan quadratically.
-	const maxBackoff = 1000
-	lines := strings.SplitAfter(string(data), "\n")
-	for k := len(lines) - 1; k >= 0 && k >= len(lines)-maxBackoff; k-- {
-		candidate := strings.Join(lines[:k], "")
-		if f, err := Parse(strings.NewReader(candidate)); err == nil {
-			return f, []byte(strings.Join(lines[k:], "")), perr
-		}
-	}
-	return nil, data, perr
+	st, tail, perr := codec.RecoverPrefix(data)
+	return fromStream(st), tail, perr
 }
 
-// TornTailInsideLastFrame reports whether a ParseRecover torn tail
-// indicates the damage sits inside the final recovered frame's block
-// (record or mark lines torn: that frame's write never completed) rather
-// than at the start of a never-recovered next frame (tail begins with a
-// timestamp fragment, which starts with a digit).
+// TornTailInsideLastFrame reports whether a ParseRecover torn tail from
+// a text file indicates the damage sits inside the final recovered
+// frame's block (record or mark lines torn: that frame's write never
+// completed) rather than at the start of a never-recovered next frame.
 func TornTailInsideLastFrame(tail []byte) bool {
-	t := strings.TrimLeft(string(tail), " \t\r\n")
-	return t != "" && (t[0] < '0' || t[0] > '9')
-}
-
-// isTimestamp reports whether s looks like a "%.3f" epoch timestamp
-// rather than a class name.
-func isTimestamp(s string) bool {
-	if s == "" || (s[0] < '0' || s[0] > '9') {
-		return false
-	}
-	_, err := strconv.ParseFloat(s, 64)
-	return err == nil
+	return codec.TextTornInsideLastFrame(tail)
 }

@@ -1,15 +1,57 @@
 package rawfile
 
 import (
+	"container/heap"
 	"fmt"
 	"io"
 	"math"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
+	"sync"
 
+	"gostats/internal/codec"
 	"gostats/internal/model"
 )
+
+// openEncoder opens path for appending in version v: an existing
+// non-empty file is continued in the codec it already holds (sniffed
+// from its first bytes), so mixed-version archives stay consistent; a
+// new file starts in v.
+func openEncoder(path string, h Header, v codec.Version) (*os.File, codec.SnapshotEncoder, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	var prefix [8]byte
+	n, rerr := f.ReadAt(prefix[:], 0)
+	if rerr != nil && rerr != io.EOF {
+		f.Close()
+		return nil, nil, rerr
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	var enc codec.SnapshotEncoder
+	if n == 0 {
+		enc, err = codec.NewEncoder(f, h, v)
+	} else {
+		existing, serr := codec.Sniff(prefix[:n])
+		if serr != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("rawfile: %s: %w", path, serr)
+		}
+		enc, err = codec.NewContinuation(f, h, existing)
+	}
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return f, enc, nil
+}
 
 // NodeLogger is the cron-mode node-local log: snapshots append to a file
 // named by the day it was rotated in, under a per-node spool directory.
@@ -18,19 +60,24 @@ import (
 type NodeLogger struct {
 	dir    string
 	header Header
+	codec  codec.Version
 	day    int64 // current rotation day (unix days)
 	f      *os.File
-	w      *Writer
+	w      codec.SnapshotEncoder
 }
 
 // NewNodeLogger creates (if needed) the spool directory and returns a
-// logger for it.
+// logger for it, writing the v1 text codec.
 func NewNodeLogger(dir string, h Header) (*NodeLogger, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &NodeLogger{dir: dir, header: h, day: math.MinInt64}, nil
+	return &NodeLogger{dir: dir, header: h, codec: codec.V1Text, day: math.MinInt64}, nil
 }
+
+// SetCodec selects the codec for files the logger creates. Files that
+// already exist are continued in their own codec regardless.
+func (l *NodeLogger) SetCodec(v codec.Version) { l.codec = v }
 
 // Dir returns the logger's spool directory.
 func (l *NodeLogger) Dir() string { return l.dir }
@@ -41,19 +88,21 @@ func (l *NodeLogger) fileForDay(day int64) string {
 }
 
 // Log appends a snapshot, rotating to a new file when the simulated day
-// changes (cron's daily logrotate).
+// changes (cron's daily logrotate). Reopening an existing day file — a
+// collector restart mid-day — continues it rather than writing a second
+// header into the middle.
 func (l *NodeLogger) Log(s model.Snapshot) error {
 	day := int64(s.Time) / 86400
 	if day != l.day {
 		if err := l.Close(); err != nil {
 			return err
 		}
-		f, err := os.OpenFile(l.fileForDay(day), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		f, enc, err := openEncoder(l.fileForDay(day), l.header, l.codec)
 		if err != nil {
 			return err
 		}
 		l.f = f
-		l.w = NewWriter(f, l.header)
+		l.w = enc
 		l.day = day
 	}
 	return l.w.WriteSnapshot(s)
@@ -70,6 +119,7 @@ func (l *NodeLogger) Close() error {
 	}
 	err := l.f.Close()
 	l.f, l.w = nil, nil
+	l.day = math.MinInt64
 	return err
 }
 
@@ -84,16 +134,26 @@ func (l *NodeLogger) Destroy() error {
 // Store is the central shared-filesystem archive: one subdirectory per
 // host containing that host's rsync'd raw files.
 type Store struct {
-	root string
+	root  string
+	codec codec.Version
 }
 
 // NewStore creates (if needed) and opens a central store rooted at dir.
+// New archive files default to the v1 text codec; see SetCodec.
 func NewStore(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &Store{root: dir}, nil
+	return &Store{root: dir, codec: codec.V1Text}, nil
 }
+
+// SetCodec selects the codec for archive files the store creates.
+// Existing files are always continued in their own codec, and reads
+// sniff per file, so mixed-version archives are fine.
+func (s *Store) SetCodec(v codec.Version) { s.codec = v }
+
+// Codec reports the codec new archive files are created with.
+func (s *Store) Codec() codec.Version { return s.codec }
 
 // Root returns the store's root directory.
 func (s *Store) Root() string { return s.root }
@@ -166,27 +226,51 @@ func (s *Store) Hosts() ([]string, error) {
 	return hosts, nil
 }
 
-// ReadHost parses every raw file archived for a host, returning all
-// snapshots in time order.
-func (s *Store) ReadHost(host string) ([]model.Snapshot, error) {
+// hostFiles lists a host's archive files in day order (file names are
+// the rotation day's unix seconds, so they sort numerically).
+func (s *Store) hostFiles(host string) ([]string, error) {
 	dir := filepath.Join(s.root, host)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	var snaps []model.Snapshot
+	type nf struct {
+		n    int64
+		path string
+	}
+	var files []nf
 	for _, e := range entries {
 		if e.IsDir() {
 			continue
 		}
-		f, err := os.Open(filepath.Join(dir, e.Name()))
+		n, _ := strconv.ParseInt(strings.TrimSuffix(e.Name(), ".raw"), 10, 64)
+		files = append(files, nf{n: n, path: filepath.Join(dir, e.Name())})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].n < files[j].n })
+	out := make([]string, len(files))
+	for i, f := range files {
+		out[i] = f.path
+	}
+	return out, nil
+}
+
+// ReadHost parses every raw file archived for a host, returning all
+// snapshots in time order.
+func (s *Store) ReadHost(host string) ([]model.Snapshot, error) {
+	files, err := s.hostFiles(host)
+	if err != nil {
+		return nil, err
+	}
+	var snaps []model.Snapshot
+	for _, path := range files {
+		f, err := os.Open(path)
 		if err != nil {
 			return nil, err
 		}
 		parsed, err := Parse(f)
 		f.Close()
 		if err != nil {
-			return nil, fmt.Errorf("rawfile: %s/%s: %w", host, e.Name(), err)
+			return nil, fmt.Errorf("rawfile: %s/%s: %w", host, filepath.Base(path), err)
 		}
 		snaps = append(snaps, parsed.Snapshots...)
 	}
@@ -209,23 +293,17 @@ func (s *Store) AppendHost(host string, h Header, snaps ...model.Snapshot) error
 	}
 	for day, group := range byDay {
 		path := filepath.Join(dir, fmt.Sprintf("%d.raw", day*86400))
-		_, statErr := os.Stat(path)
-		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		f, enc, err := openEncoder(path, h, s.codec)
 		if err != nil {
 			return err
 		}
-		w := NewWriter(f, h)
-		if statErr == nil {
-			// File already has a header from an earlier append.
-			w.wroteHeader = true
-		}
 		for _, snap := range group {
-			if err := w.WriteSnapshot(snap); err != nil {
+			if err := enc.WriteSnapshot(snap); err != nil {
 				f.Close()
 				return err
 			}
 		}
-		if err := w.Flush(); err != nil {
+		if err := enc.Flush(); err != nil {
 			f.Close()
 			return err
 		}
@@ -240,25 +318,21 @@ func (s *Store) AppendHost(host string, h Header, snaps ...model.Snapshot) error
 // files (ParseLenient) instead of failing the whole host. It returns the
 // snapshots plus the count of files that needed recovery.
 func (s *Store) ReadHostLenient(host string) ([]model.Snapshot, int, error) {
-	dir := filepath.Join(s.root, host)
-	entries, err := os.ReadDir(dir)
+	files, err := s.hostFiles(host)
 	if err != nil {
 		return nil, 0, err
 	}
 	var snaps []model.Snapshot
 	recovered := 0
-	for _, e := range entries {
-		if e.IsDir() {
-			continue
-		}
-		f, err := os.Open(filepath.Join(dir, e.Name()))
+	for _, path := range files {
+		f, err := os.Open(path)
 		if err != nil {
 			return nil, recovered, err
 		}
 		parsed, perr := ParseLenient(f)
 		f.Close()
 		if parsed == nil {
-			return nil, recovered, fmt.Errorf("rawfile: %s/%s unrecoverable: %w", host, e.Name(), perr)
+			return nil, recovered, fmt.Errorf("rawfile: %s/%s unrecoverable: %w", host, filepath.Base(path), perr)
 		}
 		if perr != nil {
 			recovered++
@@ -267,4 +341,276 @@ func (s *Store) ReadHostLenient(host string) ([]model.Snapshot, int, error) {
 	}
 	sort.SliceStable(snaps, func(i, j int) bool { return snaps[i].Time < snaps[j].Time })
 	return snaps, recovered, nil
+}
+
+// hostIter streams one host's archive in time order without holding
+// more than one decoded snapshot (plus, after recovering a damaged
+// file, that file's remainder) in memory.
+type hostIter struct {
+	host  string
+	files []string
+	fi    int
+	f     *os.File
+	dec   codec.SnapshotDecoder
+	// pending holds the rest of a leniently recovered file after a
+	// streaming decode error; emitted counts snapshots already streamed
+	// from the current file so recovery can skip them.
+	pending   []model.Snapshot
+	emitted   int
+	recovered bool
+	cur       model.Snapshot
+}
+
+func (it *hostIter) closeFile() {
+	if it.f != nil {
+		it.f.Close()
+		it.f = nil
+	}
+	it.dec = nil
+	it.emitted = 0
+}
+
+// next advances to the following snapshot; ok reports whether one is
+// available in it.cur.
+func (it *hostIter) next() (ok bool, err error) {
+	for {
+		if len(it.pending) > 0 {
+			it.cur = it.pending[0]
+			it.pending = it.pending[1:]
+			return true, nil
+		}
+		if it.dec == nil {
+			if it.fi >= len(it.files) {
+				return false, nil
+			}
+			path := it.files[it.fi]
+			it.fi++
+			f, err := os.Open(path)
+			if err != nil {
+				return false, err
+			}
+			dec, derr := codec.NewDecoder(f)
+			if derr != nil {
+				f.Close()
+				if it.recoverFile(path) {
+					continue
+				}
+				return false, fmt.Errorf("rawfile: %s unrecoverable: %w", path, derr)
+			}
+			it.f, it.dec = f, dec
+		}
+		s, err := it.dec.Next()
+		if err == io.EOF {
+			it.closeFile()
+			continue
+		}
+		if err != nil {
+			path := it.files[it.fi-1]
+			emitted := it.emitted
+			it.closeFile()
+			if it.recoverFileSkip(path, emitted) {
+				continue
+			}
+			return false, fmt.Errorf("rawfile: %s unrecoverable: %w", path, err)
+		}
+		it.emitted++
+		it.cur = s
+		return true, nil
+	}
+}
+
+func (it *hostIter) recoverFile(path string) bool { return it.recoverFileSkip(path, 0) }
+
+// recoverFileSkip re-reads a damaged file leniently and queues its
+// snapshots past the first skip already-emitted ones. Recovery returns
+// the same intact prefix the streaming decoder already walked, so a
+// count-based skip is exact.
+func (it *hostIter) recoverFileSkip(path string, skip int) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	st, _, _ := codec.RecoverPrefix(data)
+	if st == nil {
+		return false
+	}
+	it.recovered = true
+	if skip < len(st.Snapshots) {
+		it.pending = st.Snapshots[skip:]
+	}
+	return true
+}
+
+// walkHeap merges per-host iterators by snapshot time (host name breaks
+// ties) so Walk yields the whole store in global time order.
+type walkHeap []*hostIter
+
+func (h walkHeap) Len() int { return len(h) }
+func (h walkHeap) Less(i, j int) bool {
+	if h[i].cur.Time != h[j].cur.Time {
+		return h[i].cur.Time < h[j].cur.Time
+	}
+	return h[i].host < h[j].host
+}
+func (h walkHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *walkHeap) Push(x interface{}) { *h = append(*h, x.(*hostIter)) }
+func (h *walkHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Walk streams every snapshot in the store to fn in global time order
+// (a k-way merge across hosts), decoding incrementally instead of
+// materializing whole hosts. Damaged files are recovered leniently like
+// ReadHostLenient; recovered reports how many needed it. A non-nil
+// error from fn aborts the walk.
+func (s *Store) Walk(fn func(model.Snapshot) error) (recovered int, err error) {
+	hosts, err := s.Hosts()
+	if err != nil {
+		return 0, err
+	}
+	h := make(walkHeap, 0, len(hosts))
+	defer func() {
+		for _, it := range h {
+			it.closeFile()
+		}
+	}()
+	for _, host := range hosts {
+		files, err := s.hostFiles(host)
+		if err != nil {
+			return 0, err
+		}
+		it := &hostIter{host: host, files: files}
+		ok, err := it.next()
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			h = append(h, it)
+		}
+		if it.recovered {
+			recovered++
+			it.recovered = false
+		}
+	}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		it := h[0]
+		if err := fn(it.cur); err != nil {
+			return recovered, err
+		}
+		ok, err := it.next()
+		if it.recovered {
+			recovered++
+			it.recovered = false
+		}
+		if err != nil {
+			return recovered, err
+		}
+		if ok {
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	return recovered, nil
+}
+
+// Archiver appends snapshots to the store through a bounded cache of
+// open per-(host, day) encoders, so a streaming consumer (listend)
+// archives each snapshot without reopening its file — and, for the
+// binary codec, without restarting delta/dictionary state — on every
+// append. Appends are flushed to the OS before returning, matching the
+// durability of the open-write-close path it replaces.
+type Archiver struct {
+	st      *Store
+	maxOpen int
+
+	mu   sync.Mutex
+	open map[string]*archFile
+	tick uint64 // LRU clock
+}
+
+type archFile struct {
+	f    *os.File
+	enc  codec.SnapshotEncoder
+	used uint64
+}
+
+// NewArchiver returns an archiver over st holding at most maxOpen files
+// open (≤ 0 means a default of 64).
+func NewArchiver(st *Store, maxOpen int) *Archiver {
+	if maxOpen <= 0 {
+		maxOpen = 64
+	}
+	return &Archiver{st: st, maxOpen: maxOpen, open: make(map[string]*archFile)}
+}
+
+// Append archives one snapshot under the host's header.
+func (a *Archiver) Append(host string, h Header, s model.Snapshot) error {
+	day := int64(s.Time) / 86400
+	key := fmt.Sprintf("%s\x00%d", host, day)
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	af := a.open[key]
+	if af == nil {
+		dir, err := a.st.HostDir(host)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, fmt.Sprintf("%d.raw", day*86400))
+		f, enc, err := openEncoder(path, h, a.st.codec)
+		if err != nil {
+			return err
+		}
+		af = &archFile{f: f, enc: enc}
+		a.open[key] = af
+		a.evictLocked()
+	}
+	a.tick++
+	af.used = a.tick
+	if err := af.enc.WriteSnapshot(s); err != nil {
+		af.f.Close()
+		delete(a.open, key)
+		return err
+	}
+	return af.enc.Flush()
+}
+
+// evictLocked closes least-recently-used files beyond the cap.
+func (a *Archiver) evictLocked() {
+	for len(a.open) > a.maxOpen {
+		var oldestKey string
+		var oldest uint64 = math.MaxUint64
+		for k, af := range a.open {
+			if af.used < oldest {
+				oldest, oldestKey = af.used, k
+			}
+		}
+		af := a.open[oldestKey]
+		af.enc.Flush()
+		af.f.Close()
+		delete(a.open, oldestKey)
+	}
+}
+
+// Close flushes and closes every cached file.
+func (a *Archiver) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var first error
+	for k, af := range a.open {
+		if err := af.enc.Flush(); err != nil && first == nil {
+			first = err
+		}
+		if err := af.f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(a.open, k)
+	}
+	return first
 }

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 
 	"gostats/internal/broker"
+	"gostats/internal/codec"
 	"gostats/internal/model"
 	"gostats/internal/rawfile"
 	"gostats/internal/schema"
@@ -200,6 +201,16 @@ type Listener struct {
 	Headers func(host string) rawfile.Header // required when Store is set
 	Ingest  *tsdb.Ingester
 
+	// Registry resolves classes when decoding versioned wire messages
+	// (the binary codec is dictionary-encoded against it, so the
+	// consumer must share the producer's schema). Nil uses
+	// schema.DefaultRegistry(); legacy gob messages decode either way.
+	Registry *schema.Registry
+
+	// OnDecoded, if set, observes the wire codec and encoded size of
+	// every successfully decoded message (bytes-on-wire accounting).
+	OnDecoded func(v codec.Version, wireBytes int)
+
 	// OnSnapshot, if set, observes every snapshot (tests, metrics).
 	OnSnapshot func(model.Snapshot)
 
@@ -210,6 +221,7 @@ type Listener struct {
 	processed atomic.Int64
 	stopping  atomic.Bool
 	inflight  sync.Mutex // held while one message is processed and acked
+	arch      *rawfile.Archiver
 }
 
 // Processed reports how many snapshots the listener has consumed. Safe
@@ -232,6 +244,14 @@ func (l *Listener) Run() error {
 		reg = telemetry.Default()
 	}
 	met := newListenMetrics(reg)
+	if l.Store != nil && l.arch == nil {
+		// Route archive writes through a cached-encoder archiver: the
+		// per-(host,day) file stays open across snapshots, so the binary
+		// codec's delta and dictionary state persists instead of being
+		// re-seeded by a fresh header every append.
+		l.arch = rawfile.NewArchiver(l.Store, 0)
+		defer l.arch.Close()
+	}
 	maxSeen := 0.0
 	for {
 		body, err := l.Cons.NextNoAck()
@@ -270,11 +290,18 @@ func (l *Listener) Run() error {
 
 // handleOne fans one raw message into the configured sinks.
 func (l *Listener) handleOne(body []byte, met *listenMetrics, maxSeen *float64) error {
-	snap, err := broker.DecodeSnapshot(body)
+	sreg := l.Registry
+	if sreg == nil {
+		sreg = schema.DefaultRegistry()
+	}
+	snap, wireV, err := broker.DecodeSnapshotWire(body, sreg)
 	if err != nil {
 		// A corrupt message must not kill the consumer; drop it.
 		met.decodeFails.Inc()
 		return nil
+	}
+	if l.OnDecoded != nil {
+		l.OnDecoded(wireV, len(body))
 	}
 	l.processed.Add(1)
 	met.snapshots.Inc()
@@ -286,9 +313,9 @@ func (l *Listener) handleOne(body []byte, met *listenMetrics, maxSeen *float64) 
 		alerts := l.Monitor.Process(snap)
 		met.alerts.Add(uint64(len(alerts)))
 	}
-	if l.Store != nil && l.Headers != nil {
+	if l.arch != nil && l.Headers != nil {
 		t := met.storeSeconds.Start()
-		err := l.Store.AppendHost(snap.Host, l.Headers(snap.Host), snap)
+		err := l.arch.Append(snap.Host, l.Headers(snap.Host), snap)
 		t.Stop()
 		if err != nil {
 			return fmt.Errorf("realtime: archive %s: %w", snap.Host, err)

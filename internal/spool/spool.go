@@ -5,11 +5,12 @@
 // interval.
 //
 // The design fuses the paper's own cron-mode node-local log into the
-// daemon path: spool segments ARE raw stats files (internal/rawfile
-// framing), so the format is human-inspectable, the torn-tail recovery
-// machinery (ParseLenient) is shared with cron mode, and in the worst
-// case an operator can rsync a stuck spool into the central store by
-// hand — exactly the Fig 1 escape hatch.
+// daemon path: spool segments ARE raw stats streams (internal/codec
+// framing, text or binary per Options.Codec), so the torn-tail recovery
+// machinery is shared with cron mode, and in the worst case an operator
+// can rsync a stuck spool into the central store by hand — exactly the
+// Fig 1 escape hatch. Text segments stay human-inspectable; binary
+// segments trade that for size and CRC-guarded frames.
 //
 // Layout and guarantees:
 //
@@ -40,6 +41,7 @@ import (
 	"sort"
 	"sync"
 
+	"gostats/internal/codec"
 	"gostats/internal/model"
 	"gostats/internal/rawfile"
 	"gostats/internal/telemetry"
@@ -69,6 +71,11 @@ type Options struct {
 	// Sync fsyncs the active segment after every append. Durable against
 	// power loss, not just process crash; costs one fsync per snapshot.
 	Sync bool
+
+	// Codec selects the segment encoding for new segments (zero =
+	// codec.V1Text). Existing segments recover in whatever codec they
+	// were written, so changing this across restarts is safe.
+	Codec codec.Version
 
 	// Metrics selects the registry spool telemetry lands in (nil =
 	// telemetry.Default()). Series are labeled host=<header hostname>.
@@ -151,7 +158,7 @@ type Spool struct {
 	segs    []*segment // ascending seq; the active segment, if open, is last
 	f       *os.File   // active segment file
 	cw      *countWriter
-	w       *rawfile.Writer
+	w       codec.SnapshotEncoder
 	nextSeq int
 	newest  float64 // newest snapshot time ever appended
 	closed  bool
@@ -176,6 +183,9 @@ func Open(dir string, h rawfile.Header, opts Options) (*Spool, error) {
 	}
 	if opts.SegmentBytes <= 0 {
 		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.Codec == codec.VersionUnknown {
+		opts.Codec = codec.V1Text
 	}
 	reg := opts.Metrics
 	if reg == nil {
@@ -207,22 +217,21 @@ func (s *Spool) recoverScan() error {
 	sort.Ints(seqs)
 	for _, seq := range seqs {
 		path := segPath(s.dir, seq)
-		f, err := os.Open(path)
+		data, err := os.ReadFile(path)
 		if err != nil {
 			return err
 		}
-		parsed, tail, perr := rawfile.ParseRecover(f)
-		f.Close()
+		// Frame-granularity recovery: a snapshot whose own frame was torn
+		// mid-write never had its Append return, so it was never
+		// acknowledged — RecoverFrames drops it whole (for v1 text by
+		// inspecting the torn tail; v2 binary frames are atomic) rather
+		// than replaying a partial snapshot downstream.
+		parsed, _, perr := codec.RecoverFrames(data)
 		snaps := []model.Snapshot(nil)
+		segCodec := s.opts.Codec
 		if parsed != nil {
 			snaps = parsed.Snapshots
-			if perr != nil && len(snaps) > 0 && rawfile.TornTailInsideLastFrame(tail) {
-				// The tear sits inside the last frame's own block: its
-				// Append never returned, so it was never acknowledged.
-				// Frame-granularity truncation drops it whole rather than
-				// replaying a partial snapshot downstream.
-				snaps = snaps[:len(snaps)-1]
-			}
+			segCodec = parsed.Version
 		}
 		if len(snaps) == 0 {
 			// Nothing recoverable (torn header or empty): drop the file.
@@ -236,8 +245,9 @@ func (s *Spool) recoverScan() error {
 			continue
 		}
 		if perr != nil {
-			// Torn tail: rewrite the intact prefix in place.
-			if err := s.rewriteSegment(path, snaps); err != nil {
+			// Torn tail: rewrite the intact prefix in place, keeping the
+			// codec the segment was originally written in.
+			if err := s.rewriteSegment(path, segCodec, snaps); err != nil {
 				return err
 			}
 			s.torn++
@@ -262,20 +272,30 @@ func (s *Spool) recoverScan() error {
 }
 
 // rewriteSegment atomically replaces a segment file with just its intact
-// snapshots (torn-tail truncation).
-func (s *Spool) rewriteSegment(path string, snaps []model.Snapshot) error {
+// snapshots (torn-tail truncation), in the given codec.
+func (s *Spool) rewriteSegment(path string, v codec.Version, snaps []model.Snapshot) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	w := rawfile.NewWriter(f, s.header)
+	w, err := codec.NewEncoder(f, s.header, v)
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
 	for _, snap := range snaps {
 		if err := w.WriteSnapshot(snap); err != nil {
 			f.Close()
 			os.Remove(tmp)
 			return err
 		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
@@ -295,9 +315,17 @@ func (s *Spool) openActiveLocked() error {
 	if err != nil {
 		return err
 	}
+	cw := &countWriter{w: f}
+	enc, err := codec.NewEncoder(cw, s.header, s.opts.Codec)
+	if err != nil {
+		f.Close()
+		os.Remove(seg.path)
+		s.nextSeq--
+		return err
+	}
 	s.f = f
-	s.cw = &countWriter{w: f}
-	s.w = rawfile.NewWriter(s.cw, s.header)
+	s.cw = cw
+	s.w = enc
 	s.segs = append(s.segs, seg)
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"gostats/internal/chip"
+	"gostats/internal/codec"
 	"gostats/internal/model"
 	"gostats/internal/rawfile"
 	"gostats/internal/schema"
@@ -297,5 +298,76 @@ func TestClosedSpoolRefusesWork(t *testing.T) {
 	}
 	if _, err := s.Drain(func(model.Snapshot) error { return nil }); err == nil {
 		t.Error("drain after close succeeded")
+	}
+}
+
+// TestBinaryCrashRecoveryFrameGranularity is the v2 twin of
+// TestCrashRecoveryTornTail: a binary spool killed mid-frame must come
+// back with the torn frame cut and every complete frame replaying
+// exactly once — frames are atomic, so no partial snapshot survives.
+func TestBinaryCrashRecoveryFrameGranularity(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOpts()
+	opts.Codec = codec.V2Binary
+	s, err := Open(dir, testHeader(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, 10, 20, 30)
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.raw"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments = %v (%v)", segs, err)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 5 || data[0] != 0x00 || data[1] != 'G' || data[2] != 'S' || data[3] != 'B' {
+		t.Fatalf("segment is not binary: % x", data[:min(8, len(data))])
+	}
+	// Crash mid-frame: chop into the last frame's CRC trailer.
+	if err := os.WriteFile(segs[0], data[:len(data)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := Open(dir, testHeader(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if st := reopened.Stats(); st.Truncated != 1 {
+		t.Errorf("truncated = %d, want 1", st.Truncated)
+	}
+	got := drainAll(t, reopened)
+	if fmt.Sprint(got) != "[10 20]" {
+		t.Fatalf("recovered frames = %v, want [10 20] exactly once", got)
+	}
+}
+
+// A mixed-codec spool directory — segments written before and after a
+// codec upgrade — must replay every segment in order, each in its own
+// codec.
+func TestMixedCodecSegmentsReplayInOrder(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, testHeader(), testOpts()) // v1 text
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, 1, 2)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := testOpts()
+	opts.Codec = codec.V2Binary
+	up, err := Open(dir, testHeader(), opts) // upgraded daemon
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer up.Close()
+	mustAppend(t, up, 3, 4)
+	got := drainAll(t, up)
+	if fmt.Sprint(got) != "[1 2 3 4]" {
+		t.Fatalf("mixed-codec replay = %v, want [1 2 3 4]", got)
 	}
 }
