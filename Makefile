@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet vuln fmt build test race chaos bench benchsmoke fuzzsmoke
+.PHONY: check vet vuln fmt build test race chaos watchparity bench benchsmoke fuzzsmoke
 
-## check: everything CI runs — vet, vuln scan, formatting, build, chaos smoke, tests under -race, fuzz smoke, benchmark smoke
-check: vet vuln fmt build chaos race fuzzsmoke benchsmoke
+## check: everything CI runs — vet, vuln scan, formatting, build, chaos smoke, tests under -race, watch parity audit, fuzz smoke, benchmark smoke
+check: vet vuln fmt build chaos race watchparity fuzzsmoke benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -35,6 +35,17 @@ race:
 ## chaos: fault-injection smoke — the transport robustness suite under -race
 chaos:
 	$(GO) test -run Chaos -race ./...
+
+## watchparity: end-to-end detection audit — a simcluster -watch run must
+## hit the online/post-hoc flag parity floor (exits non-zero below 95%),
+## with provenance tracing live on every hop.
+watchparity:
+	@dir="$$(mktemp -d)"; rc=0; \
+	$(GO) run ./cmd/simcluster -mode daemon -nodes 8 -days 0.5 -watch \
+		-out "$$dir" -telemetry off > "$$dir/run.log" 2>&1 || rc=$$?; \
+	grep -E '^simcluster watch:' "$$dir/run.log"; \
+	[ "$$rc" -eq 0 ] || tail -5 "$$dir/run.log"; \
+	rm -rf "$$dir"; exit $$rc
 
 ## bench: run the root benchmark suite, record it machine-readably in
 ## BENCH_PR5.json (name, ns/op, B/op, allocs/op), and diff against the

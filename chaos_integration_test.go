@@ -18,6 +18,7 @@ import (
 	"gostats/internal/realtime"
 	"gostats/internal/spool"
 	"gostats/internal/telemetry"
+	"gostats/internal/trace"
 )
 
 // TestChaosBrokerOutageConservesSnapshots drives the full daemon-mode
@@ -30,6 +31,10 @@ import (
 // outages and resets cost latency and duplicates, never data.
 func TestChaosBrokerOutageConservesSnapshots(t *testing.T) {
 	reg := telemetry.NewRegistry()
+	// Provenance tracing rides the same run: stamps must survive the
+	// spool round-trip and the freshness gauges must recover once the
+	// outage ends and the spools drain.
+	rec := trace.NewRecorder(reg)
 
 	srv := broker.NewServer()
 	srv.Metrics = reg
@@ -78,9 +83,11 @@ func TestChaosBrokerOutageConservesSnapshots(t *testing.T) {
 		}
 		col := collect.New(hw)
 		col.Metrics = reg
+		col.Trace = rec
 		pub := broker.NewReliablePublisher(addr, broker.StatsQueue)
 		pub.Policy = pol
 		pub.Metrics = reg
+		pub.Trace = rec
 		pub.Dialer = fnet.Dialer(func(a string) (net.Conn, error) {
 			return net.DialTimeout("tcp", a, time.Second)
 		})
@@ -114,6 +121,7 @@ func TestChaosBrokerOutageConservesSnapshots(t *testing.T) {
 		Monitor: realtime.NewMonitor(cfg.Registry(), realtime.DefaultRules()),
 		Store:   store,
 		Metrics: reg,
+		Trace:   rec,
 		Headers: func(host string) rawfile.Header {
 			return rawfile.Header{Hostname: host, Arch: "sandybridge", Registry: cfg.Registry()}
 		},
@@ -230,6 +238,41 @@ func TestChaosBrokerOutageConservesSnapshots(t *testing.T) {
 		series := fmt.Sprintf("gostats_spool_depth{host=%q}", rt.node.Host())
 		if got, ok := vals[series]; !ok || got != 0 {
 			t.Errorf("%s = %g, want 0 after drain", series, got)
+		}
+		backlog := fmt.Sprintf("gostats_spool_replay_backlog{host=%q}", rt.node.Host())
+		if got, ok := vals[backlog]; !ok || got != 0 {
+			t.Errorf("%s = %g, want 0 after drain", backlog, got)
+		}
+	}
+
+	// Provenance survived the outage: snapshots that detoured through
+	// the spool carry a replay stamp, and every host's freshness gauge
+	// recovered to "seconds behind" once its backlog replayed. The
+	// outage stranded several rounds, so an unrecovered host would sit
+	// many simulated rounds (and wall seconds) stale here.
+	rec.RefreshFreshness()
+	sum := rec.Snapshot()
+	var replayHops uint64
+	for _, st := range sum.Stages {
+		if st.Stage == model.StageSpoolReplay.String() {
+			replayHops = st.Count
+		}
+	}
+	if replayHops == 0 {
+		t.Error("no spool_replay stage latency recorded; trace stamps did not survive the spool")
+	}
+	fresh := map[string]float64{}
+	for _, h := range sum.Hosts {
+		fresh[h.Host] = h.FreshnessSeconds
+	}
+	for _, rt := range nodes {
+		f, ok := fresh[rt.node.Host()]
+		if !ok {
+			t.Errorf("host %s has no freshness gauge after drain", rt.node.Host())
+			continue
+		}
+		if f < 0 || f > 60 {
+			t.Errorf("host %s freshness %.1f s after drain; gauge did not recover", rt.node.Host(), f)
 		}
 	}
 

@@ -10,8 +10,10 @@
 // With -baseline pointing at a previous PR's JSON (e.g. BENCH_PR4.json),
 // benchjson also diffs the fresh results against it and prints per-
 // benchmark deltas, flagging ns/op regressions beyond -regress-pct.
-// The diff is informational — machine variance is not a build failure —
-// so the exit status stays zero.
+// Any regression past the threshold makes benchjson exit non-zero, so
+// the diff can gate CI; tune -regress-pct up on noisy machines. A
+// missing baseline is not an error — the first recorded suite has
+// nothing to diff against.
 package main
 
 import (
@@ -87,24 +89,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(results), *out)
 	}
 	if *baseline != "" {
-		diffBaseline(results, *baseline, *regressPct)
+		if diffBaseline(results, *baseline, *regressPct) > 0 {
+			os.Exit(1)
+		}
 	}
 }
 
 // diffBaseline prints per-benchmark ns/op deltas against a previous
-// PR's JSON, flagging regressions past the threshold. A missing or
-// unreadable baseline is reported and skipped: the first PR that
-// records a suite has nothing to diff against.
-func diffBaseline(results []Result, path string, regressPct float64) {
+// PR's JSON and returns how many regressed past the threshold. A
+// missing or unreadable baseline is reported and skipped (returning
+// zero): the first PR that records a suite has nothing to diff against.
+func diffBaseline(results []Result, path string, regressPct float64) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: no baseline (%v), skipping diff\n", err)
-		return
+		return 0
 	}
 	var base []Result
 	if err := json.Unmarshal(data, &base); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: baseline %s: %v, skipping diff\n", path, err)
-		return
+		return 0
 	}
 	prev := make(map[string]Result, len(base))
 	for _, r := range base {
@@ -132,4 +136,5 @@ func diffBaseline(results []Result, path string, regressPct float64) {
 	} else {
 		fmt.Fprintf(os.Stderr, "benchjson: no regressions past %.0f%% vs %s\n", regressPct, path)
 	}
+	return regressions
 }

@@ -36,9 +36,21 @@
 // every snapshot a node emitted was either archived centrally or still
 // sits in a node spool, with per-host delivery order preserved. Any
 // loss exits non-zero.
+//
+// With -watch (daemon mode only), every snapshot carries provenance
+// stamps from collect through store-ingest (per-stage latency
+// histograms and per-host freshness land on /metrics), and an online
+// watcher runs off the live assembler's snapshot tap, raising job
+// flags mid-run. After the post-hoc ETL the run audits the online
+// flags against the batch sweep and reports parity plus the median
+// detection latency; parity below -watch-min-parity exits non-zero.
+// Combined with -chaos, the run also asserts that per-host freshness
+// gauges recovered once the injected outage ended and the spools
+// drained.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -61,6 +73,7 @@ import (
 	"gostats/internal/collect"
 	"gostats/internal/etl"
 	"gostats/internal/faultnet"
+	"gostats/internal/flagging"
 	"gostats/internal/hwsim"
 	"gostats/internal/lustresim"
 	"gostats/internal/model"
@@ -71,9 +84,15 @@ import (
 	"gostats/internal/schema"
 	"gostats/internal/spool"
 	"gostats/internal/telemetry"
+	"gostats/internal/trace"
+	"gostats/internal/watch"
 	"gostats/internal/workload"
 	"gostats/internal/xalt"
 )
+
+// collectInterval is the simulated collection period in seconds — the
+// paper's 10-minute sampling cadence.
+const collectInterval = 600
 
 func main() {
 	mode := flag.String("mode", "daemon", "operation mode: cron or daemon")
@@ -94,9 +113,16 @@ func main() {
 		"concurrent portal readers to drive after ETL (0 = off)")
 	portalRequests := flag.Int("portal-requests", 2000,
 		"total portal requests across all -portal-load readers")
+	watchMode := flag.Bool("watch", false,
+		"daemon mode only: trace provenance end to end and run the online job watcher, auditing its flags against the post-hoc ETL")
+	watchMinParity := flag.Float64("watch-min-parity", 0.95,
+		"minimum online/post-hoc flag parity (fraction of jobs with identical flag sets) before a -watch run fails")
 	flag.Parse()
 	if *chaos && *mode != "daemon" {
 		log.Fatalf("simcluster: -chaos requires -mode daemon")
+	}
+	if *watchMode && *mode != "daemon" {
+		log.Fatalf("simcluster: -watch requires -mode daemon")
 	}
 	runCodec, err := codec.ParseVersion(*codecName)
 	if err != nil {
@@ -140,7 +166,7 @@ func main() {
 		specs[i].Queue = "normal"
 	}
 
-	eng, err := cluster.NewEngine(*nodes, chip.StampedeNode(), 600, *seed)
+	eng, err := cluster.NewEngine(*nodes, chip.StampedeNode(), collectInterval, *seed)
 	if err != nil {
 		log.Fatalf("simcluster: %v", err)
 	}
@@ -174,6 +200,10 @@ func main() {
 	var listener *realtime.Listener
 	var ctl *chaosController
 	var ledger *wireLedger
+	var rec *trace.Recorder
+	var watcher *watch.Watcher
+	var liveAsm *etl.Assembler
+	var watchEvents *os.File
 	listenDone := make(chan error, 1)
 	switch *mode {
 	case "cron":
@@ -202,6 +232,45 @@ func main() {
 			log.Fatalf("simcluster: %v", err)
 		}
 		reg := chip.StampedeNode().Registry()
+		if *watchMode {
+			// Stage histograms and freshness gauges land in the default
+			// registry so the ops endpoint's /metrics carries them.
+			rec = trace.NewRecorder(telemetry.Default())
+			metaByJob := make(map[string]watch.JobMeta, len(specs))
+			for _, sp := range specs {
+				metaByJob[sp.JobID] = watch.JobMeta{Queue: sp.Queue, Nodes: sp.Nodes}
+			}
+			watchEvents, err = os.Create(filepath.Join(*out, "watch_events.jsonl"))
+			if err != nil {
+				log.Fatalf("simcluster: %v", err)
+			}
+			watcher = &watch.Watcher{
+				Registry:   reg,
+				Thresholds: flagging.DefaultThresholds(),
+				EndGrace:   etl.DefaultEndGrace,
+				// Broker delivery is per-host FIFO but cross-host skew can
+				// reach a collection interval; hold finalization back that
+				// long so lagging tails fold in before the final verdict.
+				Lateness: collectInterval,
+				Meta: func(id string) (watch.JobMeta, bool) {
+					m, ok := metaByJob[id]
+					return m, ok
+				},
+				EventLog: watchEvents,
+				Notify: func(e watch.Event) {
+					if e.Kind == "flag_raised" {
+						fmt.Printf("WATCH flag %s raised on job %s at t=%.0f\n",
+							e.Flag, e.JobID, e.StreamTime)
+					}
+				},
+			}
+			// The live assembler mirrors the nightly ETL over the delivered
+			// stream; its row output is discarded (the post-hoc ETL stays
+			// authoritative) — it exists to stamp the assemble hop and to
+			// drive the watcher off its snapshot tap.
+			liveAsm = &etl.Assembler{Registry: reg, DB: reldb.New(),
+				EndGrace: etl.DefaultEndGrace, Trace: rec, OnSnapshot: watcher.Feed}
+		}
 		if *chaos {
 			// The outage window is driven by simulated snapshot time so
 			// it scales with -days: it opens just before the third
@@ -212,10 +281,12 @@ func main() {
 			fmt.Printf("simcluster chaos: faults %s, outage t=[%.0f,%.0f)\n",
 				faultnet.Faults{Seed: *seed, ResetAfterBytes: 32 << 10}, ctl.start, ctl.end)
 			eng.NewSink = func(n *hwsim.Node, col *collect.Collector) (cluster.Sink, error) {
+				col.Trace = rec
 				pub := broker.NewReliablePublisher(addr, broker.StatsQueue)
 				pub.Policy = chaosPolicy()
 				pub.Codec = runCodec
 				pub.Registry = reg
+				pub.Trace = rec
 				pub.Dialer = ctl.net.Dialer(func(a string) (net.Conn, error) {
 					return net.DialTimeout("tcp", a, 2*time.Second)
 				})
@@ -230,11 +301,13 @@ func main() {
 			}
 		} else {
 			eng.NewSink = func(n *hwsim.Node, col *collect.Collector) (cluster.Sink, error) {
+				col.Trace = rec
 				client, err := broker.Dial(addr)
 				if err != nil {
 					return nil, err
 				}
-				return daemonSink{broker.SnapshotPublisher{C: client, Codec: runCodec, Registry: reg}, client}, nil
+				return daemonSink{broker.SnapshotPublisher{
+					C: client, Codec: runCodec, Registry: reg, Trace: rec}, client}, nil
 			}
 		}
 		cons, err := broker.DialConsumer(addr, broker.StatsQueue)
@@ -244,20 +317,21 @@ func main() {
 		mon := realtime.NewMonitor(reg, realtime.DefaultRules())
 		mon.Notify = func(a realtime.Alert) { fmt.Printf("ALERT %s\n", a) }
 		listener = &realtime.Listener{
-			Cons: cons, Monitor: mon, Store: store, Registry: reg,
+			Cons: cons, Monitor: mon, Store: store, Registry: reg, Trace: rec,
 			Headers: func(host string) rawfile.Header {
 				return rawfile.Header{Hostname: host, Arch: "sandybridge", Registry: reg}
 			},
 		}
 		ledger = &wireLedger{reg: reg}
 		listener.OnDecoded = ledger.observe
-		if ctl != nil {
-			listener.OnSnapshot = func(s model.Snapshot) {
-				ledger.sample(s)
+		listener.OnSnapshot = func(s model.Snapshot) {
+			ledger.sample(s)
+			if ctl != nil {
 				ctl.collect(s)
 			}
-		} else {
-			listener.OnSnapshot = ledger.sample
+			if liveAsm != nil {
+				liveAsm.Feed(s)
+			}
 		}
 		go func() { listenDone <- listener.Run() }()
 	default:
@@ -311,6 +385,13 @@ func main() {
 			if err := ctl.report(); err != nil {
 				log.Fatalf("simcluster: %v", err)
 			}
+			if rec != nil {
+				// The outage stalled delivery; once the spools drained,
+				// every host's freshness gauge must have recovered.
+				if err := assertFreshnessRecovered(rec, eng.Nodes(), 120); err != nil {
+					log.Fatalf("simcluster: %v", err)
+				}
+			}
 		}
 	}
 
@@ -343,12 +424,155 @@ func main() {
 	fmt.Printf("simcluster: mode=%s nodes=%d days=%g: started %d, finished %d jobs; %d ingested -> %s\n",
 		*mode, *nodes, *days, eng.Started, eng.Finished, len(ids), dbPath)
 	fmt.Printf("simcluster: browse with: portal -db %s -store %s\n", dbPath, filepath.Join(*out, "central"))
+	if watcher != nil {
+		watcher.Flush()
+		if err := watchEvents.Close(); err != nil {
+			log.Fatalf("simcluster: %v", err)
+		}
+		if err := auditWatch(watcher, db, rec, *watchMinParity); err != nil {
+			log.Fatalf("simcluster: %v", err)
+		}
+	}
 	if *portalLoad > 0 {
-		if err := runPortalLoad(db, *portalLoad, *portalRequests); err != nil {
+		if err := runPortalLoad(db, rec, *portalLoad, *portalRequests); err != nil {
 			log.Fatalf("simcluster: portal load: %v", err)
 		}
 	}
 	printOverheadSummary(ops, *nodes, span)
+}
+
+// auditWatch compares the online watcher's final flag sets against the
+// post-hoc batch sweep over the authoritative job table — the detection
+// parity audit from the run's -watch mode. It prints parity, detection
+// latency (stream seconds from job start to first raise), and the
+// provenance recorder's stage/freshness view, and fails the run when
+// parity drops below minParity.
+func auditWatch(w *watch.Watcher, db *reldb.DB, rec *trace.Recorder, minParity float64) error {
+	rep, err := flagging.Sweep(db, flagging.Default(flagging.DefaultThresholds()))
+	if err != nil {
+		return fmt.Errorf("watch audit: %w", err)
+	}
+	results := w.Results()
+
+	// Parity over the union of job ids: a job matches when the online
+	// and post-hoc flag sets are identical (both empty included).
+	ids := map[string]bool{}
+	for _, r := range db.All() {
+		ids[r.JobID] = true
+	}
+	for id := range results {
+		ids[id] = true
+	}
+	matches, total := 0, len(ids)
+	var mismatched []string
+	for id := range ids {
+		want := append([]string(nil), rep.ByJob[id]...)
+		got := append([]string(nil), results[id].Flags...)
+		sort.Strings(want)
+		sort.Strings(got)
+		if len(want) == len(got) && func() bool {
+			for i := range want {
+				if want[i] != got[i] {
+					return false
+				}
+			}
+			return true
+		}() {
+			matches++
+		} else {
+			mismatched = append(mismatched,
+				fmt.Sprintf("%s: online %v vs post-hoc %v", id, got, want))
+		}
+	}
+	parity := 1.0
+	if total > 0 {
+		parity = float64(matches) / float64(total)
+	}
+
+	// Detection latency: stream seconds from job start to each flag's
+	// first mid-run raise; raises at finalize count too, but the preEnd
+	// share shows how many fired while the job was still running.
+	var latencies []float64
+	preEnd := 0
+	for _, res := range results {
+		for _, at := range res.Raised {
+			latencies = append(latencies, at-res.Start)
+			if at < res.End {
+				preEnd++
+			}
+		}
+	}
+	sort.Float64s(latencies)
+	median := 0.0
+	if n := len(latencies); n > 0 {
+		median = latencies[n/2]
+	}
+
+	fmt.Printf("simcluster watch: flag parity %d/%d jobs (%.1f%%) online vs post-hoc ETL; %d jobs flagged post-hoc\n",
+		matches, total, 100*parity, len(rep.ByJob))
+	if len(latencies) > 0 {
+		fmt.Printf("simcluster watch: %d flag raises, %d before job end; median detection latency %.0f s after job start (stream time)\n",
+			len(latencies), preEnd, median)
+	} else {
+		fmt.Println("simcluster watch: no flags raised by either path")
+	}
+	sort.Strings(mismatched)
+	for i, m := range mismatched {
+		if i == 5 {
+			fmt.Printf("simcluster watch: ... %d more mismatches\n", len(mismatched)-5)
+			break
+		}
+		fmt.Printf("simcluster watch: mismatch %s\n", m)
+	}
+	if rec != nil {
+		rec.RefreshFreshness()
+		sum := rec.Snapshot()
+		for _, st := range sum.Stages {
+			fmt.Printf("simcluster watch: stage %-14s %6d hops, mean %.1f ms, p95 %.1f ms\n",
+				st.Stage, st.Count, 1e3*st.MeanSeconds, 1e3*st.P95Seconds)
+		}
+		maxFresh := 0.0
+		for _, h := range sum.Hosts {
+			if h.FreshnessSeconds > maxFresh {
+				maxFresh = h.FreshnessSeconds
+			}
+		}
+		fmt.Printf("simcluster watch: freshness tracked on %d hosts, max %.2f s behind wall clock\n",
+			len(sum.Hosts), maxFresh)
+	}
+	if parity < minParity {
+		return fmt.Errorf("watch audit: parity %.1f%% below required %.1f%%", 100*parity, 100*minParity)
+	}
+	return nil
+}
+
+// assertFreshnessRecovered verifies every simulated host has a
+// freshness entry no older than boundSec wall seconds — the chaos-mode
+// proof that the injected outage's staleness was transient and spool
+// replay brought every host back to queryable-fresh.
+func assertFreshnessRecovered(rec *trace.Recorder, hosts []string, boundSec float64) error {
+	rec.RefreshFreshness()
+	sum := rec.Snapshot()
+	fresh := map[string]float64{}
+	for _, h := range sum.Hosts {
+		fresh[h.Host] = h.FreshnessSeconds
+	}
+	maxFresh := 0.0
+	for _, host := range hosts {
+		f, ok := fresh[host]
+		if !ok {
+			return fmt.Errorf("chaos: host %s has no freshness gauge after drain", host)
+		}
+		if f > boundSec {
+			return fmt.Errorf("chaos: host %s freshness %.1f s exceeds %.0f s after drain — gauge did not recover", host, f, boundSec)
+		}
+		if f > maxFresh {
+			maxFresh = f
+		}
+	}
+	fmt.Printf("simcluster chaos: freshness recovered on all %d hosts (max %.2f s)\n",
+		len(hosts), maxFresh)
+	return nil
 }
 
 // portalLoadMix is the read workload the -portal-load readers cycle
@@ -368,14 +592,17 @@ var portalLoadMix = [...]string{
 // runPortalLoad serves an in-process portal over the freshly built job
 // table and drives `readers` concurrent clients through `total` requests
 // of the mixed workload, then reports throughput, latency percentiles,
-// and cache effectiveness from the portal's own telemetry.
-func runPortalLoad(db *reldb.DB, readers, total int) error {
+// and cache effectiveness from the portal's own telemetry. With a trace
+// recorder (a -watch run), the portal also serves the run's live lag
+// summary on /api/lag.
+func runPortalLoad(db *reldb.DB, rec *trace.Recorder, readers, total int) error {
 	if total <= 0 {
 		return fmt.Errorf("-portal-requests must be positive, got %d", total)
 	}
 	reg := telemetry.NewRegistry()
 	ps := portal.NewServer(db, chip.StampedeNode().Registry(), nil)
 	ps.Metrics = reg
+	ps.Lag = rec
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -440,6 +667,20 @@ func runPortalLoad(db *reldb.DB, readers, total int) error {
 	if hits+misses > 0 {
 		fmt.Printf("simcluster portal-load: cache hits=%.0f misses=%.0f (%.1f%% hit ratio)\n",
 			hits, misses, 100*hits/(hits+misses))
+	}
+	if rec != nil {
+		resp, err := http.Get(base + "/api/lag")
+		if err != nil {
+			return fmt.Errorf("/api/lag: %w", err)
+		}
+		var sum trace.LagSummary
+		err = json.NewDecoder(resp.Body).Decode(&sum)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("/api/lag: %w", err)
+		}
+		fmt.Printf("simcluster portal-load: /api/lag serves %d pipeline stages, %d hosts\n",
+			len(sum.Stages), len(sum.Hosts))
 	}
 	return nil
 }

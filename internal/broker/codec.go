@@ -9,6 +9,7 @@ import (
 	"gostats/internal/codec"
 	"gostats/internal/model"
 	"gostats/internal/schema"
+	"gostats/internal/trace"
 )
 
 // StatsQueue is the conventional queue name node daemons publish raw
@@ -67,10 +68,14 @@ type SnapshotPublisher struct {
 	C        *Client
 	Codec    codec.Version
 	Registry *schema.Registry
+	// Trace, if set, stamps the publish hop into each snapshot's
+	// provenance trace before encoding.
+	Trace *trace.Recorder
 }
 
 // Publish implements collect.Publisher.
 func (p SnapshotPublisher) Publish(s model.Snapshot) error {
+	p.Trace.Stamp(&s, model.StagePublish)
 	b, err := EncodeSnapshotWire(s, p.Registry, p.Codec)
 	if err != nil {
 		return err

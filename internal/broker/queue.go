@@ -10,6 +10,7 @@ import (
 // creation so the message path never takes a registry lookup.
 type queueMetrics struct {
 	depth       *telemetry.Gauge
+	waiters     *telemetry.Gauge
 	published   *telemetry.Counter
 	delivered   *telemetry.Counter
 	redelivered *telemetry.Counter
@@ -20,6 +21,8 @@ func newQueueMetrics(reg *telemetry.Registry, name string) *queueMetrics {
 	return &queueMetrics{
 		depth: reg.Gauge("gostats_broker_queue_depth",
 			"Backlogged messages per queue.", "queue", name),
+		waiters: reg.Gauge("gostats_broker_consumer_waiters",
+			"Consumers blocked waiting for a message per queue. Zero with a non-zero queue depth means consumers cannot keep up.", "queue", name),
 		published: reg.Counter("gostats_broker_published_total",
 			"Messages accepted from producers per queue.", "queue", name),
 		delivered: reg.Counter("gostats_broker_delivered_total",
@@ -73,6 +76,7 @@ func (q *queue) push(b []byte) bool {
 	for len(q.waiters) > 0 {
 		w := q.waiters[0]
 		q.waiters = q.waiters[1:]
+		q.mets().waiters.Set(float64(len(q.waiters)))
 		// A waiter channel has capacity 1 and is only ever written once;
 		// a cancelled waiter is removed under the same lock, so if it is
 		// still in the list it is live.
@@ -99,6 +103,7 @@ func (q *queue) requeue(b []byte) {
 	for len(q.waiters) > 0 {
 		w := q.waiters[0]
 		q.waiters = q.waiters[1:]
+		q.mets().waiters.Set(float64(len(q.waiters)))
 		w <- b
 		q.delivered++
 		q.mets().delivered.Inc()
@@ -136,6 +141,7 @@ func (q *queue) pop() (msg []byte, waiter chan []byte, ok bool) {
 	}
 	w := make(chan []byte, 1)
 	q.waiters = append(q.waiters, w)
+	q.mets().waiters.Set(float64(len(q.waiters)))
 	return nil, w, true
 }
 
@@ -147,6 +153,7 @@ func (q *queue) cancel(w chan []byte) {
 	for i, x := range q.waiters {
 		if x == w {
 			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			q.mets().waiters.Set(float64(len(q.waiters)))
 			q.mu.Unlock()
 			return
 		}
@@ -175,6 +182,7 @@ func (q *queue) close() {
 		close(w)
 	}
 	q.waiters = nil
+	q.mets().waiters.Set(0)
 }
 
 // depth reports the number of backlogged messages.

@@ -12,6 +12,7 @@ import (
 	"gostats/internal/schema"
 	"gostats/internal/spool"
 	"gostats/internal/telemetry"
+	"gostats/internal/trace"
 )
 
 // publisherMetrics are the node-side transport telemetry series.
@@ -101,6 +102,11 @@ type ReliablePublisher struct {
 	// pinned broker can reject a mismatch outright.
 	Codec    codec.Version
 	Registry *schema.Registry
+
+	// Trace, if set, stamps the publish hop (and spool-replay hop for
+	// snapshots resurfacing from the spool) into each snapshot's
+	// provenance trace. Set before the first publish.
+	Trace *trace.Recorder
 
 	mu      sync.Mutex
 	client  *Client
@@ -267,6 +273,7 @@ func (p *ReliablePublisher) PublishBytes(body []byte) error {
 // arrives while a backlog is still replaying, so ordering holds — is
 // spooled instead of dropped.
 func (p *ReliablePublisher) Publish(s model.Snapshot) error {
+	p.Trace.Stamp(&s, model.StagePublish)
 	body, err := EncodeSnapshotWire(s, p.Registry, p.Codec)
 	if err != nil {
 		return err
@@ -359,6 +366,10 @@ func (p *ReliablePublisher) drainLoop() {
 // releases its own lock around this callback, so taking p.mu here keeps
 // the p.mu-before-spool lock order.
 func (p *ReliablePublisher) replayOne(s model.Snapshot) error {
+	// The spooled snapshot already carries its collect/publish stamps
+	// (spool segments are codec streams); the replay hop measures time
+	// spent parked on disk plus the redelivery itself.
+	p.Trace.Stamp(&s, model.StageSpoolReplay)
 	body, err := EncodeSnapshotWire(s, p.Registry, p.Codec)
 	if err != nil {
 		return err

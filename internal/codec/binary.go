@@ -165,7 +165,52 @@ func (e *binEncoder) WriteSnapshot(s model.Snapshot) error {
 			prev[i] = v
 		}
 	}
+	e.buf = appendTrace(e.buf, s.Trace)
 	return e.writeFrame(frameSnapshot, e.buf)
+}
+
+// appendTrace writes the optional provenance section: uvarint stamp
+// count, then per stamp the stage id and the nanosecond timestamp
+// delta-encoded against the previous stamp (stamps within one trace sit
+// microseconds-to-seconds apart, so deltas stay small). A traceless
+// snapshot appends nothing at all, keeping pre-trace byte streams
+// identical and letting decoders treat the section as optional.
+func appendTrace(b []byte, tr []model.StageStamp) []byte {
+	if len(tr) == 0 {
+		return b
+	}
+	b = binary.AppendUvarint(b, uint64(len(tr)))
+	prev := int64(0)
+	for _, ts := range tr {
+		b = binary.AppendUvarint(b, uint64(ts.Stage))
+		b = binary.AppendUvarint(b, zigzag(ts.UnixNs-prev))
+		prev = ts.UnixNs
+	}
+	return b
+}
+
+// readTrace parses the optional provenance section when payload bytes
+// remain past the record list.
+func readTrace(c *byteCursor) ([]model.StageStamp, error) {
+	n, err := c.count(2)
+	if err != nil {
+		return nil, fmt.Errorf("trace stamp count: %w", err)
+	}
+	out := make([]model.StageStamp, 0, n)
+	prev := int64(0)
+	for i := 0; i < n; i++ {
+		st, err := c.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("trace stage: %w", err)
+		}
+		d, err := c.varint()
+		if err != nil {
+			return nil, fmt.Errorf("trace timestamp: %w", err)
+		}
+		prev += d
+		out = append(out, model.StageStamp{Stage: model.Stage(st), UnixNs: prev})
+	}
+	return out, nil
 }
 
 // putStringRef dictionary-encodes s into the scratch payload and returns
@@ -334,6 +379,11 @@ func (st *binState) applySnapshot(payload []byte) (model.Snapshot, error) {
 			vals[k] = prev[k]
 		}
 		s.Records = append(s.Records, model.Record{Class: sch.Class, Instance: inst, Values: vals})
+	}
+	if c.off != len(c.b) {
+		if s.Trace, err = readTrace(&c); err != nil {
+			return zero, fmt.Errorf("codec: %w", err)
+		}
 	}
 	if c.off != len(c.b) {
 		return zero, fmt.Errorf("codec: %d trailing bytes in snapshot frame", len(c.b)-c.off)

@@ -100,6 +100,10 @@ func (e *textEncoder) WriteSnapshot(s model.Snapshot) error {
 	if s.Mark != "" {
 		fmt.Fprintf(e.w, "%% %s\n", s.Mark)
 	}
+	if len(s.Trace) > 0 {
+		e.w.WriteString(formatTraceLine(s.Trace))
+		e.w.WriteByte('\n')
+	}
 	for _, r := range s.Records {
 		fmt.Fprintf(e.w, "%s %s", r.Class, sanitizeInstance(r.Instance))
 		for _, v := range r.Values {
@@ -192,6 +196,15 @@ func (d *textDecoder) Next() (model.Snapshot, error) {
 		switch {
 		case line == "":
 			continue
+		case strings.HasPrefix(line, tracePrefix):
+			if d.cur == nil {
+				return fail("rawfile: line %d: trace before timestamp", d.lineNo)
+			}
+			tr, err := parseTraceLine(line)
+			if err != nil {
+				return fail("rawfile: line %d: %w", d.lineNo, err)
+			}
+			d.cur.Trace = tr
 		case strings.HasPrefix(line, "% "):
 			if d.cur == nil {
 				return fail("rawfile: line %d: mark before timestamp", d.lineNo)
@@ -254,6 +267,51 @@ func (d *textDecoder) Next() (model.Snapshot, error) {
 	}
 	d.err = io.EOF
 	return model.Snapshot{}, io.EOF
+}
+
+// tracePrefix marks the optional provenance line inside a snapshot
+// block: "%trace stage:unixns,stage:unixns,...". The "%" keeps trace
+// lines in the mark-line namespace (they can never collide with a
+// record line, whose first field is a class name), while the missing
+// space after "%" keeps old "% <mark>" parsing unambiguous.
+const tracePrefix = "%trace "
+
+// formatTraceLine renders stamps as the v1 trace line (without newline).
+func formatTraceLine(tr []model.StageStamp) string {
+	var b strings.Builder
+	b.WriteString(tracePrefix)
+	for i, ts := range tr {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(ts.Stage.String())
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatInt(ts.UnixNs, 10))
+	}
+	return b.String()
+}
+
+// parseTraceLine decodes a "%trace" line. Stamps for stage names this
+// build does not know are dropped (a newer producer's stages are
+// forward-compatible noise); malformed timestamps are an error.
+func parseTraceLine(line string) ([]model.StageStamp, error) {
+	var out []model.StageStamp
+	for _, part := range strings.Split(line[len(tracePrefix):], ",") {
+		name, ns, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("malformed trace stamp %q", part)
+		}
+		v, err := strconv.ParseInt(ns, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad trace timestamp %q: %w", part, err)
+		}
+		st, known := model.ParseStage(name)
+		if !known {
+			continue
+		}
+		out = append(out, model.StageStamp{Stage: st, UnixNs: v})
+	}
+	return out, nil
 }
 
 // isTimestamp reports whether s looks like a "%.3f" epoch timestamp

@@ -123,6 +123,7 @@ func encodeWireBinary(s model.Snapshot, reg *schema.Registry) ([]byte, error) {
 			prev[i] = v
 		}
 	}
+	payload = appendTrace(payload, s.Trace)
 
 	out := make([]byte, 0, len(wireMagic)+1+len(payload)+4)
 	out = append(out, wireMagic[:]...)
@@ -268,6 +269,11 @@ func decodeWireBinary(data []byte, reg *schema.Registry) (model.Snapshot, error)
 			vals[k] = prev[k]
 		}
 		s.Records = append(s.Records, model.Record{Class: sch.Class, Instance: inst, Values: vals})
+	}
+	if c.off != len(c.b) {
+		if s.Trace, err = readTrace(&c); err != nil {
+			return zero, fmt.Errorf("codec: wire %w", err)
+		}
 	}
 	if c.off != len(c.b) {
 		return zero, fmt.Errorf("codec: %d trailing bytes in wire message", len(c.b)-c.off)

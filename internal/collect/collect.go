@@ -23,6 +23,7 @@ import (
 	"gostats/internal/rawfile"
 	"gostats/internal/schema"
 	"gostats/internal/telemetry"
+	"gostats/internal/trace"
 )
 
 // Cost model constants (seconds of one core per collection), calibrated
@@ -88,6 +89,12 @@ type Collector struct {
 	// before the first Collect. Nil uses telemetry.Default().
 	Metrics *telemetry.Registry
 
+	// Trace, if set, stamps each snapshot's provenance origin at collect
+	// time, enabling per-stage latency and freshness measurement
+	// downstream. Nil leaves snapshots untraced (and their encoded bytes
+	// unchanged).
+	Trace *trace.Recorder
+
 	mu    sync.Mutex
 	node  *hwsim.Node
 	stats Stats
@@ -124,6 +131,7 @@ func (c *Collector) Collect(now float64, jobIDs []string, mark string) (model.Sn
 		Mark:    mark,
 		Records: recs,
 	}
+	c.Trace.Stamp(&snap, model.StageCollect)
 	cost := CostBase + CostPerRecord*float64(len(recs))
 	c.mu.Lock()
 	c.stats.Collections++

@@ -8,6 +8,7 @@ import (
 	"gostats/internal/reldb"
 	"gostats/internal/schema"
 	"gostats/internal/telemetry"
+	"gostats/internal/trace"
 )
 
 // DefaultEndGrace is the grace window the batch driver uses: one
@@ -56,6 +57,13 @@ type Assembler struct {
 
 	// OnRow, if set, observes every finalized row (tests, metrics).
 	OnRow func(*reldb.JobRow)
+
+	// OnSnapshot, if set, observes every fed snapshot after it has been
+	// folded in — the tap the online watch stage hangs off.
+	OnSnapshot func(model.Snapshot)
+
+	// Trace, if set, stamps the assemble hop on every fed snapshot.
+	Trace *trace.Recorder
 
 	// Metrics selects the telemetry registry; nil uses Default().
 	Metrics *telemetry.Registry
@@ -108,6 +116,7 @@ func (a *Assembler) job(id string) *jobState {
 // correctly, they just cannot un-fire a timeout.
 func (a *Assembler) Feed(s model.Snapshot) {
 	a.init()
+	a.Trace.Stamp(&s, model.StageAssemble)
 	for _, id := range s.JobIDs {
 		js := a.job(id)
 		h := js.jd.Host(s.Host)
@@ -130,6 +139,9 @@ func (a *Assembler) Feed(s model.Snapshot) {
 		a.watermark = s.Time
 	}
 	a.sweep()
+	if a.OnSnapshot != nil {
+		a.OnSnapshot(s)
+	}
 }
 
 // sweep finalizes every job whose end-mark or idle trigger has fired at

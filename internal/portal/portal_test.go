@@ -15,6 +15,8 @@ import (
 	"gostats/internal/model"
 	"gostats/internal/reldb"
 	"gostats/internal/stats"
+	"gostats/internal/telemetry"
+	"gostats/internal/trace"
 	"gostats/internal/workload"
 	"gostats/internal/xalt"
 )
@@ -339,5 +341,61 @@ func TestDetailPageShowsXALT(t *testing.T) {
 	_, body = get(t, url+"/job/101")
 	if strings.Contains(body, "Environment (XALT)") {
 		t.Error("XALT section shown without a record")
+	}
+}
+
+func TestAPILag(t *testing.T) {
+	s, url := buildPortal(t)
+
+	// No recorder wired: the endpoint degrades to an empty summary.
+	code, body := get(t, url+"/api/lag")
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	var empty trace.LagSummary
+	if err := json.Unmarshal([]byte(body), &empty); err != nil {
+		t.Fatalf("bad empty lag JSON %q: %v", body, err)
+	}
+	if len(empty.Stages) != 0 || len(empty.Hosts) != 0 {
+		t.Fatalf("empty summary = %+v", empty)
+	}
+
+	// Wire a recorder and run two snapshots through simulated hops.
+	rec := trace.NewRecorder(telemetry.NewRegistry())
+	now := int64(1e12)
+	rec.Now = func() int64 { now += 3_000_000; return now }
+	for _, host := range []string{"c1", "c2"} {
+		snap := model.Snapshot{Host: host}
+		rec.Stamp(&snap, model.StageCollect)
+		rec.Stamp(&snap, model.StagePublish)
+		rec.Stamp(&snap, model.StageBrokerDeliver)
+		rec.Stamp(&snap, model.StageStoreIngest)
+		rec.MarkQueryable(host, snap)
+	}
+	s.Lag = rec
+
+	code, body = get(t, url+"/api/lag")
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	var sum trace.LagSummary
+	if err := json.Unmarshal([]byte(body), &sum); err != nil {
+		t.Fatalf("bad lag JSON %q: %v", body, err)
+	}
+	if len(sum.Stages) != 3 {
+		t.Fatalf("stages = %+v, want publish/broker_deliver/store_ingest", sum.Stages)
+	}
+	for _, st := range sum.Stages {
+		if st.Count != 2 || st.MeanSeconds <= 0 {
+			t.Errorf("stage %s: count %d mean %g", st.Stage, st.Count, st.MeanSeconds)
+		}
+	}
+	if len(sum.Hosts) != 2 || sum.Hosts[0].Host != "c1" || sum.Hosts[1].Host != "c2" {
+		t.Fatalf("hosts = %+v", sum.Hosts)
+	}
+	for _, h := range sum.Hosts {
+		if h.FreshnessSeconds <= 0 || h.NewestOriginUnixNs == 0 {
+			t.Errorf("host %s freshness = %+v", h.Host, h)
+		}
 	}
 }

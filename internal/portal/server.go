@@ -23,6 +23,7 @@ import (
 	"gostats/internal/reldb"
 	"gostats/internal/schema"
 	"gostats/internal/telemetry"
+	"gostats/internal/trace"
 	"gostats/internal/xalt"
 )
 
@@ -47,7 +48,11 @@ type Server struct {
 	// aggregate pages; set it to nil (before the first request) to
 	// disable caching.
 	Cache *Cache
-	mux   *http.ServeMux
+	// Lag, if set, backs the /api/lag endpoint with the ingest
+	// pipeline's provenance recorder (per-stage latencies and per-host
+	// freshness). Nil serves an empty summary.
+	Lag *trace.Recorder
+	mux *http.ServeMux
 }
 
 // NewServer builds a portal over the given job table.
@@ -68,6 +73,8 @@ func NewServer(db *reldb.DB, reg *schema.Registry, series SeriesSource) *Server 
 	s.mux.HandleFunc("/energy", s.instrument("/energy", s.cacheable("/energy", s.handleEnergy)))
 	s.mux.HandleFunc("/api/fields", s.instrument("/api/fields", s.handleFields))
 	s.mux.HandleFunc("/api/jobs", s.instrument("/api/jobs", s.cacheable("/api/jobs", s.handleAPIJobs)))
+	// /api/lag is live pipeline state, never cached.
+	s.mux.HandleFunc("/api/lag", s.instrument("/api/lag", s.handleAPILag))
 	return s
 }
 
@@ -378,6 +385,24 @@ func (s *Server) handleAPIJobs(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(out)
+}
+
+// handleAPILag summarizes ingest pipeline lag: per-stage hop latencies
+// and per-host freshness (now - origin of the newest queryable
+// snapshot), straight from the provenance recorder. Before serving, the
+// freshness gauges are re-aged against the current clock so a quiet
+// pipeline reads as growing staleness, not frozen health.
+func (s *Server) handleAPILag(w http.ResponseWriter, r *http.Request) {
+	s.Lag.RefreshFreshness()
+	sum := s.Lag.Snapshot()
+	if sum.Stages == nil {
+		sum.Stages = []trace.StageLag{}
+	}
+	if sum.Hosts == nil {
+		sum.Hosts = []trace.HostFreshness{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(sum)
 }
 
 func render(w http.ResponseWriter, t *template.Template, data interface{}) {

@@ -18,6 +18,7 @@ import (
 	"gostats/internal/rawfile"
 	"gostats/internal/schema"
 	"gostats/internal/telemetry"
+	"gostats/internal/trace"
 	"gostats/internal/tsdb"
 )
 
@@ -218,6 +219,12 @@ type Listener struct {
 	// before Run. Nil uses telemetry.Default().
 	Metrics *telemetry.Registry
 
+	// Trace, if set, stamps the broker-deliver, archive, and
+	// store-ingest hops on every decoded snapshot and maintains the
+	// per-host freshness gauges (a snapshot becomes "queryable" when it
+	// is archived or ingested). Set before Run.
+	Trace *trace.Recorder
+
 	processed atomic.Int64
 	stopping  atomic.Bool
 	inflight  sync.Mutex // held while one message is processed and acked
@@ -300,6 +307,7 @@ func (l *Listener) handleOne(body []byte, met *listenMetrics, maxSeen *float64) 
 		met.decodeFails.Inc()
 		return nil
 	}
+	l.Trace.Stamp(&snap, model.StageBrokerDeliver)
 	if l.OnDecoded != nil {
 		l.OnDecoded(wireV, len(body))
 	}
@@ -314,15 +322,19 @@ func (l *Listener) handleOne(body []byte, met *listenMetrics, maxSeen *float64) 
 		met.alerts.Add(uint64(len(alerts)))
 	}
 	if l.arch != nil && l.Headers != nil {
+		l.Trace.Stamp(&snap, model.StageArchive)
 		t := met.storeSeconds.Start()
 		err := l.arch.Append(snap.Host, l.Headers(snap.Host), snap)
 		t.Stop()
 		if err != nil {
 			return fmt.Errorf("realtime: archive %s: %w", snap.Host, err)
 		}
+		l.Trace.MarkQueryable(snap.Host, snap)
 	}
 	if l.Ingest != nil {
+		l.Trace.Stamp(&snap, model.StageStoreIngest)
 		l.Ingest.Ingest(snap)
+		l.Trace.MarkQueryable(snap.Host, snap)
 	}
 	if l.OnSnapshot != nil {
 		l.OnSnapshot(snap)

@@ -95,6 +95,7 @@ type Stats struct {
 
 type spoolMetrics struct {
 	depth     *telemetry.Gauge
+	backlog   *telemetry.Gauge
 	bytes     *telemetry.Gauge
 	oldestAge *telemetry.Gauge
 	appended  *telemetry.Counter
@@ -107,6 +108,8 @@ func newSpoolMetrics(reg *telemetry.Registry, host string) *spoolMetrics {
 	return &spoolMetrics{
 		depth: reg.Gauge("gostats_spool_depth",
 			"Snapshots in the node write-ahead spool awaiting replay.", "host", host),
+		backlog: reg.Gauge("gostats_spool_replay_backlog",
+			"Snapshots the replay drainer still has to deliver, updated live during each drain pass. A value stuck above zero means replay is stalled; sustained stalls precede eviction loss.", "host", host),
 		bytes: reg.Gauge("gostats_spool_bytes",
 			"On-disk size of the node write-ahead spool.", "host", host),
 		oldestAge: reg.Gauge("gostats_spool_oldest_age_seconds",
@@ -452,12 +455,16 @@ func (s *Spool) removeSegLocked(seg *segment) {
 	}
 }
 
-func (s *Spool) updateGaugesLocked() {
+func (s *Spool) depthLocked() int {
 	depth := 0
 	for _, seg := range s.segs {
 		depth += seg.snaps - seg.replayed
 	}
-	s.met.depth.Set(float64(depth))
+	return depth
+}
+
+func (s *Spool) updateGaugesLocked() {
+	s.met.depth.Set(float64(s.depthLocked()))
 	s.met.bytes.Set(float64(s.totalBytesLocked()))
 	age := 0.0
 	for _, seg := range s.segs {
@@ -473,27 +480,19 @@ func (s *Spool) updateGaugesLocked() {
 func (s *Spool) Depth() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	depth := 0
-	for _, seg := range s.segs {
-		depth += seg.snaps - seg.replayed
-	}
-	return depth
+	return s.depthLocked()
 }
 
 // Stats returns a snapshot of spool counters.
 func (s *Spool) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	depth := 0
-	for _, seg := range s.segs {
-		depth += seg.snaps - seg.replayed
-	}
 	return Stats{
 		Appended:  s.appended,
 		Replayed:  s.replayed,
 		Evicted:   s.evicted,
 		Truncated: s.torn,
-		Depth:     depth,
+		Depth:     s.depthLocked(),
 		Bytes:     s.totalBytesLocked(),
 		Segments:  len(s.segs),
 	}
@@ -525,6 +524,7 @@ func (s *Spool) Drain(fn func(model.Snapshot) error) (int, error) {
 		}
 		seg := s.headLocked()
 		if seg == nil {
+			s.met.backlog.Set(0)
 			s.mu.Unlock()
 			return n, nil
 		}
@@ -568,6 +568,10 @@ func (s *Spool) Drain(fn func(model.Snapshot) error) (int, error) {
 		}
 		snap := seg.cache[seg.replayed]
 		seg.draining = true
+		// The snapshot handed to fn has not been counted replayed yet, so
+		// it is still part of the backlog; a failed fn leaves the gauge
+		// stuck at the remaining count, which is exactly the stall signal.
+		s.met.backlog.Set(float64(s.depthLocked()))
 		s.mu.Unlock()
 
 		err := fn(snap)

@@ -1,0 +1,198 @@
+// Package trace is the ingest pipeline's provenance layer. A Recorder
+// stamps snapshots with wall-clock times as they pass each pipeline
+// stage (collect → publish → broker-deliver → archive → store-ingest,
+// with spool-replay and assemble branches), turns consecutive stamps
+// into per-stage latency histograms, and tracks per-host freshness:
+// `now − origin time of the newest queryable snapshot`, the number an
+// operator needs to answer "how stale is the data I'm querying?"
+//
+// All methods are nil-receiver safe so instrumented components can hold
+// an optional *Recorder and call it unconditionally; a nil recorder
+// makes every call a no-op, and snapshots flowing through an untraced
+// pipeline keep a nil Trace (and therefore unchanged encoded bytes).
+package trace
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"gostats/internal/model"
+	"gostats/internal/telemetry"
+)
+
+// Recorder stamps snapshots and aggregates stage latencies and per-host
+// freshness. Safe for concurrent use by the publisher, listener, and
+// assembler goroutines; Stamp itself mutates the snapshot and must only
+// be called by the goroutine currently owning it (each pipeline hop
+// processes one snapshot at a time, so this holds by construction).
+type Recorder struct {
+	// Now returns wall-clock unix nanoseconds; tests substitute a fake
+	// clock. Set at construction, immutable afterwards.
+	Now func() int64
+
+	stageHist []*telemetry.Histogram // indexed by model.Stage
+
+	mu     sync.Mutex
+	newest map[string]int64 // host -> origin ns of newest queryable snapshot
+	gauges map[string]*telemetry.Gauge
+	reg    *telemetry.Registry
+}
+
+// NewRecorder builds a recorder exporting into reg (nil uses
+// telemetry.Default()).
+func NewRecorder(reg *telemetry.Registry) *Recorder {
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	r := &Recorder{
+		Now:       func() int64 { return time.Now().UnixNano() },
+		stageHist: make([]*telemetry.Histogram, len(model.Stages())),
+		newest:    make(map[string]int64),
+		gauges:    make(map[string]*telemetry.Gauge),
+		reg:       reg,
+	}
+	for _, st := range model.Stages() {
+		r.stageHist[st] = reg.Histogram("gostats_pipeline_stage_seconds",
+			"Latency of one ingest pipeline hop: time between this stage's stamp and the previous stamp on the same snapshot.",
+			telemetry.LatencyBuckets, "stage", st.String())
+	}
+	return r
+}
+
+// Stamp appends a wall-clock stamp for st to the snapshot's trace and,
+// when the snapshot already carries an earlier stamp, observes the hop
+// latency since that stamp into the stage's histogram. The origin stamp
+// (collect) therefore only starts the clock.
+func (r *Recorder) Stamp(s *model.Snapshot, st model.Stage) {
+	if r == nil || s == nil {
+		return
+	}
+	now := r.Now()
+	if n := len(s.Trace); n > 0 && int(st) < len(r.stageHist) {
+		d := float64(now-s.Trace[n-1].UnixNs) / 1e9
+		if d >= 0 {
+			r.stageHist[st].Observe(d)
+		}
+	}
+	s.Trace = append(s.Trace, model.StageStamp{Stage: st, UnixNs: now})
+}
+
+// MarkQueryable records that the snapshot is now visible to queries
+// (archived or ingested into the tsdb) and refreshes the host's
+// freshness gauge. Freshness is measured from the snapshot's origin
+// (collect) stamp; untraced snapshots are ignored. The newest origin
+// per host is monotone, so late spool replays of old data never make a
+// host look fresher or staler than its newest ingested snapshot.
+func (r *Recorder) MarkQueryable(host string, s model.Snapshot) {
+	if r == nil || host == "" {
+		return
+	}
+	origin, ok := s.StageTime(model.StageCollect)
+	if !ok {
+		if len(s.Trace) == 0 {
+			return
+		}
+		origin = s.Trace[0].UnixNs
+	}
+	now := r.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if origin > r.newest[host] {
+		r.newest[host] = origin
+	}
+	r.gaugeLocked(host).Set(float64(now-r.newest[host]) / 1e9)
+}
+
+// RefreshFreshness recomputes every host's freshness gauge against the
+// current clock; callers run it periodically so gauges age between
+// snapshots instead of freezing at their last-ingest value.
+func (r *Recorder) RefreshFreshness() {
+	if r == nil {
+		return
+	}
+	now := r.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for host, origin := range r.newest {
+		r.gaugeLocked(host).Set(float64(now-origin) / 1e9)
+	}
+}
+
+// gaugeLocked returns the host's freshness gauge; r.mu must be held.
+func (r *Recorder) gaugeLocked(host string) *telemetry.Gauge {
+	g := r.gauges[host]
+	if g == nil {
+		g = r.reg.Gauge("gostats_freshness_seconds",
+			"Wall-clock age of the newest queryable snapshot per host (now - its collect-time origin stamp).",
+			"host", host)
+		r.gauges[host] = g
+	}
+	return g
+}
+
+// StageLag summarizes one stage's hop-latency histogram.
+type StageLag struct {
+	Stage       string  `json:"stage"`
+	Count       uint64  `json:"count"`
+	MeanSeconds float64 `json:"mean_seconds"`
+	P50Seconds  float64 `json:"p50_seconds"`
+	P95Seconds  float64 `json:"p95_seconds"`
+}
+
+// HostFreshness is one host's queryable-data age.
+type HostFreshness struct {
+	Host               string  `json:"host"`
+	FreshnessSeconds   float64 `json:"freshness_seconds"`
+	NewestOriginUnixNs int64   `json:"newest_origin_unix_ns"`
+}
+
+// LagSummary is the /api/lag payload: per-stage hop latencies plus
+// per-host freshness, both in flow/sorted order.
+type LagSummary struct {
+	Stages []StageLag      `json:"stages"`
+	Hosts  []HostFreshness `json:"hosts"`
+}
+
+// Snapshot summarizes current pipeline lag. Quantiles past the last
+// histogram bucket are clamped to that bound so the summary stays
+// JSON-encodable (+Inf is not).
+func (r *Recorder) Snapshot() LagSummary {
+	var out LagSummary
+	if r == nil {
+		return out
+	}
+	maxBound := telemetry.LatencyBuckets[len(telemetry.LatencyBuckets)-1]
+	clamp := func(v float64) float64 {
+		if math.IsInf(v, 1) || v > maxBound {
+			return maxBound
+		}
+		return v
+	}
+	for _, st := range model.Stages() {
+		h := r.stageHist[st]
+		if h.Count() == 0 {
+			continue
+		}
+		out.Stages = append(out.Stages, StageLag{
+			Stage:       st.String(),
+			Count:       h.Count(),
+			MeanSeconds: h.Mean(),
+			P50Seconds:  clamp(h.Quantile(0.5)),
+			P95Seconds:  clamp(h.Quantile(0.95)),
+		})
+	}
+	now := r.Now()
+	r.mu.Lock()
+	for host, origin := range r.newest {
+		out.Hosts = append(out.Hosts, HostFreshness{
+			Host:               host,
+			FreshnessSeconds:   float64(now-origin) / 1e9,
+			NewestOriginUnixNs: origin,
+		})
+	}
+	r.mu.Unlock()
+	sort.Slice(out.Hosts, func(i, j int) bool { return out.Hosts[i].Host < out.Hosts[j].Host })
+	return out
+}

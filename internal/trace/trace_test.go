@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"gostats/internal/model"
+	"gostats/internal/telemetry"
+)
+
+// fakeClock returns a Now func advancing a controlled amount per call.
+func fakeClock(start int64, stepNs int64) func() int64 {
+	t := start - stepNs
+	return func() int64 {
+		t += stepNs
+		return t
+	}
+}
+
+func TestStampObservesHopLatency(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	r := NewRecorder(reg)
+	r.Now = fakeClock(1e9, 2_000_000) // 2 ms per hop
+
+	var s model.Snapshot
+	r.Stamp(&s, model.StageCollect)
+	r.Stamp(&s, model.StagePublish)
+	r.Stamp(&s, model.StageBrokerDeliver)
+
+	if len(s.Trace) != 3 {
+		t.Fatalf("trace = %+v", s.Trace)
+	}
+	if s.Trace[0].Stage != model.StageCollect || s.Trace[2].Stage != model.StageBrokerDeliver {
+		t.Fatalf("stage order wrong: %+v", s.Trace)
+	}
+	// Origin stamp starts the clock without an observation; the two
+	// following hops each record one 2 ms sample.
+	sum := r.Snapshot()
+	if len(sum.Stages) != 2 {
+		t.Fatalf("stage summaries = %+v", sum.Stages)
+	}
+	for _, st := range sum.Stages {
+		if st.Count != 1 || st.MeanSeconds < 0.0019 || st.MeanSeconds > 0.0021 {
+			t.Errorf("stage %s: count %d mean %g, want 1 sample of ~2ms", st.Stage, st.Count, st.MeanSeconds)
+		}
+	}
+}
+
+func TestFreshnessMonotone(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	r := NewRecorder(reg)
+	now := int64(100e9)
+	r.Now = func() int64 { return now }
+
+	mk := func(origin int64) model.Snapshot {
+		return model.Snapshot{Trace: []model.StageStamp{{Stage: model.StageCollect, UnixNs: origin}}}
+	}
+	r.MarkQueryable("c1", mk(90e9))
+	sum := r.Snapshot()
+	if len(sum.Hosts) != 1 || sum.Hosts[0].FreshnessSeconds != 10 {
+		t.Fatalf("freshness = %+v", sum.Hosts)
+	}
+
+	// A late replay of older data must not make the host staler.
+	r.MarkQueryable("c1", mk(50e9))
+	if got := r.Snapshot().Hosts[0].FreshnessSeconds; got != 10 {
+		t.Fatalf("freshness regressed to %g after old replay", got)
+	}
+
+	// Time passing without ingest ages the gauge via RefreshFreshness.
+	now = 130e9
+	r.RefreshFreshness()
+	exp := strings.Split(reg.Exposition(), "\n")
+	found := false
+	for _, line := range exp {
+		if strings.HasPrefix(line, `gostats_freshness_seconds{host="c1"}`) {
+			found = true
+			if !strings.HasSuffix(line, " 40") {
+				t.Fatalf("gauge line %q, want value 40", line)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("freshness gauge not exposed")
+	}
+
+	// Untraced snapshots are ignored entirely.
+	r.MarkQueryable("c2", model.Snapshot{})
+	for _, h := range r.Snapshot().Hosts {
+		if h.Host == "c2" {
+			t.Fatal("untraced snapshot created a freshness entry")
+		}
+	}
+}
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	var s model.Snapshot
+	r.Stamp(&s, model.StagePublish)
+	r.MarkQueryable("c1", s)
+	r.RefreshFreshness()
+	if got := r.Snapshot(); len(got.Stages) != 0 || len(got.Hosts) != 0 {
+		t.Fatalf("nil recorder summary = %+v", got)
+	}
+	if s.Trace != nil {
+		t.Fatalf("nil recorder stamped: %+v", s.Trace)
+	}
+}

@@ -1,0 +1,411 @@
+// Package watch is the online job-flagging stage: the same screening
+// rules internal/flagging applies to finished rows, evaluated
+// incrementally against jobs that are still running. It hangs off the
+// live snapshot stream (etl.Assembler's OnSnapshot tap, or any other
+// decoded-snapshot source), accumulates per-job series exactly as the
+// batch assembler does, and re-evaluates each job's provisional metrics
+// on a stream-time cadence — so a job spinning on idle nodes or
+// hammering the metadata server is flagged minutes into its run, not
+// after the nightly ETL.
+//
+// Alerts route two ways: telemetry counters
+// (gostats_watch_flags_raised_total, by flag) for dashboards, and a
+// structured JSON-lines event log (plus an optional synchronous Notify
+// hook) for operators and audits. The paper's future-work section asks
+// for exactly this automated real-time analysis; PerSyst and the MPCDF
+// system (PAPERS.md) are the precedents for running it inside the
+// ingest path.
+package watch
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"gostats/internal/core"
+	"gostats/internal/flagging"
+	"gostats/internal/model"
+	"gostats/internal/reldb"
+	"gostats/internal/schema"
+	"gostats/internal/telemetry"
+)
+
+// DefaultCheckEvery is the stream-time cadence (seconds) at which a
+// running job's provisional metrics are re-evaluated: one canonical
+// collection interval, so every new sample batch triggers one check.
+const DefaultCheckEvery = 600
+
+// JobMeta is the scheduler metadata the watcher needs for queue- and
+// size-dependent flags. It is deliberately tiny — the watcher runs
+// while the job runs, before full accounting exists.
+type JobMeta struct {
+	Queue string
+	Nodes int
+}
+
+// Event is one structured alert emitted by the watcher.
+type Event struct {
+	// Kind is "flag_raised" (a rule newly fired mid-run) or "job_final"
+	// (the job finalized; Flags carries its final flag set).
+	Kind       string   `json:"kind"`
+	JobID      string   `json:"job_id"`
+	Flag       string   `json:"flag,omitempty"`
+	Flags      []string `json:"flags,omitempty"`
+	StreamTime float64  `json:"stream_time"`
+	WallUnixNs int64    `json:"wall_unix_ns"`
+}
+
+// Result is the watcher's verdict on one finalized job.
+type Result struct {
+	JobID string
+	// Flags is the final flag set, evaluated on the complete series —
+	// the set that must match the post-hoc batch sweep.
+	Flags []string
+	// Raised maps each flag to the stream time it first fired, which for
+	// mid-run detections is strictly before the job's end.
+	Raised map[string]float64
+	// Start and End bound the job in stream time (begin/end marks, or
+	// the observed sample span).
+	Start, End float64
+}
+
+// watchMetrics are the watcher's telemetry series.
+type watchMetrics struct {
+	reg       *telemetry.Registry
+	watched   *telemetry.Counter
+	finalized *telemetry.Counter
+	checks    *telemetry.Counter
+	skipped   *telemetry.Counter
+	late      *telemetry.Counter
+	byFlag    map[string]*telemetry.Counter
+}
+
+func newWatchMetrics(reg *telemetry.Registry) *watchMetrics {
+	return &watchMetrics{
+		reg: reg,
+		watched: reg.Counter("gostats_watch_jobs_total",
+			"Jobs the online watcher started tracking."),
+		finalized: reg.Counter("gostats_watch_jobs_finalized_total",
+			"Jobs the online watcher finalized."),
+		checks: reg.Counter("gostats_watch_checks_total",
+			"Mid-run provisional metric evaluations performed."),
+		skipped: reg.Counter("gostats_watch_jobs_skipped_total",
+			"Jobs too thin to reduce (single sample) dropped at finalize."),
+		late: reg.Counter("gostats_watch_late_drops_total",
+			"Samples or marks arriving after their job finalized, dropped. Non-zero means delivery skew exceeded the lateness window."),
+		byFlag: make(map[string]*telemetry.Counter),
+	}
+}
+
+func (m *watchMetrics) flagCounter(flag string) *telemetry.Counter {
+	c := m.byFlag[flag]
+	if c == nil {
+		c = m.reg.Counter("gostats_watch_flags_raised_total",
+			"Online flags raised while jobs were still running, by flag.", "flag", flag)
+		m.byFlag[flag] = c
+	}
+	return c
+}
+
+// jobWatch is one running job's accumulated state.
+type jobWatch struct {
+	jd        *model.JobData
+	begin     float64
+	end       float64
+	haveBegin bool
+	haveEnd   bool
+	lastSeen  float64
+	lastCheck float64
+	raised    map[string]float64 // flag -> stream time first fired
+}
+
+// Watcher screens the live snapshot stream. Feed must be called from a
+// single goroutine (the listener serializes snapshots); the read-side
+// accessors are safe to call concurrently with Feed.
+type Watcher struct {
+	// Registry reduces provisional series to Table I metrics.
+	Registry *schema.Registry
+	// Thresholds tune the flag set; zero value is not usable — callers
+	// pass flagging.DefaultThresholds() or a test-specific set.
+	Thresholds flagging.Thresholds
+	// Meta, if set, supplies scheduler metadata for queue/size-dependent
+	// flags. Jobs it does not know fall back to Nodes = observed hosts
+	// and an empty queue, matching the batch path's meta-less default.
+	Meta func(jobID string) (JobMeta, bool)
+
+	// CheckEvery is the stream-time cadence between provisional
+	// evaluations of one job (default DefaultCheckEvery).
+	CheckEvery float64
+	// EndGrace and IdleTimeout are the finalize triggers, identical in
+	// meaning to etl.Assembler's.
+	EndGrace    float64
+	IdleTimeout float64
+	// Lateness holds finalize triggers back by this many stream seconds
+	// past the watermark. Live broker delivery is only approximately
+	// time-ordered — per-host FIFO, but cross-host skew of up to about a
+	// collection interval — and a job finalized before a lagging host's
+	// tail samples arrive would be reduced over a truncated series. Set
+	// it to one collection interval for live streams; zero is correct
+	// for time-ordered input (archives, tests).
+	Lateness float64
+
+	// EventLog, if set, receives one JSON line per event.
+	EventLog io.Writer
+	// Notify, if set, is invoked synchronously for every event.
+	Notify func(Event)
+	// Metrics selects the telemetry registry; nil uses Default().
+	Metrics *telemetry.Registry
+
+	mu        sync.Mutex
+	flags     []flagging.Flag
+	jobs      map[string]*jobWatch
+	done      map[string]bool // finalized ids: late arrivals must not resurrect them
+	watermark float64
+	results   map[string]Result
+	skipped   int
+	met       *watchMetrics
+}
+
+func (w *Watcher) init() {
+	if w.jobs != nil {
+		return
+	}
+	w.jobs = make(map[string]*jobWatch)
+	w.done = make(map[string]bool)
+	w.results = make(map[string]Result)
+	w.flags = flagging.Default(w.Thresholds)
+	if w.CheckEvery <= 0 {
+		w.CheckEvery = DefaultCheckEvery
+	}
+	reg := w.Metrics
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	w.met = newWatchMetrics(reg)
+}
+
+func (w *Watcher) job(id string) *jobWatch {
+	js := w.jobs[id]
+	if js == nil {
+		js = &jobWatch{jd: model.NewJobData(id), raised: make(map[string]float64)}
+		w.jobs[id] = js
+		w.met.watched.Inc()
+	}
+	return js
+}
+
+// Feed folds one snapshot into every job it is labeled with, runs due
+// provisional checks, and finalizes jobs whose end-mark or idle trigger
+// fired — the same accumulation and trigger rules as etl.Assembler, so
+// the final flag set is computed over exactly the series the batch ETL
+// would assemble.
+func (w *Watcher) Feed(s model.Snapshot) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.init()
+	for _, id := range s.JobIDs {
+		if w.done[id] {
+			w.met.late.Inc()
+			continue
+		}
+		js := w.job(id)
+		h := js.jd.Host(s.Host)
+		for _, r := range s.Records {
+			h.Append(s.Time, r)
+		}
+		if s.Time > js.lastSeen {
+			js.lastSeen = s.Time
+		}
+	}
+	switch {
+	case len(s.Mark) > 6 && s.Mark[:6] == "begin ":
+		if id := s.Mark[6:]; w.done[id] {
+			w.met.late.Inc()
+		} else {
+			js := w.job(id)
+			js.begin, js.haveBegin = s.Time, true
+		}
+	case len(s.Mark) > 4 && s.Mark[:4] == "end ":
+		if id := s.Mark[4:]; w.done[id] {
+			w.met.late.Inc()
+		} else {
+			js := w.job(id)
+			js.end, js.haveEnd = s.Time, true
+		}
+	}
+	if s.Time > w.watermark {
+		w.watermark = s.Time
+	}
+	for _, id := range s.JobIDs {
+		js := w.jobs[id]
+		if js == nil || js.haveEnd || s.Time-js.lastCheck < w.CheckEvery {
+			continue
+		}
+		js.lastCheck = s.Time
+		w.check(id, js, s.Time)
+	}
+	w.sweepLocked()
+}
+
+// check evaluates one running job's provisional metrics and raises any
+// newly fired flags. Jobs still too thin to reduce are silently skipped
+// — they get rechecked on the next cadence tick.
+func (w *Watcher) check(id string, js *jobWatch, streamTime float64) {
+	w.met.checks.Inc()
+	row, err := w.provisionalRow(id, js)
+	if err != nil {
+		return
+	}
+	for _, flag := range flagging.Evaluate(w.flags, row) {
+		if _, already := js.raised[flag]; already {
+			continue
+		}
+		js.raised[flag] = streamTime
+		w.met.flagCounter(flag).Inc()
+		w.emit(Event{Kind: "flag_raised", JobID: id, Flag: flag, StreamTime: streamTime,
+			WallUnixNs: time.Now().UnixNano()})
+	}
+}
+
+// provisionalRow reduces the job's accumulated series into a row the
+// flag tests can run against, joining whatever metadata exists now.
+func (w *Watcher) provisionalRow(id string, js *jobWatch) (*reldb.JobRow, error) {
+	sum, err := core.Compute(js.jd, w.Registry)
+	if err != nil {
+		return nil, err
+	}
+	row := &reldb.JobRow{JobID: id, Hosts: js.jd.HostNames(), Metrics: *sum}
+	if w.Meta != nil {
+		if md, ok := w.Meta(id); ok {
+			row.Queue, row.Nodes = md.Queue, md.Nodes
+		}
+	}
+	if row.Nodes == 0 {
+		row.Nodes = len(js.jd.Hosts)
+	}
+	return row, nil
+}
+
+// sweepLocked finalizes every job whose trigger fired at the current
+// watermark, held back by the lateness window; w.mu is held.
+func (w *Watcher) sweepLocked() {
+	mark := w.watermark - w.Lateness
+	var due []string
+	for id, js := range w.jobs {
+		switch {
+		case js.haveEnd && mark >= js.end+w.EndGrace:
+			due = append(due, id)
+		case w.IdleTimeout > 0 && js.lastSeen > 0 &&
+			mark-js.lastSeen >= w.IdleTimeout:
+			due = append(due, id)
+		}
+	}
+	sort.Strings(due)
+	for _, id := range due {
+		w.finalize(id)
+	}
+}
+
+// finalize computes the job's final flag set over its complete series
+// and records the Result. Thin jobs are dropped, as in the batch path.
+func (w *Watcher) finalize(id string) {
+	js := w.jobs[id]
+	delete(w.jobs, id)
+	w.done[id] = true
+	row, err := w.provisionalRow(id, js)
+	if err != nil {
+		w.skipped++
+		w.met.skipped.Inc()
+		return
+	}
+	final := flagging.Evaluate(w.flags, row)
+	start, end := js.begin, js.end
+	if !js.haveBegin || !js.haveEnd {
+		start, end = observedSpan(js.jd)
+	}
+	res := Result{JobID: id, Flags: final, Raised: js.raised, Start: start, End: end}
+	w.results[id] = res
+	w.met.finalized.Inc()
+	w.emit(Event{Kind: "job_final", JobID: id, Flags: final, StreamTime: w.watermark,
+		WallUnixNs: time.Now().UnixNano()})
+}
+
+// emit routes one event to the log and the hook; w.mu is held (Feed is
+// single-goroutine, so the ordering of log lines matches event order).
+func (w *Watcher) emit(e Event) {
+	if w.EventLog != nil {
+		if b, err := json.Marshal(e); err == nil {
+			w.EventLog.Write(append(b, '\n'))
+		}
+	}
+	if w.Notify != nil {
+		w.Notify(e)
+	}
+}
+
+// Flush finalizes every job still in flight (end of stream).
+func (w *Watcher) Flush() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.init()
+	ids := make([]string, 0, len(w.jobs))
+	for id := range w.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		w.finalize(id)
+	}
+}
+
+// Results returns every finalized job's verdict, keyed by job id.
+func (w *Watcher) Results() map[string]Result {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make(map[string]Result, len(w.results))
+	for id, r := range w.results {
+		out[id] = r
+	}
+	return out
+}
+
+// Pending reports jobs still accumulating.
+func (w *Watcher) Pending() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.jobs)
+}
+
+// Skipped reports jobs dropped as too thin to reduce.
+func (w *Watcher) Skipped() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.skipped
+}
+
+// observedSpan bounds the job by its earliest and latest samples (used
+// when begin/end marks never arrived).
+func observedSpan(jd *model.JobData) (float64, float64) {
+	first, last := 0.0, 0.0
+	seen := false
+	for _, hd := range jd.Hosts {
+		for _, byInst := range hd.Series {
+			for _, s := range byInst {
+				if len(s.Samples) == 0 {
+					continue
+				}
+				f, l := s.Samples[0].Time, s.Samples[len(s.Samples)-1].Time
+				if !seen || f < first {
+					first = f
+				}
+				if !seen || l > last {
+					last = l
+				}
+				seen = true
+			}
+		}
+	}
+	return first, last
+}

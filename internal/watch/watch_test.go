@@ -1,0 +1,281 @@
+package watch_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"sort"
+	"testing"
+
+	"gostats/internal/chip"
+	"gostats/internal/collect"
+	"gostats/internal/etl"
+	"gostats/internal/flagging"
+	"gostats/internal/hwsim"
+	"gostats/internal/model"
+	"gostats/internal/reldb"
+	"gostats/internal/telemetry"
+	"gostats/internal/watch"
+)
+
+// parityFixture builds a deterministic two-node snapshot stream with
+// three jobs engineered to trip distinct flags:
+//
+//   - job 10 (nodes c1+c2): c2 stays idle, so idle_nodes fires;
+//   - job 11 (c1): metadata storm at low IPC, so high_metadata_rate and
+//     high_cpi fire;
+//   - job 12 (c2): healthy, no flags.
+func parityFixture(t *testing.T) []model.Snapshot {
+	t.Helper()
+	cfg := chip.StampedeNode()
+	mkNode := func(host string, seed int64) (*hwsim.Node, *collect.Collector) {
+		n, err := hwsim.NewNode(host, cfg, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n, collect.New(n)
+	}
+	n1, c1 := mkNode("c1", 1)
+	n2, c2 := mkNode("c2", 2)
+
+	var snaps []model.Snapshot
+	tick := func(col *collect.Collector, at float64, jobs []string, mark string) {
+		s, _ := col.Collect(at, jobs, mark)
+		snaps = append(snaps, s)
+	}
+
+	busy := hwsim.Demand{CPUUserFrac: 0.9, IPC: 1.2, LoadRate: 1e9, L1HitFrac: 0.95}
+	idle := hwsim.Demand{}
+	storm := hwsim.Demand{CPUUserFrac: 0.8, IPC: 0.4, MDCReqRate: 50000}
+
+	// Job 10: t=0..1800 on both nodes, c2 idle.
+	tick(c1, 0, []string{"10"}, collect.JobMark(collect.MarkBegin, "10"))
+	tick(c2, 0, []string{"10"}, "")
+	for _, at := range []float64{600, 1200} {
+		n1.Advance(600, busy)
+		n2.Advance(600, idle)
+		tick(c1, at, []string{"10"}, "")
+		tick(c2, at, []string{"10"}, "")
+	}
+	n1.Advance(600, busy)
+	n2.Advance(600, idle)
+	tick(c1, 1800, []string{"10"}, collect.JobMark(collect.MarkEnd, "10"))
+	tick(c2, 1800, []string{"10"}, "")
+
+	// Jobs 11 (c1, metadata storm) and 12 (c2, healthy): t=2400..4200.
+	n1.Advance(600, idle)
+	n2.Advance(600, idle)
+	tick(c1, 2400, []string{"11"}, collect.JobMark(collect.MarkBegin, "11"))
+	tick(c2, 2400, []string{"12"}, collect.JobMark(collect.MarkBegin, "12"))
+	for _, at := range []float64{3000, 3600} {
+		n1.Advance(600, storm)
+		n2.Advance(600, busy)
+		tick(c1, at, []string{"11"}, "")
+		tick(c2, at, []string{"12"}, "")
+	}
+	n1.Advance(600, storm)
+	n2.Advance(600, busy)
+	tick(c1, 4200, []string{"11"}, collect.JobMark(collect.MarkEnd, "11"))
+	tick(c2, 4200, []string{"12"}, collect.JobMark(collect.MarkEnd, "12"))
+
+	// Trailing empty ticks push the watermark past every grace window.
+	for _, at := range []float64{4800, 5400} {
+		n1.Advance(600, idle)
+		n2.Advance(600, idle)
+		tick(c1, at, nil, "")
+		tick(c2, at, nil, "")
+	}
+	return snaps
+}
+
+// TestOnlineFlagsMatchPostHoc is the flag-parity fixture: online watch
+// flags over the live stream must exactly match the post-hoc batch
+// sweep over the same data — same jobs, same flag sets. Run under
+// -race via `make race`.
+func TestOnlineFlagsMatchPostHoc(t *testing.T) {
+	snaps := parityFixture(t)
+	reg := chip.StampedeNode().Registry()
+	thr := flagging.DefaultThresholds()
+
+	// Post-hoc path: batch assemble then sweep, as the nightly ETL does.
+	db := reldb.New()
+	a := &etl.Assembler{Registry: reg, DB: db, EndGrace: etl.DefaultEndGrace,
+		Metrics: telemetry.NewRegistry()}
+	for _, s := range snaps {
+		a.Feed(s)
+	}
+	a.Flush()
+	rep, err := flagging.Sweep(db, flagging.Default(thr))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Online path: the watcher over the identical stream.
+	var events bytes.Buffer
+	w := &watch.Watcher{Registry: reg, Thresholds: thr, EndGrace: etl.DefaultEndGrace,
+		EventLog: &events, Metrics: telemetry.NewRegistry()}
+	for _, s := range snaps {
+		w.Feed(s)
+	}
+	w.Flush()
+	results := w.Results()
+
+	if len(results) != rep.Total {
+		t.Fatalf("watcher finalized %d jobs, batch swept %d", len(results), rep.Total)
+	}
+	if len(rep.ByJob) == 0 {
+		t.Fatal("fixture raised no post-hoc flags; thresholds no longer bite")
+	}
+	for id, res := range results {
+		want := append([]string(nil), rep.ByJob[id]...)
+		got := append([]string(nil), res.Flags...)
+		sort.Strings(want)
+		sort.Strings(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("job %s: online flags %v, post-hoc %v", id, got, want)
+		}
+	}
+
+	// The two-node idle job must have been caught mid-run, not just at
+	// finalize: its first idle_nodes raise precedes the job's end.
+	res10 := results["10"]
+	raiseAt, ok := res10.Raised["idle_nodes"]
+	if !ok {
+		t.Fatalf("job 10 idle_nodes never raised mid-run: %+v", res10)
+	}
+	if raiseAt >= res10.End {
+		t.Errorf("job 10 idle_nodes raised at %g, not before end %g", raiseAt, res10.End)
+	}
+
+	// The event log is structured JSON lines covering raises and finals.
+	var raises, finals int
+	for _, line := range bytes.Split(bytes.TrimSpace(events.Bytes()), []byte("\n")) {
+		var e watch.Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			t.Fatalf("bad event line %q: %v", line, err)
+		}
+		switch e.Kind {
+		case "flag_raised":
+			raises++
+		case "job_final":
+			finals++
+		default:
+			t.Fatalf("unknown event kind %q", e.Kind)
+		}
+	}
+	if raises == 0 || finals != len(results) {
+		t.Fatalf("event log has %d raises, %d finals (want >0, %d)", raises, finals, len(results))
+	}
+}
+
+// A watcher with no Meta must fall back to observed hosts for Nodes
+// (idle_nodes needs Nodes > 1) while a Meta hook can override queue
+// membership for largemem_waste.
+func TestWatcherMetaJoin(t *testing.T) {
+	snaps := parityFixture(t)
+	reg := chip.StampedeNode().Registry()
+	thr := flagging.DefaultThresholds()
+
+	w := &watch.Watcher{Registry: reg, Thresholds: thr, EndGrace: etl.DefaultEndGrace,
+		Metrics: telemetry.NewRegistry(),
+		Meta: func(id string) (watch.JobMeta, bool) {
+			if id == "12" {
+				return watch.JobMeta{Queue: "largemem", Nodes: 1}, true
+			}
+			return watch.JobMeta{}, false
+		}}
+	for _, s := range snaps {
+		w.Feed(s)
+	}
+	w.Flush()
+	res := w.Results()
+	found := false
+	for _, f := range res["12"].Flags {
+		if f == "largemem_waste" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("job 12 in largemem queue should raise largemem_waste: %+v", res["12"])
+	}
+}
+
+// TestLatenessAbsorbsDeliverySkew replays the parity fixture with one
+// host's deliveries lagging a full tick — the broker's cross-host skew.
+// Without a lateness window the watcher would finalize jobs before the
+// lagging host's tail samples (or end marks) arrive, resurrect them,
+// and report degenerate flag sets. With Lateness of one interval the
+// results must match the time-ordered feed exactly, with one final per
+// job.
+func TestLatenessAbsorbsDeliverySkew(t *testing.T) {
+	snaps := parityFixture(t)
+	reg := chip.StampedeNode().Registry()
+	thr := flagging.DefaultThresholds()
+
+	run := func(stream []model.Snapshot, lateness float64) (map[string]watch.Result, map[string]int) {
+		var events bytes.Buffer
+		w := &watch.Watcher{Registry: reg, Thresholds: thr, EndGrace: etl.DefaultEndGrace,
+			Lateness: lateness, EventLog: &events, Metrics: telemetry.NewRegistry()}
+		for _, s := range stream {
+			w.Feed(s)
+		}
+		w.Flush()
+		finals := map[string]int{}
+		for _, line := range bytes.Split(bytes.TrimSpace(events.Bytes()), []byte("\n")) {
+			var e watch.Event
+			if err := json.Unmarshal(line, &e); err != nil {
+				t.Fatalf("bad event line %q: %v", line, err)
+			}
+			if e.Kind == "job_final" {
+				finals[e.JobID]++
+			}
+		}
+		return w.Results(), finals
+	}
+
+	// Skew: c2's snapshots are delivered one tick behind c1's.
+	var c1s, c2s []model.Snapshot
+	for _, s := range snaps {
+		if s.Host == "c1" {
+			c1s = append(c1s, s)
+		} else {
+			c2s = append(c2s, s)
+		}
+	}
+	var skewed []model.Snapshot
+	for i, s := range c1s {
+		skewed = append(skewed, s)
+		if i > 0 {
+			skewed = append(skewed, c2s[i-1])
+		}
+	}
+	skewed = append(skewed, c2s[len(c1s)-1:]...)
+	if len(skewed) != len(snaps) {
+		t.Fatalf("skewed stream has %d snapshots, want %d", len(skewed), len(snaps))
+	}
+
+	ordered, orderedFinals := run(snaps, 0)
+	got, finals := run(skewed, 600)
+	if len(got) != len(ordered) {
+		t.Fatalf("skewed feed finalized %d jobs, ordered %d", len(got), len(ordered))
+	}
+	for id, res := range ordered {
+		want := append([]string(nil), res.Flags...)
+		have := append([]string(nil), got[id].Flags...)
+		sort.Strings(want)
+		sort.Strings(have)
+		if !reflect.DeepEqual(have, want) {
+			t.Errorf("job %s: skewed flags %v, ordered %v", id, have, want)
+		}
+	}
+	for id, n := range finals {
+		if n != 1 {
+			t.Errorf("job %s finalized %d times under skew, want exactly once", id, n)
+		}
+	}
+	for id, n := range orderedFinals {
+		if n != 1 {
+			t.Errorf("job %s finalized %d times on ordered feed, want exactly once", id, n)
+		}
+	}
+}
