@@ -32,9 +32,19 @@ test:
 race:
 	$(GO) test -race ./...
 
-## chaos: fault-injection smoke — the transport robustness suite under -race
+## chaos: fault-injection smoke — the transport robustness suite under
+## -race, plus a 3-broker fabric simcluster run that kills the busiest
+## broker mid-run and must rebalance live and conserve every snapshot
+## (emitted == archived + spooled, zero duplicates past dedup).
 chaos:
 	$(GO) test -run Chaos -race ./...
+	@dir="$$(mktemp -d)"; rc=0; \
+	$(GO) run -race ./cmd/simcluster -mode daemon -nodes 12 -days 0.5 \
+		-brokers 3 -chaos-kill-broker -out "$$dir" -telemetry off \
+		> "$$dir/run.log" 2>&1 || rc=$$?; \
+	grep -E '^simcluster (fabric|chaos):' "$$dir/run.log"; \
+	[ "$$rc" -eq 0 ] || tail -5 "$$dir/run.log"; \
+	rm -rf "$$dir"; exit $$rc
 
 ## watchparity: end-to-end detection audit — a simcluster -watch run must
 ## hit the online/post-hoc flag parity floor (exits non-zero below 95%),
@@ -48,11 +58,11 @@ watchparity:
 	rm -rf "$$dir"; exit $$rc
 
 ## bench: run the root benchmark suite, record it machine-readably in
-## BENCH_PR5.json (name, ns/op, B/op, allocs/op), and diff against the
+## BENCH_PR7.json (name, ns/op, B/op, allocs/op), and diff against the
 ## previous PR's baseline to surface regressions.
 bench:
-	$(GO) test -bench=. -benchmem -run='^$$' . | tee BENCH_PR5.txt
-	$(GO) run ./cmd/benchjson -o BENCH_PR5.json -baseline BENCH_PR4.json < BENCH_PR5.txt
+	$(GO) test -bench=. -benchmem -run='^$$' . | tee BENCH_PR7.txt
+	$(GO) run ./cmd/benchjson -o BENCH_PR7.json -baseline BENCH_PR5.json < BENCH_PR7.txt
 
 ## benchsmoke: every benchmark runs once (-short skips the long suite) —
 ## catches benchmarks that break without paying for full measurement.

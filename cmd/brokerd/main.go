@@ -6,10 +6,21 @@
 //
 //	brokerd [-listen 127.0.0.1:5672] [-idle-timeout 0] [-ack-timeout 0]
 //	        [-telemetry 127.0.0.1:9100]
+//	        [-peers host1:5672,host2:5672,host3:5672]
+//	        [-partitions 16] [-replication 2]
+//
+// With -peers set, the broker is one member of a partitioned fabric: the
+// full static membership (which must include this broker's own
+// advertised address) defines a consistent-hash partition map that
+// publishers and listener groups fetch over the wire handshake and route
+// by. The broker itself stays a plain queue server — replication is
+// publisher-driven — but it serves the map, stamps its version on every
+// ack, and probes dead peers so a revived broker rejoins the ring.
 //
 // With -telemetry set, the broker serves its own ops endpoint: /metrics
 // (queue depth, published/delivered/redelivered/acked, connection count,
-// frame codec latency), /healthz, /debug/vars and /debug/pprof.
+// frame codec latency, fabric map version and partition ownership),
+// /healthz, /debug/vars and /debug/pprof.
 package main
 
 import (
@@ -18,8 +29,11 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
+	"time"
 
 	"gostats/internal/broker"
+	"gostats/internal/fabric"
 	"gostats/internal/telemetry"
 )
 
@@ -30,6 +44,14 @@ func main() {
 	ackTimeout := flag.Duration("ack-timeout", 0,
 		"requeue the in-flight message and drop consumers that fail to ack within this window (0 = never)")
 	telemetryAddr := flag.String("telemetry", "", "ops endpoint address (empty = disabled)")
+	peers := flag.String("peers", "",
+		"comma-separated fabric membership, including this broker's own advertised address (empty = standalone)")
+	partitions := flag.Int("partitions", fabric.DefaultPartitions,
+		"fabric partition count (must match across the cluster)")
+	replication := flag.Int("replication", fabric.DefaultReplication,
+		"fabric publish replication factor")
+	probeEvery := flag.Duration("probe-interval", 2*time.Second,
+		"how often to probe dead fabric peers for revival")
 	flag.Parse()
 
 	srv := broker.NewServer()
@@ -40,6 +62,29 @@ func main() {
 		log.Fatalf("brokerd: %v", err)
 	}
 	fmt.Printf("brokerd: listening on %s\n", addr)
+
+	if *peers != "" {
+		members := strings.Split(*peers, ",")
+		for i := range members {
+			members[i] = strings.TrimSpace(members[i])
+		}
+		found := false
+		for _, m := range members {
+			if m == *listen || m == addr {
+				found = true
+			}
+		}
+		if !found {
+			log.Fatalf("brokerd: -peers %q must include this broker's own address %q", *peers, *listen)
+		}
+		m := fabric.NewMap(members, *partitions, *replication)
+		view := fabric.NewView(m, broker.DefaultPolicy(), telemetry.Default())
+		srv.MapProvider = view.Provider()
+		view.StartProber(*probeEvery)
+		defer view.Close()
+		fmt.Printf("brokerd: fabric member (%d brokers, %d partitions, replication %d)\n",
+			len(members), *partitions, *replication)
+	}
 
 	if *telemetryAddr != "" {
 		ops, err := telemetry.Serve(*telemetryAddr, telemetry.Default())

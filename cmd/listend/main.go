@@ -8,12 +8,27 @@
 //	listend -broker 127.0.0.1:5672 -store ./central [-arch stampede]
 //	        [-codec binary] [-telemetry 127.0.0.1:9102]
 //
+// Fabric (multi-broker) mode:
+//
+//	listend -brokers host1:5672,host2:5672,host3:5672 -store ./central
+//	        [-group-index 0 -group-count 1]
+//
+// With -brokers set, listend is one member of a partition-consumer
+// group: it bootstraps the partition map from the first reachable
+// broker, consumes its share of partitions (those where
+// p % group-count == group-index) from every owner broker in parallel,
+// deduplicates replicated frames by (host, sequence), and rebalances
+// live when a broker dies or rejoins. A single consume-loop death
+// restarts that partition's consumer with backoff; only repeated
+// failures against a broker the map still considers alive are fatal.
+//
 // On SIGINT/SIGTERM the consumer shuts down gracefully: the in-flight
 // message is fully archived and acknowledged before the connection
 // closes, so interrupting listend never forces a redelivery or loses a
 // snapshot. With -telemetry set, it serves its own ops endpoint:
-// /metrics (snapshots consumed, drain lag, store-write latency, alerts),
-// /healthz, /debug/vars and /debug/pprof.
+// /metrics (snapshots consumed, drain lag, store-write latency, alerts,
+// fabric partition ownership and replication lag), /healthz,
+// /debug/vars and /debug/pprof.
 package main
 
 import (
@@ -22,11 +37,14 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
+	"time"
 
 	"gostats/internal/broker"
 	"gostats/internal/chip"
 	"gostats/internal/codec"
+	"gostats/internal/fabric"
 	"gostats/internal/rawfile"
 	"gostats/internal/realtime"
 	"gostats/internal/schema"
@@ -34,11 +52,17 @@ import (
 )
 
 func main() {
-	brokerAddr := flag.String("broker", "127.0.0.1:5672", "broker address")
+	brokerAddr := flag.String("broker", "127.0.0.1:5672", "broker address (single-broker mode)")
+	brokersList := flag.String("brokers", "",
+		"comma-separated fabric broker addresses (enables partition-group mode)")
+	groupIndex := flag.Int("group-index", 0, "this member's index within the listener group")
+	groupCount := flag.Int("group-count", 1, "total members in the listener group")
 	storeDir := flag.String("store", "central", "central raw store directory")
 	arch := flag.String("arch", "stampede", "node type the fleet runs (schema source)")
 	codecName := flag.String("codec", "text", "archive codec for new store files: text (v1) or binary (v2)")
 	telemetryAddr := flag.String("telemetry", "", "ops endpoint address (empty = disabled)")
+	probeEvery := flag.Duration("probe-interval", 2*time.Second,
+		"how often to probe dead fabric brokers for revival")
 	flag.Parse()
 
 	archiveCodec, err := codec.ParseVersion(*codecName)
@@ -75,6 +99,24 @@ func main() {
 		log.Fatalf("listend: %v", err)
 	}
 	store.SetCodec(archiveCodec)
+	mon := realtime.NewMonitor(reg, realtime.DefaultRules())
+	mon.Notify = func(a realtime.Alert) {
+		fmt.Printf("ALERT %s\n", a)
+	}
+	l := &realtime.Listener{
+		Monitor:  mon,
+		Store:    store,
+		Registry: reg,
+		Headers: func(host string) rawfile.Header {
+			return rawfile.Header{Hostname: host, Arch: *arch, Registry: reg}
+		},
+	}
+
+	if *brokersList != "" {
+		runFabric(l, ops, *brokersList, *groupIndex, *groupCount, *probeEvery, *storeDir)
+		return
+	}
+
 	cons, err := broker.DialConsumer(*brokerAddr, broker.StatsQueue)
 	if err != nil {
 		if ops != nil {
@@ -85,19 +127,7 @@ func main() {
 	if ops != nil {
 		ops.SetHealth("broker", nil)
 	}
-	mon := realtime.NewMonitor(reg, realtime.DefaultRules())
-	mon.Notify = func(a realtime.Alert) {
-		fmt.Printf("ALERT %s\n", a)
-	}
-	l := &realtime.Listener{
-		Cons:     cons,
-		Monitor:  mon,
-		Store:    store,
-		Registry: reg,
-		Headers: func(host string) rawfile.Header {
-			return rawfile.Header{Hostname: host, Arch: *arch, Registry: reg}
-		},
-	}
+	l.Cons = cons
 
 	// Graceful shutdown: stop consuming, let the in-flight snapshot be
 	// archived and acked, then exit. Every archived snapshot is written
@@ -127,4 +157,81 @@ func main() {
 	}
 	log.Printf("listend: stopped cleanly; %d snapshots processed and flushed to %s",
 		l.Processed(), *storeDir)
+}
+
+// bootstrapMap fetches the partition map from the first fabric broker
+// that answers.
+func bootstrapMap(brokers []string) (fabric.Map, error) {
+	var lastErr error
+	for _, addr := range brokers {
+		c, err := broker.DialTimeout(addr, 2*time.Second)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		_, payload, err := c.FetchMap()
+		c.Close()
+		if err != nil {
+			lastErr = fmt.Errorf("broker %s: %w", addr, err)
+			continue
+		}
+		return fabric.DecodeMap(payload)
+	}
+	return fabric.Map{}, fmt.Errorf("no fabric broker served a partition map: %w", lastErr)
+}
+
+// runFabric is partition-group mode: consume this member's share of
+// partitions from every owner broker, dedup, rebalance live.
+func runFabric(l *realtime.Listener, ops *telemetry.OpsServer, brokersList string, index, count int, probeEvery time.Duration, storeDir string) {
+	brokers := strings.Split(brokersList, ",")
+	for i := range brokers {
+		brokers[i] = strings.TrimSpace(brokers[i])
+	}
+	if count <= 0 {
+		count = 1
+	}
+	if index < 0 || index >= count {
+		log.Fatalf("listend: -group-index %d out of range for -group-count %d", index, count)
+	}
+	m, err := bootstrapMap(brokers)
+	if err != nil {
+		if ops != nil {
+			ops.SetHealth("broker", err)
+		}
+		log.Fatalf("listend: %v", err)
+	}
+	if ops != nil {
+		ops.SetHealth("broker", nil)
+	}
+	view := fabric.NewView(m, broker.DefaultPolicy(), telemetry.Default())
+	view.StartProber(probeEvery)
+	defer view.Close()
+
+	g := fabric.NewGroup(view)
+	g.Index, g.Count = index, count
+	g.Handle = l.HandleBody
+	g.Start()
+	log.Printf("listend: fabric group member %d/%d consuming %d partitions across %d brokers into %s (map v%d)",
+		index, count, m.Partitions, len(m.Brokers), storeDir, m.Version)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("listend: %s: finishing in-flight messages and shutting down", s)
+		if ops != nil {
+			ops.SetHealth("broker", fmt.Errorf("shutting down on %s", s))
+		}
+		g.Stop()
+		l.Close()
+		st := g.Stats()
+		log.Printf("listend: stopped cleanly; %d snapshots handled (%d deduped, %d consumer restarts)",
+			st.Handled, st.Deduped, st.Restarts)
+	case err := <-g.Err():
+		// A consumer died repeatedly against a broker the map still
+		// considers alive — the error names partition and broker.
+		g.Stop()
+		l.Close()
+		log.Fatalf("listend: %v", err)
+	}
 }

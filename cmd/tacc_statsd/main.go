@@ -13,6 +13,18 @@
 //	            [-spool /var/spool/gostats] [-spool-max-bytes N]
 //	            [-spool-max-age SECONDS] [-spool-sync]
 //
+// Fabric (multi-broker) mode:
+//
+//	tacc_statsd -brokers host1:5672,host2:5672,host3:5672 ...
+//
+// With -brokers set, the daemon publishes through the partitioned
+// fabric instead of a single broker: it bootstraps the partition map
+// from the first reachable broker, routes each snapshot to its host's
+// partition, and requires confirms from every replica owner before an
+// interval counts as delivered. A dead owner trips a breaker, the map
+// rebalances, and spooled snapshots replay to the partition's current
+// owners.
+//
 // With -spool set, snapshots the broker cannot accept are written to a
 // crash-safe on-disk spool and replayed in order when the broker comes
 // back — a broker outage costs latency, not data. Without it, an
@@ -29,17 +41,40 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"strings"
 	"time"
 
 	"gostats/internal/broker"
 	"gostats/internal/chip"
 	"gostats/internal/codec"
 	"gostats/internal/collect"
+	"gostats/internal/fabric"
 	"gostats/internal/hwsim"
 	"gostats/internal/spool"
 	"gostats/internal/telemetry"
 	"gostats/internal/workload"
 )
+
+// bootstrapMap fetches the partition map from the first fabric broker
+// that answers.
+func bootstrapMap(brokers []string) (fabric.Map, error) {
+	var lastErr error
+	for _, addr := range brokers {
+		c, err := broker.DialTimeout(addr, 2*time.Second)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		_, payload, err := c.FetchMap()
+		c.Close()
+		if err != nil {
+			lastErr = fmt.Errorf("broker %s: %w", addr, err)
+			continue
+		}
+		return fabric.DecodeMap(payload)
+	}
+	return fabric.Map{}, fmt.Errorf("no fabric broker served a partition map: %w", lastErr)
+}
 
 func pickModel(name, owner string) (workload.Model, error) {
 	switch name {
@@ -55,7 +90,9 @@ func pickModel(name, owner string) (workload.Model, error) {
 }
 
 func main() {
-	brokerAddr := flag.String("broker", "127.0.0.1:5672", "broker address")
+	brokerAddr := flag.String("broker", "127.0.0.1:5672", "broker address (single-broker mode)")
+	brokersList := flag.String("brokers", "",
+		"comma-separated fabric broker addresses (enables partitioned publish mode)")
 	host := flag.String("host", "c401-101", "hostname of the simulated node")
 	job := flag.String("job", "4001", "job id to label collections with")
 	wl := flag.String("workload", "wrf", "workload: wrf, storm, idle")
@@ -105,9 +142,38 @@ func main() {
 	// restarts. Without a spool a dead broker costs at most the current
 	// interval's sample; with one, the sample waits on disk instead.
 	col := collect.New(node)
-	pub := broker.NewReliablePublisher(*brokerAddr, broker.StatsQueue)
-	pub.Codec = wireCodec
-	pub.Registry = chip.StampedeNode().Registry()
+	var pub interface {
+		collect.Publisher
+		AttachSpool(sp *spool.Spool)
+		Close() error
+	}
+	target := *brokerAddr
+	if *brokersList != "" {
+		brokers := strings.Split(*brokersList, ",")
+		for i := range brokers {
+			brokers[i] = strings.TrimSpace(brokers[i])
+		}
+		m, err := bootstrapMap(brokers)
+		if err != nil {
+			log.Fatalf("tacc_statsd: %v", err)
+		}
+		view := fabric.NewView(m, broker.DefaultPolicy(), telemetry.Default())
+		view.StartProber(2 * time.Second)
+		defer view.Close()
+		pool := fabric.NewClientPool(broker.DefaultPolicy())
+		pool.Codec = wireCodec
+		fp := fabric.NewPublisher(view, pool)
+		fp.Codec = wireCodec
+		fp.Registry = chip.StampedeNode().Registry()
+		pub = fp
+		target = fmt.Sprintf("fabric[%s] (%d partitions, replication %d)",
+			*brokersList, m.Partitions, m.Replication)
+	} else {
+		rp := broker.NewReliablePublisher(*brokerAddr, broker.StatsQueue)
+		rp.Codec = wireCodec
+		rp.Registry = chip.StampedeNode().Registry()
+		pub = rp
+	}
 	if *spoolDir != "" {
 		sp, err := spool.Open(*spoolDir, col.Header(), spool.Options{
 			MaxBytes: *spoolMax,
@@ -135,7 +201,7 @@ func main() {
 	if *job != "" {
 		jobs = []string{*job}
 	}
-	log.Printf("tacc_statsd: %s publishing to %s every %.0f simulated seconds", *host, *brokerAddr, *interval)
+	log.Printf("tacc_statsd: %s publishing to %s every %.0f simulated seconds", *host, target, *interval)
 	for i := 0; *ticks == 0 || i < *ticks; i++ {
 		// The real daemon sleeps; we sleep the compressed interval.
 		if *speedup > 0 {

@@ -1,0 +1,175 @@
+package broker
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a mutable clock for driving the breaker window without
+// sleeping.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testBreaker(clk *fakeClock) *Breaker {
+	b := NewBreaker(Policy{
+		BreakerThreshold: 3,
+		BreakerWindow:    100 * time.Millisecond,
+		BreakerMaxWindow: 400 * time.Millisecond,
+	}, nil)
+	b.now = clk.now
+	return b
+}
+
+// TestBreakerHalfOpenAdmitsExactlyOneProbe pins the half-open contract
+// under contention: when the open window elapses, any number of
+// concurrent Allow calls admit exactly ONE probe — the rest keep
+// failing fast until the probe's outcome decides the state. Run under
+// -race, this also exercises the breaker's internal locking.
+func TestBreakerHalfOpenAdmitsExactlyOneProbe(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := testBreaker(clk)
+
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker rejected request %d", i)
+		}
+		b.Failure()
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("want open after threshold failures, got %v", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request inside the window")
+	}
+
+	// Window elapses; 64 goroutines race Allow. Exactly one probe slot.
+	clk.advance(150 * time.Millisecond)
+	var admitted int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if b.Allow() {
+				atomic.AddInt64(&admitted, 1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if admitted != 1 {
+		t.Fatalf("half-open admitted %d probes, want exactly 1", admitted)
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("want half-open while the probe is in flight, got %v", b.State())
+	}
+
+	// The probe fails: reopen with a doubled window. The old window
+	// must no longer admit anyone.
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("want reopened after failed probe, got %v", b.State())
+	}
+	clk.advance(150 * time.Millisecond) // < doubled 200ms window
+	if b.Allow() {
+		t.Fatal("reopened breaker admitted inside the doubled window")
+	}
+	clk.advance(100 * time.Millisecond) // now past it
+	admitted = 0
+	var wg2 sync.WaitGroup
+	start2 := make(chan struct{})
+	for i := 0; i < 64; i++ {
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			<-start2
+			if b.Allow() {
+				atomic.AddInt64(&admitted, 1)
+			}
+		}()
+	}
+	close(start2)
+	wg2.Wait()
+	if admitted != 1 {
+		t.Fatalf("second half-open admitted %d probes, want exactly 1", admitted)
+	}
+
+	// The probe succeeds: closed, everyone flows, failure streak reset.
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("want closed after successful probe, got %v", b.State())
+	}
+	for i := 0; i < 8; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker rejected a request after recovery")
+		}
+	}
+	// The window must have reset to its base value: trip it again and
+	// confirm the base window (not the doubled one) gates the reopen.
+	for i := 0; i < 3; i++ {
+		b.Failure()
+	}
+	clk.advance(150 * time.Millisecond) // past base 100ms, inside doubled 200ms
+	if !b.Allow() {
+		t.Fatal("window did not reset to base after a successful probe")
+	}
+}
+
+// TestBreakerConcurrentChurn hammers Allow/Success/Failure from many
+// goroutines purely for the race detector: the breaker must stay
+// internally consistent (state is always one of the three constants)
+// with every transition racing every other.
+func TestBreakerConcurrentChurn(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := testBreaker(clk)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if b.Allow() {
+					if (j+seed)%3 == 0 {
+						b.Failure()
+					} else {
+						b.Success()
+					}
+				}
+				if j%7 == 0 {
+					clk.advance(25 * time.Millisecond)
+				}
+				if s := b.State(); s != BreakerClosed && s != BreakerOpen && s != BreakerHalfOpen {
+					t.Errorf("impossible breaker state %v", s)
+					return
+				}
+			}
+		}(i)
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

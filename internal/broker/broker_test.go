@@ -486,7 +486,7 @@ func TestQueueUnitCancelRace(t *testing.T) {
 	if !ok || w == nil {
 		t.Fatal("expected waiter")
 	}
-	if !q.push([]byte("x")) {
+	if !q.push(item{body: []byte("x")}) {
 		t.Fatal("push failed")
 	}
 	// Message is now sitting in the waiter channel; cancel must recover it.
@@ -495,15 +495,15 @@ func TestQueueUnitCancelRace(t *testing.T) {
 		t.Fatalf("depth = %d, message lost", q.depth())
 	}
 	msg, w2, ok := q.pop()
-	if !ok || w2 != nil || string(msg) != "x" {
-		t.Fatalf("recovered = %q", msg)
+	if !ok || w2 != nil || string(msg.body) != "x" {
+		t.Fatalf("recovered = %q", msg.body)
 	}
 }
 
 func TestQueueUnitCloseDropsPublishes(t *testing.T) {
 	q := &queue{}
 	q.close()
-	if q.push([]byte("x")) {
+	if q.push(item{body: []byte("x")}) {
 		t.Error("push to closed queue succeeded")
 	}
 	if _, _, ok := q.pop(); ok {
@@ -514,16 +514,16 @@ func TestQueueUnitCloseDropsPublishes(t *testing.T) {
 
 func TestQueueUnitRequeueFront(t *testing.T) {
 	q := &queue{}
-	q.push([]byte("a"))
-	q.push([]byte("b"))
+	q.push(item{body: []byte("a")})
+	q.push(item{body: []byte("b")})
 	m, _, _ := q.pop()
-	if string(m) != "a" {
-		t.Fatalf("pop = %q", m)
+	if string(m.body) != "a" {
+		t.Fatalf("pop = %q", m.body)
 	}
 	q.requeue(m)
 	m2, _, _ := q.pop()
-	if string(m2) != "a" {
-		t.Errorf("requeue not at front: %q", m2)
+	if string(m2.body) != "a" {
+		t.Errorf("requeue not at front: %q", m2.body)
 	}
 }
 

@@ -34,13 +34,21 @@ func newQueueMetrics(reg *telemetry.Registry, name string) *queueMetrics {
 	}
 }
 
+// item is one queued message: the encoded body plus the optional
+// (host, seq) dedup identity a fabric publisher stamped on it.
+type item struct {
+	body []byte
+	host string
+	seq  uint64
+}
+
 // queue is an unbounded FIFO with blocking consumers. Delivery hand-off
 // is waiter-based: a push while consumers wait bypasses the backlog and
 // lands directly in the oldest waiter's channel.
 type queue struct {
 	mu      sync.Mutex
-	items   [][]byte
-	waiters []chan []byte
+	items   []item
+	waiters []chan item
 	closed  bool
 
 	published   uint64
@@ -65,7 +73,7 @@ func (q *queue) mets() *queueMetrics {
 
 // push enqueues one message (or hands it straight to a waiter). Pushing
 // to a closed queue drops the message and reports false.
-func (q *queue) push(b []byte) bool {
+func (q *queue) push(b item) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
@@ -92,7 +100,7 @@ func (q *queue) push(b []byte) bool {
 
 // requeue returns a message to the FRONT of the queue (redelivery after a
 // consumer died holding it).
-func (q *queue) requeue(b []byte) {
+func (q *queue) requeue(b item) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
@@ -109,7 +117,7 @@ func (q *queue) requeue(b []byte) {
 		q.mets().delivered.Inc()
 		return
 	}
-	q.items = append([][]byte{b}, q.items...)
+	q.items = append([]item{b}, q.items...)
 	q.mets().depth.Set(float64(len(q.items)))
 }
 
@@ -125,11 +133,11 @@ func (q *queue) ack() {
 // registers and returns a waiter channel the caller must receive from.
 // Exactly one of (msg, waiter) is non-nil unless the queue is closed, in
 // which case both are nil and ok is false.
-func (q *queue) pop() (msg []byte, waiter chan []byte, ok bool) {
+func (q *queue) pop() (msg item, waiter chan item, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
-		return nil, nil, false
+		return item{}, nil, false
 	}
 	if len(q.items) > 0 {
 		m := q.items[0]
@@ -139,16 +147,16 @@ func (q *queue) pop() (msg []byte, waiter chan []byte, ok bool) {
 		q.mets().depth.Set(float64(len(q.items)))
 		return m, nil, true
 	}
-	w := make(chan []byte, 1)
+	w := make(chan item, 1)
 	q.waiters = append(q.waiters, w)
 	q.mets().waiters.Set(float64(len(q.waiters)))
-	return nil, w, true
+	return item{}, w, true
 }
 
 // cancel removes a waiter registered by pop. If the waiter was already
 // handed a message in the race window, the message is requeued so it is
 // not lost.
-func (q *queue) cancel(w chan []byte) {
+func (q *queue) cancel(w chan item) {
 	q.mu.Lock()
 	for i, x := range q.waiters {
 		if x == w {

@@ -372,7 +372,14 @@ func (p *ReliablePublisher) replayOne(s model.Snapshot) error {
 	p.Trace.Stamp(&s, model.StageSpoolReplay)
 	body, err := EncodeSnapshotWire(s, p.Registry, p.Codec)
 	if err != nil {
-		return err
+		// Permanent: the snapshot no longer encodes under the current
+		// registry. Abandon it (counted dropped) rather than wedging the
+		// backlog behind it forever.
+		p.mu.Lock()
+		p.dropped++
+		p.metrics().dropped.Inc()
+		p.mu.Unlock()
+		return spool.ErrSkip
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()

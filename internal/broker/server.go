@@ -31,7 +31,7 @@ import (
 
 // frame is the single wire message type.
 type frame struct {
-	Op    string // "pub", "sub", "msg", "ack", "err"
+	Op    string // "pub", "sub", "msg", "ack", "err", "map"
 	Queue string
 	Body  []byte
 	Err   string
@@ -52,11 +52,34 @@ type frame struct {
 	// publish turns that silent loss into a retryable error (at the cost
 	// of possible duplicates — consumers must tolerate at-least-once).
 	Confirm bool
+
+	// Host and Seq identify the snapshot a publish carries for
+	// replicated-delivery dedup: a fabric publisher writes the same
+	// (Host, Seq) to every replica broker, and partition-group consumers
+	// drop all but the first delivery. Both ride the queue and come back
+	// on "msg" frames. Zero values mean "no dedup identity" (legacy
+	// single-broker publishes).
+	Host string
+	Seq  uint64
+
+	// MapV is the sender's fabric partition-map version. The server
+	// stamps it on publish acks and "map" replies so clients learn about
+	// membership changes on the paths they already exercise — the same
+	// piggyback pattern the codec handshake uses.
+	MapV uint64
 }
 
 // codeCodecMismatch marks the err frame a version-pinned server sends a
 // producer publishing a different codec.
 const codeCodecMismatch = "codec-mismatch"
+
+// codeNoMap marks the err frame a broker without fabric membership sends
+// back on a "map" request.
+const codeNoMap = "no-map"
+
+// ErrNoMap is returned by FetchMap against a broker that is not a
+// fabric member.
+var ErrNoMap = errors.New("broker: not a fabric member (no partition map)")
 
 // ErrCodecMismatch is returned to a producer whose declared snapshot
 // codec does not match the broker's pinned wire version.
@@ -69,6 +92,7 @@ const (
 	opMsg = "msg"
 	opAck = "ack"
 	opErr = "err"
+	opMap = "map"
 )
 
 // serverMetrics are the broker-wide telemetry series.
@@ -117,6 +141,14 @@ type Server struct {
 	// error frame and the connection dropped. Zero accepts everything —
 	// mixed fleets negotiate per message instead.
 	WireVersion codec.Version
+
+	// MapProvider, when set, makes this broker a fabric member: "map"
+	// frames are answered with the provider's current partition map
+	// payload, and every publish ack carries the map version so
+	// publishers notice membership changes without a separate probe.
+	// The payload is opaque to the broker (internal/fabric owns the
+	// encoding), keeping the dependency pointing fabric -> broker.
+	MapProvider func() (version uint64, payload []byte)
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -308,12 +340,25 @@ func (s *Server) handle(conn net.Conn) {
 						codec.Version(f.Codec), s.WireVersion)})
 				return
 			}
-			s.getQueue(f.Queue).push(f.Body)
+			s.getQueue(f.Queue).push(item{body: f.Body, host: f.Host, seq: f.Seq})
 			if f.Confirm {
 				armWrite(conn, s.WriteTimeout)
-				if err := enc.Encode(frame{Op: opAck}); err != nil {
+				if err := enc.Encode(frame{Op: opAck, MapV: s.mapVersion()}); err != nil {
 					return
 				}
+			}
+		case opMap:
+			armWrite(conn, s.WriteTimeout)
+			if s.MapProvider == nil {
+				if enc.Encode(frame{Op: opErr, Code: codeNoMap,
+					Err: "broker is not a fabric member (no partition map)"}) != nil {
+					return
+				}
+				continue
+			}
+			v, payload := s.MapProvider()
+			if err := enc.Encode(frame{Op: opMap, MapV: v, Body: payload}); err != nil {
+				return
 			}
 		case opSub:
 			if f.Queue == "" {
@@ -334,6 +379,16 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
+// mapVersion returns the fabric map version to stamp on acks (0 when
+// the broker is not a fabric member).
+func (s *Server) mapVersion() uint64 {
+	if s.MapProvider == nil {
+		return 0
+	}
+	v, _ := s.MapProvider()
+	return v
+}
+
 // consumerLoop serves one subscribed connection with prefetch 1.
 func (s *Server) consumerLoop(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, q *queue) {
 	met := s.metricsSnapshot()
@@ -351,7 +406,7 @@ func (s *Server) consumerLoop(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder,
 		}
 		armWrite(conn, s.WriteTimeout)
 		t := met.encode.Start()
-		if err := enc.Encode(frame{Op: opMsg, Body: msg}); err != nil {
+		if err := enc.Encode(frame{Op: opMsg, Body: msg.body, Host: msg.host, Seq: msg.seq}); err != nil {
 			q.requeue(msg)
 			return
 		}
@@ -449,6 +504,11 @@ type Client struct {
 	conn net.Conn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
+
+	// lastMapV is the newest fabric map version seen on an ack or map
+	// reply from this broker; fabric publishers compare it against their
+	// own view to decide when to refetch the partition map.
+	lastMapV uint64
 }
 
 // Dial connects to a broker for publishing.
@@ -500,13 +560,22 @@ func (c *Client) Publish(queueName string, body []byte) error {
 // error the caller can retry instead of silent loss; the retry may
 // duplicate the message, so consumers must dedup or tolerate repeats.
 func (c *Client) PublishConfirmed(queueName string, body []byte) error {
+	return c.PublishConfirmedSeq(queueName, body, "", 0)
+}
+
+// PublishConfirmedSeq is PublishConfirmed with a (host, seq) dedup
+// identity attached to the message — the replicated-publish primitive:
+// a fabric publisher writes the same identity to every replica broker
+// and partition-group consumers keep only the first delivery.
+func (c *Client) PublishConfirmedSeq(queueName string, body []byte, host string, seq uint64) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn == nil {
 		return ErrClosed
 	}
 	armWrite(c.conn, c.WriteTimeout)
-	if err := c.enc.Encode(frame{Op: opPub, Queue: queueName, Body: body, Codec: uint8(c.Codec), Confirm: true}); err != nil {
+	if err := c.enc.Encode(frame{Op: opPub, Queue: queueName, Body: body,
+		Codec: uint8(c.Codec), Confirm: true, Host: host, Seq: seq}); err != nil {
 		return fmt.Errorf("broker: publish: %w", err)
 	}
 	armRead(c.conn, c.AckTimeout)
@@ -516,6 +585,9 @@ func (c *Client) PublishConfirmed(queueName string, body []byte) error {
 	}
 	switch f.Op {
 	case opAck:
+		if f.MapV > c.lastMapV {
+			c.lastMapV = f.MapV
+		}
 		return nil
 	case opErr:
 		if f.Code == codeCodecMismatch {
@@ -524,6 +596,48 @@ func (c *Client) PublishConfirmed(queueName string, body []byte) error {
 		return fmt.Errorf("broker: server error: %s", f.Err)
 	default:
 		return fmt.Errorf("broker: unexpected confirm frame %q", f.Op)
+	}
+}
+
+// MapVersion reports the newest fabric partition-map version this
+// client has seen on an ack or map reply (0 before any).
+func (c *Client) MapVersion() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastMapV
+}
+
+// FetchMap asks the broker for its current fabric partition map. The
+// payload is the opaque fabric encoding (internal/fabric decodes it);
+// ErrNoMap means the broker is not a fabric member.
+func (c *Client) FetchMap() (version uint64, payload []byte, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return 0, nil, ErrClosed
+	}
+	armWrite(c.conn, c.WriteTimeout)
+	if err := c.enc.Encode(frame{Op: opMap}); err != nil {
+		return 0, nil, fmt.Errorf("broker: fetch map: %w", err)
+	}
+	armRead(c.conn, c.AckTimeout)
+	var f frame
+	if err := c.dec.Decode(&f); err != nil {
+		return 0, nil, fmt.Errorf("broker: fetch map: %w", err)
+	}
+	switch f.Op {
+	case opMap:
+		if f.MapV > c.lastMapV {
+			c.lastMapV = f.MapV
+		}
+		return f.MapV, f.Body, nil
+	case opErr:
+		if f.Code == codeNoMap {
+			return 0, nil, ErrNoMap
+		}
+		return 0, nil, fmt.Errorf("broker: server error: %s", f.Err)
+	default:
+		return 0, nil, fmt.Errorf("broker: unexpected map frame %q", f.Op)
 	}
 }
 
@@ -594,17 +708,37 @@ func (c *Consumer) Next() ([]byte, error) {
 // caller must Ack (or disconnect, causing redelivery). This exposes the
 // at-least-once semantics for tests and crash-tolerant consumers.
 func (c *Consumer) NextNoAck() ([]byte, error) {
+	m, err := c.NextMsgNoAck()
+	return m.Body, err
+}
+
+// Msg is one delivered message with its replication-dedup identity.
+// Host/Seq are zero for messages published without one.
+type Msg struct {
+	Body []byte
+	Host string
+	Seq  uint64
+}
+
+// NextMsgNoAck is NextNoAck returning the full message envelope,
+// including the (host, seq) identity partition-group consumers dedup
+// replicated deliveries by.
+func (c *Consumer) NextMsgNoAck() (Msg, error) {
 	var f frame
 	if err := c.dec.Decode(&f); err != nil {
 		if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || isConnReset(err) {
-			return nil, io.EOF
+			return Msg{}, io.EOF
 		}
-		return nil, fmt.Errorf("broker: consume: %w", err)
+		return Msg{}, fmt.Errorf("broker: consume: %w", err)
 	}
-	if f.Op != opMsg {
-		return nil, fmt.Errorf("broker: unexpected frame %q", f.Op)
+	switch f.Op {
+	case opMsg:
+		return Msg{Body: f.Body, Host: f.Host, Seq: f.Seq}, nil
+	case opErr:
+		return Msg{}, fmt.Errorf("broker: server error: %s", f.Err)
+	default:
+		return Msg{}, fmt.Errorf("broker: unexpected frame %q", f.Op)
 	}
-	return f.Body, nil
 }
 
 // Ack acknowledges the message most recently returned by NextNoAck.

@@ -74,6 +74,10 @@ type Engine struct {
 	// OnJobEnd, if set, is invoked when a job's epilog completes — the
 	// point where the scheduler writes its accounting record.
 	OnJobEnd func(spec workload.Spec, start, end float64, hosts []string) error
+	// OnTick, if set, is invoked at the end of every Step with the new
+	// simulated time — the seam chaos schedules hang off (e.g. killing
+	// a broker at a fixed simulated second mid-run).
+	OnTick func(now float64) error
 	// syncPeriod is a day; nodes get a random offset so syncs spread out
 	// across low-utilization hours like the real deployment.
 	rng *rand.Rand
@@ -353,6 +357,13 @@ func (e *Engine) Step() error {
 				}
 				rt.nextSync += 86400
 			}
+		}
+	}
+
+	// 6. External tick hooks (chaos schedules, probes).
+	if e.OnTick != nil {
+		if err := e.OnTick(e.Clock); err != nil {
+			return err
 		}
 	}
 	return nil

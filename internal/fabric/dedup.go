@@ -1,0 +1,97 @@
+package fabric
+
+import "sync"
+
+// DefaultDedupEntries bounds the dedup table at roughly one million
+// identities — at 10k hosts × one snapshot per 10 s that is over a
+// quarter hour of memory, far past the window in which a replica or a
+// spool replay can redeliver a frame.
+const DefaultDedupEntries = 1 << 20
+
+// dedupKey is the replicated-delivery identity: which host's snapshot,
+// and the content-derived sequence SeqOf stamped on it at publish.
+type dedupKey struct {
+	host string
+	seq  uint64
+}
+
+// Dedup is a bounded first-writer-wins identity table: Seen reports
+// whether a (host, seq) was already admitted and admits it otherwise.
+// Eviction is FIFO — the oldest identity is forgotten when the table is
+// full, which bounds memory at the cost of readmitting a duplicate that
+// arrives more than capacity identities late (the conservation audit
+// would catch that; in practice replicas race by milliseconds).
+type Dedup struct {
+	mu   sync.Mutex
+	cap  int
+	seen map[dedupKey]struct{}
+	ring []dedupKey
+	pos  int
+
+	admitted uint64
+	dropped  uint64
+}
+
+// NewDedup builds a table bounded at capacity entries (<=0 takes
+// DefaultDedupEntries).
+func NewDedup(capacity int) *Dedup {
+	if capacity <= 0 {
+		capacity = DefaultDedupEntries
+	}
+	return &Dedup{
+		cap:  capacity,
+		seen: make(map[dedupKey]struct{}, capacity),
+		ring: make([]dedupKey, capacity),
+	}
+}
+
+// Seen reports whether (host, seq) was already admitted; if not, it is
+// admitted now. A zero identity (no host) is never deduplicated —
+// frames published outside the fabric carry none.
+func (d *Dedup) Seen(host string, seq uint64) bool {
+	if host == "" {
+		return false
+	}
+	k := dedupKey{host: host, seq: seq}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.seen[k]; ok {
+		d.dropped++
+		return true
+	}
+	if len(d.seen) >= d.cap {
+		evict := d.ring[d.pos]
+		delete(d.seen, evict)
+	}
+	d.seen[k] = struct{}{}
+	d.ring[d.pos] = k
+	d.pos = (d.pos + 1) % d.cap
+	d.admitted++
+	return false
+}
+
+// Forget withdraws an identity admitted by Seen — the rollback when
+// handling the frame failed after admission, so the broker's redelivery
+// is not mistaken for a replica duplicate. The identity's ring slot is
+// not reclaimed; if the same identity is later re-admitted, the stale
+// slot's eventual eviction can forget it early, which only risks
+// readmitting a duplicate (caught downstream), never losing a frame.
+func (d *Dedup) Forget(host string, seq uint64) {
+	if host == "" {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	k := dedupKey{host: host, seq: seq}
+	if _, ok := d.seen[k]; ok {
+		delete(d.seen, k)
+		d.admitted--
+	}
+}
+
+// Stats reports (admitted, duplicates dropped) lifetime counts.
+func (d *Dedup) Stats() (admitted, dropped uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.admitted, d.dropped
+}

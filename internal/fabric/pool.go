@@ -1,0 +1,116 @@
+package fabric
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"gostats/internal/broker"
+	"gostats/internal/codec"
+)
+
+// ClientPool shares one broker connection per broker address. A fabric
+// publisher fans each snapshot out to R owner brokers; without sharing,
+// a 10k-node simulation (or a node daemon publishing through several
+// owners) would open a connection per publisher per broker and exhaust
+// file descriptors. broker.Client serializes its own frame+ack
+// exchanges internally, so a shared connection is safe — publishes from
+// different producers interleave at message granularity.
+type ClientPool struct {
+	// Dialer, when non-nil, replaces net.DialTimeout — the
+	// fault-injection seam.
+	Dialer func(addr string) (net.Conn, error)
+
+	// Codec declares the snapshot codec on each pooled connection.
+	Codec codec.Version
+
+	pol broker.Policy
+
+	mu      sync.Mutex
+	clients map[string]*broker.Client
+	closed  bool
+}
+
+// NewClientPool builds a pool dialing under pol's deadlines (zero
+// fields take defaults).
+func NewClientPool(pol broker.Policy) *ClientPool {
+	return &ClientPool{pol: pol, clients: make(map[string]*broker.Client)}
+}
+
+// Get returns the live shared client for addr, dialing if needed.
+func (cp *ClientPool) Get(addr string) (*broker.Client, error) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if cp.closed {
+		return nil, broker.ErrClosed
+	}
+	if c, ok := cp.clients[addr]; ok {
+		return c, nil
+	}
+	var conn net.Conn
+	var err error
+	if cp.Dialer != nil {
+		conn, err = cp.Dialer(addr)
+	} else {
+		to := cp.pol.DialTimeout
+		if to <= 0 {
+			to = broker.DefaultPolicy().DialTimeout
+		}
+		conn, err = net.DialTimeout("tcp", addr, to)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c := broker.NewClientConn(conn)
+	pol := cp.pol
+	if pol.WriteTimeout <= 0 || pol.AckTimeout <= 0 {
+		d := broker.DefaultPolicy()
+		if pol.WriteTimeout <= 0 {
+			pol.WriteTimeout = d.WriteTimeout
+		}
+		if pol.AckTimeout <= 0 {
+			pol.AckTimeout = d.AckTimeout
+		}
+	}
+	c.WriteTimeout = pol.WriteTimeout
+	c.AckTimeout = pol.AckTimeout
+	c.Codec = cp.Codec
+	cp.clients[addr] = c
+	return c, nil
+}
+
+// Invalidate closes and forgets the pooled client for addr (it failed;
+// the next Get redials). Invalidating a client another Get already
+// replaced is harmless.
+func (cp *ClientPool) Invalidate(addr string, c *broker.Client) {
+	cp.mu.Lock()
+	if cur, ok := cp.clients[addr]; ok && cur == c {
+		delete(cp.clients, addr)
+	}
+	cp.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+// Close closes every pooled connection; further Gets fail.
+func (cp *ClientPool) Close() {
+	cp.mu.Lock()
+	cp.closed = true
+	cs := cp.clients
+	cp.clients = map[string]*broker.Client{}
+	cp.mu.Unlock()
+	for _, c := range cs {
+		c.Close()
+	}
+}
+
+// backoffSleep sleeps the policy backoff for retry attempt n, bounded
+// so fabric retry rounds never stall a caller for long.
+func backoffSleep(pol broker.Policy, attempt int) {
+	d := pol.Backoff(attempt, nil)
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	time.Sleep(d)
+}

@@ -401,6 +401,11 @@ func (s *Server) handleAPILag(w http.ResponseWriter, r *http.Request) {
 	if sum.Hosts == nil {
 		sum.Hosts = []trace.HostFreshness{}
 	}
+	if sum.Partitions == nil {
+		// Partition rows appear only in fabric mode; an empty list (not
+		// null) keeps the field shape stable for clients either way.
+		sum.Partitions = []trace.PartitionLag{}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(sum)
 }

@@ -388,3 +388,42 @@ func TestParseLenientHopelessFile(t *testing.T) {
 		t.Error("unusable file accepted")
 	}
 }
+
+func TestArchiverEvictionBeyondCapKeepsWriting(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More hosts than the archiver may hold open: every append past the
+	// cap evicts something. A regression here closed the just-opened
+	// file instead of the least-recently-used one, so fleets larger than
+	// the cap could never archive at all.
+	a := NewArchiver(st, 4)
+	hosts := make([]string, 12)
+	for i := range hosts {
+		hosts[i] = "c900-" + string(rune('a'+i))
+	}
+	reg := chip.StampedeNode().Registry()
+	for round := 0; round < 3; round++ {
+		for _, host := range hosts {
+			s := testSnapshot(float64(100 + 600*round))
+			s.Host = host
+			h := Header{Hostname: host, Arch: "sandybridge", Registry: reg}
+			if err := a.Append(host, h, s); err != nil {
+				t.Fatalf("round %d host %s: %v", round, host, err)
+			}
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, host := range hosts {
+		snaps, err := st.ReadHost(host)
+		if err != nil {
+			t.Fatalf("%s: %v", host, err)
+		}
+		if len(snaps) != 3 {
+			t.Errorf("%s archived %d snapshots, want 3", host, len(snaps))
+		}
+	}
+}

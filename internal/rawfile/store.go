@@ -556,6 +556,10 @@ func (a *Archiver) Append(host string, h Header, s model.Snapshot) error {
 
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	// Stamp before any eviction runs: a freshly opened file must enter
+	// the cache as most-recently-used, or a full cache evicts (and
+	// closes) the very file this append is about to write.
+	a.tick++
 	af := a.open[key]
 	if af == nil {
 		dir, err := a.st.HostDir(host)
@@ -567,11 +571,10 @@ func (a *Archiver) Append(host string, h Header, s model.Snapshot) error {
 		if err != nil {
 			return err
 		}
-		af = &archFile{f: f, enc: enc}
+		af = &archFile{f: f, enc: enc, used: a.tick}
 		a.open[key] = af
 		a.evictLocked()
 	}
-	a.tick++
 	af.used = a.tick
 	if err := af.enc.WriteSnapshot(s); err != nil {
 		af.f.Close()

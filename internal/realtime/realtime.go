@@ -228,7 +228,31 @@ type Listener struct {
 	processed atomic.Int64
 	stopping  atomic.Bool
 	inflight  sync.Mutex // held while one message is processed and acked
+	initOnce  sync.Once
+	met       *listenMetrics
 	arch      *rawfile.Archiver
+	archOwned bool // arch was created here, so Close/Run tears it down
+	maxSeen   float64
+}
+
+// init resolves the metrics and archiver once, whichever entry point
+// (Run or HandleBody) reaches them first.
+func (l *Listener) init() {
+	l.initOnce.Do(func() {
+		reg := l.Metrics
+		if reg == nil {
+			reg = telemetry.Default()
+		}
+		l.met = newListenMetrics(reg)
+		if l.Store != nil && l.arch == nil {
+			// Route archive writes through a cached-encoder archiver: the
+			// per-(host,day) file stays open across snapshots, so the binary
+			// codec's delta and dictionary state persists instead of being
+			// re-seeded by a fresh header every append.
+			l.arch = rawfile.NewArchiver(l.Store, 0)
+			l.archOwned = true
+		}
+	})
 }
 
 // Processed reports how many snapshots the listener has consumed. Safe
@@ -246,20 +270,10 @@ func (l *Listener) ShutdownRequested() bool { return l.stopping.Load() }
 // monitored, ingested — BEFORE it is acknowledged, so a listener crash
 // mid-message costs a redelivery, never a lost snapshot.
 func (l *Listener) Run() error {
-	reg := l.Metrics
-	if reg == nil {
-		reg = telemetry.Default()
+	l.init()
+	if l.archOwned {
+		defer l.Close()
 	}
-	met := newListenMetrics(reg)
-	if l.Store != nil && l.arch == nil {
-		// Route archive writes through a cached-encoder archiver: the
-		// per-(host,day) file stays open across snapshots, so the binary
-		// codec's delta and dictionary state persists instead of being
-		// re-seeded by a fresh header every append.
-		l.arch = rawfile.NewArchiver(l.Store, 0)
-		defer l.arch.Close()
-	}
-	maxSeen := 0.0
 	for {
 		body, err := l.Cons.NextNoAck()
 		if err == io.EOF {
@@ -272,7 +286,7 @@ func (l *Listener) Run() error {
 			return err
 		}
 		l.inflight.Lock()
-		err = l.handleOne(body, met, &maxSeen)
+		err = l.handleOne(body)
 		var ackErr error
 		if err == nil {
 			ackErr = l.Cons.Ack()
@@ -295,8 +309,23 @@ func (l *Listener) Run() error {
 	}
 }
 
-// handleOne fans one raw message into the configured sinks.
-func (l *Listener) handleOne(body []byte, met *listenMetrics, maxSeen *float64) error {
+// HandleBody fans one raw wire message into the configured sinks —
+// the entry point for transports that do their own consuming, like a
+// fabric partition group feeding one listener from many partition
+// queues. Concurrent calls are serialized on the in-flight lock, so
+// the archiver and monitor see one snapshot at a time just as Run
+// delivers them.
+func (l *Listener) HandleBody(body []byte) error {
+	l.init()
+	l.inflight.Lock()
+	defer l.inflight.Unlock()
+	return l.handleOne(body)
+}
+
+// handleOne fans one raw message into the configured sinks; callers
+// hold l.inflight.
+func (l *Listener) handleOne(body []byte) error {
+	met := l.met
 	sreg := l.Registry
 	if sreg == nil {
 		sreg = schema.DefaultRegistry()
@@ -313,10 +342,10 @@ func (l *Listener) handleOne(body []byte, met *listenMetrics, maxSeen *float64) 
 	}
 	l.processed.Add(1)
 	met.snapshots.Inc()
-	if snap.Time > *maxSeen {
-		*maxSeen = snap.Time
+	if snap.Time > l.maxSeen {
+		l.maxSeen = snap.Time
 	}
-	met.drainLag.Set(*maxSeen - snap.Time)
+	met.drainLag.Set(l.maxSeen - snap.Time)
 	if l.Monitor != nil {
 		alerts := l.Monitor.Process(snap)
 		met.alerts.Add(uint64(len(alerts)))
@@ -351,6 +380,22 @@ func (l *Listener) handleOne(body []byte, met *listenMetrics, maxSeen *float64) 
 func (l *Listener) Shutdown() {
 	l.stopping.Store(true)
 	l.inflight.Lock()
-	l.Cons.Close()
+	if l.Cons != nil {
+		l.Cons.Close()
+	}
 	l.inflight.Unlock()
+}
+
+// Close flushes and closes the archiver, if this listener created one.
+// Run-based listeners close it when Run returns; HandleBody-based
+// transports (fabric groups) must call Close after the last message.
+func (l *Listener) Close() error {
+	l.inflight.Lock()
+	defer l.inflight.Unlock()
+	if l.arch == nil || !l.archOwned {
+		return nil
+	}
+	err := l.arch.Close()
+	l.arch = nil
+	return err
 }

@@ -34,6 +34,7 @@
 package spool
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -86,6 +87,7 @@ type Options struct {
 type Stats struct {
 	Appended  uint64 // snapshots ever appended
 	Replayed  uint64 // snapshots handed to Drain callbacks successfully
+	Skipped   uint64 // snapshots abandoned by ErrSkip during drain
 	Evicted   uint64 // snapshots lost to size/age caps
 	Truncated uint64 // torn tails cut during recovery scans
 	Depth     int    // snapshots currently spooled and not yet replayed
@@ -100,6 +102,7 @@ type spoolMetrics struct {
 	oldestAge *telemetry.Gauge
 	appended  *telemetry.Counter
 	replayed  *telemetry.Counter
+	skipped   *telemetry.Counter
 	evicted   *telemetry.Counter
 	truncated *telemetry.Counter
 }
@@ -118,6 +121,8 @@ func newSpoolMetrics(reg *telemetry.Registry, host string) *spoolMetrics {
 			"Snapshots diverted into the spool when the broker was unreachable.", "host", host),
 		replayed: reg.Counter("gostats_spool_replayed_total",
 			"Spooled snapshots replayed to the broker after reconnect.", "host", host),
+		skipped: reg.Counter("gostats_spool_skipped_total",
+			"Spooled snapshots abandoned by the replayer (ErrSkip poison frames).", "host", host),
 		evicted: reg.Counter("gostats_spool_evicted_total",
 			"Spooled snapshots evicted by the size/age caps (data loss).", "host", host),
 		truncated: reg.Counter("gostats_spool_torn_truncations_total",
@@ -166,8 +171,8 @@ type Spool struct {
 	newest  float64 // newest snapshot time ever appended
 	closed  bool
 
-	met                               *spoolMetrics
-	appended, replayed, evicted, torn uint64
+	met                                        *spoolMetrics
+	appended, replayed, skipped, evicted, torn uint64
 }
 
 func segPath(dir string, seq int) string {
@@ -490,6 +495,7 @@ func (s *Spool) Stats() Stats {
 	return Stats{
 		Appended:  s.appended,
 		Replayed:  s.replayed,
+		Skipped:   s.skipped,
 		Evicted:   s.evicted,
 		Truncated: s.torn,
 		Depth:     s.depthLocked(),
@@ -497,6 +503,10 @@ func (s *Spool) Stats() Stats {
 		Segments:  len(s.segs),
 	}
 }
+
+// ErrSkip, returned by a Drain callback, abandons the offending
+// snapshot and continues the drain instead of stopping it.
+var ErrSkip = errors.New("spool: skip this snapshot")
 
 // headLocked returns the oldest segment with unreplayed snapshots.
 func (s *Spool) headLocked() *segment {
@@ -514,6 +524,12 @@ func (s *Spool) headLocked() *segment {
 // behind the replay point and are picked up in order). A segment file is
 // deleted only once fully replayed, so a crash mid-drain redelivers from
 // the head segment's start: at-least-once.
+//
+// fn returning ErrSkip discards that one snapshot (counted as skipped,
+// not replayed) and continues — the poison-frame escape hatch for
+// replayers whose delivery path cannot accept the snapshot (e.g. it no
+// longer encodes under the current registry). Without it, one bad frame
+// at the head would wedge the entire backlog behind it forever.
 func (s *Spool) Drain(fn func(model.Snapshot) error) (int, error) {
 	n := 0
 	for {
@@ -578,9 +594,21 @@ func (s *Spool) Drain(fn func(model.Snapshot) error) (int, error) {
 
 		s.mu.Lock()
 		seg.draining = false
-		if err != nil {
+		if err != nil && !errors.Is(err, ErrSkip) {
 			s.mu.Unlock()
 			return n, err
+		}
+		if errors.Is(err, ErrSkip) {
+			s.skipped++
+			s.met.skipped.Inc()
+			seg.replayed++ // past it either way; the frame is abandoned
+			if seg.replayed >= seg.snaps {
+				os.Remove(seg.path)
+				s.removeSegLocked(seg)
+			}
+			s.updateGaugesLocked()
+			s.mu.Unlock()
+			continue
 		}
 		seg.replayed++
 		s.replayed++

@@ -32,6 +32,14 @@ type Recorder struct {
 	// clock. Set at construction, immutable afterwards.
 	Now func() int64
 
+	// PartitionOf, when set, maps a host to its fabric partition so the
+	// lag summary can aggregate freshness per partition — after a
+	// failover, "partition 7 is stale" localizes the problem in a way
+	// ten thousand per-host rows cannot. Set before the first
+	// MarkQueryable (typically fabric.Map.PartitionOf). Nil disables
+	// partition aggregation.
+	PartitionOf func(host string) int
+
 	stageHist []*telemetry.Histogram // indexed by model.Stage
 
 	mu     sync.Mutex
@@ -148,11 +156,21 @@ type HostFreshness struct {
 	NewestOriginUnixNs int64   `json:"newest_origin_unix_ns"`
 }
 
+// PartitionLag aggregates freshness over one fabric partition's hosts.
+type PartitionLag struct {
+	Partition            int     `json:"partition"`
+	Hosts                int     `json:"hosts"`
+	MaxFreshnessSeconds  float64 `json:"max_freshness_seconds"`
+	MeanFreshnessSeconds float64 `json:"mean_freshness_seconds"`
+}
+
 // LagSummary is the /api/lag payload: per-stage hop latencies plus
-// per-host freshness, both in flow/sorted order.
+// per-host freshness, both in flow/sorted order. Partitions is present
+// only when the recorder was given a PartitionOf mapping (fabric mode).
 type LagSummary struct {
-	Stages []StageLag      `json:"stages"`
-	Hosts  []HostFreshness `json:"hosts"`
+	Stages     []StageLag      `json:"stages"`
+	Hosts      []HostFreshness `json:"hosts"`
+	Partitions []PartitionLag  `json:"partitions,omitempty"`
 }
 
 // Snapshot summarizes current pipeline lag. Quantiles past the last
@@ -192,7 +210,40 @@ func (r *Recorder) Snapshot() LagSummary {
 			NewestOriginUnixNs: origin,
 		})
 	}
+	partOf := r.PartitionOf
 	r.mu.Unlock()
 	sort.Slice(out.Hosts, func(i, j int) bool { return out.Hosts[i].Host < out.Hosts[j].Host })
+	if partOf != nil {
+		type acc struct {
+			hosts int
+			max   float64
+			sum   float64
+		}
+		parts := make(map[int]*acc)
+		for _, h := range out.Hosts {
+			p := partOf(h.Host)
+			a := parts[p]
+			if a == nil {
+				a = &acc{}
+				parts[p] = a
+			}
+			a.hosts++
+			a.sum += h.FreshnessSeconds
+			if h.FreshnessSeconds > a.max {
+				a.max = h.FreshnessSeconds
+			}
+		}
+		for p, a := range parts {
+			out.Partitions = append(out.Partitions, PartitionLag{
+				Partition:            p,
+				Hosts:                a.hosts,
+				MaxFreshnessSeconds:  a.max,
+				MeanFreshnessSeconds: a.sum / float64(a.hosts),
+			})
+		}
+		sort.Slice(out.Partitions, func(i, j int) bool {
+			return out.Partitions[i].Partition < out.Partitions[j].Partition
+		})
+	}
 	return out
 }
