@@ -33,9 +33,11 @@ race:
 	$(GO) test -race ./...
 
 ## chaos: fault-injection smoke — the transport robustness suite under
-## -race, plus a 3-broker fabric simcluster run that kills the busiest
+## -race, a 3-broker fabric simcluster run that kills the busiest
 ## broker mid-run and must rebalance live and conserve every snapshot
-## (emitted == archived + spooled, zero duplicates past dedup).
+## (emitted == archived + spooled, zero duplicates past dedup), and the
+## storage restart audit that SIGKILLs the segment store mid-ingest and
+## mid-compaction and must recover every synced point on reopen.
 chaos:
 	$(GO) test -run Chaos -race ./...
 	@dir="$$(mktemp -d)"; rc=0; \
@@ -43,6 +45,12 @@ chaos:
 		-brokers 3 -chaos-kill-broker -out "$$dir" -telemetry off \
 		> "$$dir/run.log" 2>&1 || rc=$$?; \
 	grep -E '^simcluster (fabric|chaos):' "$$dir/run.log"; \
+	[ "$$rc" -eq 0 ] || tail -5 "$$dir/run.log"; \
+	rm -rf "$$dir"; exit $$rc
+	@dir="$$(mktemp -d)"; rc=0; \
+	$(GO) run -race ./cmd/simcluster -chaos-kill-store -out "$$dir" \
+		-telemetry off > "$$dir/run.log" 2>&1 || rc=$$?; \
+	grep -E '^simcluster store-chaos:' "$$dir/run.log"; \
 	[ "$$rc" -eq 0 ] || tail -5 "$$dir/run.log"; \
 	rm -rf "$$dir"; exit $$rc
 
@@ -58,11 +66,11 @@ watchparity:
 	rm -rf "$$dir"; exit $$rc
 
 ## bench: run the root benchmark suite, record it machine-readably in
-## BENCH_PR7.json (name, ns/op, B/op, allocs/op), and diff against the
+## BENCH_PR8.json (name, ns/op, B/op, allocs/op), and diff against the
 ## previous PR's baseline to surface regressions.
 bench:
-	$(GO) test -bench=. -benchmem -run='^$$' . | tee BENCH_PR7.txt
-	$(GO) run ./cmd/benchjson -o BENCH_PR7.json -baseline BENCH_PR5.json < BENCH_PR7.txt
+	$(GO) test -bench=. -benchmem -run='^$$' . | tee BENCH_PR8.txt
+	$(GO) run ./cmd/benchjson -o BENCH_PR8.json -baseline BENCH_PR7.json < BENCH_PR8.txt
 
 ## benchsmoke: every benchmark runs once (-short skips the long suite) —
 ## catches benchmarks that break without paying for full measurement.
@@ -74,3 +82,4 @@ benchsmoke:
 fuzzsmoke:
 	$(GO) test -run='^$$' -fuzz=FuzzBinaryDecode -fuzztime=300x ./internal/codec/
 	$(GO) test -run='^$$' -fuzz=FuzzParseRecover -fuzztime=300x ./internal/rawfile/
+	$(GO) test -run='^$$' -fuzz=FuzzSegmentDecode -fuzztime=300x ./internal/segstore/

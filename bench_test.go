@@ -34,6 +34,7 @@ import (
 	"gostats/internal/rawfile"
 	"gostats/internal/reldb"
 	"gostats/internal/schema"
+	"gostats/internal/segstore"
 	"gostats/internal/telemetry"
 	"gostats/internal/tsdb"
 	"gostats/internal/workload"
@@ -877,5 +878,202 @@ func BenchmarkStreamIngest(b *testing.B) {
 			b.ReportMetric(float64(onDisk)/float64(len(fix.run.Snapshots)), "bytes/snap")
 			b.ReportMetric(float64(len(fix.run.Snapshots))*float64(b.N)/b.Elapsed().Seconds(), "snaps/s")
 		})
+	}
+}
+
+// ---- PR8: durable segmented storage ----
+
+// coldBenchFill loads hosts×span/step points through the write path —
+// RAM hot set over a cold segment store — evicting as it goes, and
+// returns the store stats after a final flush.
+func coldBenchFill(b *testing.B, db *tsdb.DB, hosts, span, step int) {
+	b.Helper()
+	for t := 0; t < span; t += step {
+		for h := 0; h < hosts; h++ {
+			tags := tsdb.Tags{Host: fmt.Sprintf("n%03d", h), DevType: "cpu", Device: "0", Event: "user"}
+			db.Put(tags, float64(t), float64((t/step+h)%97))
+		}
+		if t%600 == 0 {
+			if err := db.CommitCold(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := db.CommitCold(); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.FlushCold(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkTSDBColdQuery measures range queries against a day of data
+// whose hot set covers only the last two hours — the on-disk dataset is
+// an order of magnitude larger than RAM. "cold" aggregates 20 hours
+// served entirely from sealed segments via pread, "hot" the RAM-resident
+// tail, and "spanning" a window crossing the boundary. The bytes/point
+// metric is the raw tier's on-disk footprint.
+func BenchmarkTSDBColdQuery(b *testing.B) {
+	cs, err := segstore.Open(b.TempDir(), segstore.Options{
+		CompactRawAfter: -1, CompactMidAfter: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cs.Close()
+	db := tsdb.New()
+	if err := db.AttachCold(cs, 2*3600); err != nil {
+		b.Fatal(err)
+	}
+	const hosts, span, step = 32, 24 * 3600, 30
+	coldBenchFill(b, db, hosts, span, step)
+	st := cs.Stats()
+	totalPts := st.ActivePoints
+	for _, n := range st.TierPoints {
+		totalPts += n
+	}
+	bytesPerPt := float64(st.TierBytes[0]+st.ActiveBytes) / float64(totalPts)
+
+	cases := []struct {
+		name       string
+		start, end float64
+	}{
+		{"cold-20h", 0, 20 * 3600},
+		{"spanning-4h", 20 * 3600, 24 * 3600},
+		{"hot-1h", 23 * 3600, 24 * 3600},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := db.Do(tsdb.Query{DevType: "cpu", Event: "user",
+					Start: c.start, End: c.end, Downsample: 600, Aggregate: tsdb.Sum})
+				if err != nil || len(res) == 0 || len(res[0].Points) == 0 {
+					b.Fatalf("res=%v err=%v", res, err)
+				}
+			}
+			b.ReportMetric(bytesPerPt, "diskB/pt")
+		})
+	}
+}
+
+// BenchmarkSegstoreRecover measures restart recovery: reopening a
+// closed multi-segment store (CRC-verifying every sealed frame and
+// rebuilding shard state) for a ~100k-point day of data.
+func BenchmarkSegstoreRecover(b *testing.B) {
+	dir := b.TempDir()
+	opts := segstore.Options{SegmentBytes: 64 << 10, CompactRawAfter: -1, CompactMidAfter: -1}
+	st, err := segstore.Open(dir, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const hosts, span, step = 32, 24 * 3600, 30
+	for t := 0; t < span; t += step {
+		for h := 0; h < hosts; h++ {
+			st.Append(segstore.Point{
+				Labels: segstore.Labels{Host: fmt.Sprintf("n%03d", h),
+					DevType: "cpu", Device: "0", Event: "user"},
+				Time: float64(t), Value: float64(t % 97),
+			})
+		}
+	}
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	points := float64(hosts * (span / step))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		re, err := segstore.Open(dir, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := re.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(points*float64(b.N)/b.Elapsed().Seconds(), "pts/s")
+}
+
+// BenchmarkSegstoreAppend measures durable ingest throughput: append
+// plus per-600-point commit, the shape of the listend write path.
+func BenchmarkSegstoreAppend(b *testing.B) {
+	st, err := segstore.Open(b.TempDir(), segstore.Options{
+		CompactRawAfter: -1, CompactMidAfter: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st.Append(segstore.Point{
+			Labels: segstore.Labels{Host: fmt.Sprintf("n%03d", i%32),
+				DevType: "cpu", Device: "0", Event: "user"},
+			Time: float64(i), Value: float64(i % 97),
+		})
+		if i%600 == 599 {
+			if err := st.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := st.Commit(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSegstoreCompact measures one full compaction ladder — a day
+// of raw samples downsampled raw → 10m → 1h — and reports the on-disk
+// bytes per original point of each resulting tier, the storage trade
+// retention windows buy.
+func BenchmarkSegstoreCompact(b *testing.B) {
+	const hosts, span, step = 16, 48 * 3600, 30
+	points := float64(hosts * (span / step))
+	b.ReportAllocs()
+	var st segstore.Stats
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		// Tiny segments so raw rotates often enough that several 10m
+		// generations exist and the oldest ages into the hourly tier —
+		// every tier then has a bytes-per-point figure to report.
+		cs, err := segstore.Open(b.TempDir(), segstore.Options{
+			SegmentBytes: 1 << 10, FlushBytes: 512,
+			CompactRawAfter: 3600, CompactMidAfter: 6 * 3600})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for t := 0; t < span; t += step {
+			for h := 0; h < hosts; h++ {
+				cs.Append(segstore.Point{
+					Labels: segstore.Labels{Host: fmt.Sprintf("n%03d", h),
+						DevType: "cpu", Device: "0", Event: "user"},
+					Time: float64(t), Value: float64(t % 97),
+				})
+			}
+		}
+		if err := cs.Seal(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		prev := cs.Stats().Compactions
+		for {
+			if err := cs.Compact(); err != nil {
+				b.Fatal(err)
+			}
+			now := cs.Stats().Compactions
+			if now == prev {
+				break
+			}
+			prev = now
+		}
+		b.StopTimer()
+		st = cs.Stats()
+		cs.Close()
+		b.StartTimer()
+	}
+	tiers := []string{"raw", "10m", "1h"}
+	for t, name := range tiers {
+		if st.TierPoints[t] > 0 {
+			b.ReportMetric(float64(st.TierBytes[t])/points, "diskB/pt-"+name)
+		}
 	}
 }

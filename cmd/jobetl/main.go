@@ -6,6 +6,13 @@
 // Usage:
 //
 //	jobetl -store ./central -out jobs.gob [-acct accounting.log] [-arch stampede]
+//	       [-journal jobs.jnl]
+//
+// With -journal set, previously journaled rows are replayed before the
+// run and every finalized row is appended to the crash-safe journal as
+// it is produced; the gob written by -out becomes a derived export of
+// the same table. The journal survives kill -9 mid-run (losing at most
+// the row being appended); the gob is written atomically at the end.
 package main
 
 import (
@@ -25,6 +32,7 @@ func main() {
 	out := flag.String("out", "jobs.gob", "output job table")
 	acctPath := flag.String("acct", "", "scheduler accounting log to join metadata from")
 	arch := flag.String("arch", "stampede", "node type the fleet runs")
+	journalPath := flag.String("journal", "", "crash-safe job journal to replay and append to (optional)")
 	flag.Parse()
 
 	var cfg = chip.StampedeNode()
@@ -54,9 +62,24 @@ func main() {
 		}
 	}
 	db := reldb.New()
-	ids, err := etl.IngestStore(store, cfg.Registry(), meta, db)
+	var jnl *reldb.Journal
+	if *journalPath != "" {
+		jnl, err = reldb.OpenJournal(*journalPath, db, false)
+		if err != nil {
+			log.Fatalf("jobetl: %v", err)
+		}
+		if rows, trunc := jnl.Replayed(); rows > 0 || trunc > 0 {
+			fmt.Printf("jobetl: journal replayed %d rows (%d torn frames truncated)\n", rows, trunc)
+		}
+	}
+	ids, err := etl.IngestStoreJournaled(store, cfg.Registry(), meta, db, jnl)
 	if err != nil {
 		log.Fatalf("jobetl: %v", err)
+	}
+	if jnl != nil {
+		if err := jnl.Close(); err != nil {
+			log.Fatalf("jobetl: journal close: %v", err)
+		}
 	}
 	if err := db.Save(*out); err != nil {
 		log.Fatalf("jobetl: %v", err)

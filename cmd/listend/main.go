@@ -7,6 +7,7 @@
 //
 //	listend -broker 127.0.0.1:5672 -store ./central [-arch stampede]
 //	        [-codec binary] [-telemetry 127.0.0.1:9102]
+//	        [-data-dir ./tsdb -hot-window 2h -retain-raw 48h -retain-10m 720h]
 //
 // Fabric (multi-broker) mode:
 //
@@ -21,6 +22,15 @@
 // live when a broker dies or rejoins. A single consume-loop death
 // restarts that partition's consumer with backoff; only repeated
 // failures against a broker the map still considers alive are fatal.
+//
+// With -data-dir set, every consumed snapshot is also folded into a
+// durable time-series store: a RAM hot set in front of crash-safe
+// on-disk segment tiers (raw → 10 min → hourly). Points older than
+// -hot-window are evicted from RAM once flushed to disk; the retention
+// flags bound each tier's on-disk age (0 = keep forever). A cold-store
+// write failure nacks the message so the broker redelivers — durable
+// ingest is at-least-once end to end, and kill -9 loses at most the
+// unsynced tail of the active segments.
 //
 // On SIGINT/SIGTERM the consumer shuts down gracefully: the in-flight
 // message is fully archived and acknowledged before the connection
@@ -48,7 +58,9 @@ import (
 	"gostats/internal/rawfile"
 	"gostats/internal/realtime"
 	"gostats/internal/schema"
+	"gostats/internal/segstore"
 	"gostats/internal/telemetry"
+	"gostats/internal/tsdb"
 )
 
 func main() {
@@ -63,6 +75,12 @@ func main() {
 	telemetryAddr := flag.String("telemetry", "", "ops endpoint address (empty = disabled)")
 	probeEvery := flag.Duration("probe-interval", 2*time.Second,
 		"how often to probe dead fabric brokers for revival")
+	dataDir := flag.String("data-dir", "", "durable time-series store directory (empty = RAM only)")
+	hotWindow := flag.Duration("hot-window", 2*time.Hour, "how much recent history stays in RAM in front of the segment store")
+	retainRaw := flag.Duration("retain-raw", 0, "drop raw-tier segments older than this (0 = keep forever)")
+	retainMid := flag.Duration("retain-10m", 0, "drop 10m-tier segments older than this (0 = keep forever)")
+	retainHour := flag.Duration("retain-1h", 0, "drop hourly-tier segments older than this (0 = keep forever)")
+	syncEvery := flag.Bool("fsync", false, "fsync the segment store on every commit (power-loss durability)")
 	flag.Parse()
 
 	archiveCodec, err := codec.ParseVersion(*codecName)
@@ -110,6 +128,31 @@ func main() {
 		Headers: func(host string) rawfile.Header {
 			return rawfile.Header{Hostname: host, Arch: *arch, Registry: reg}
 		},
+	}
+
+	if *dataDir != "" {
+		cs, err := segstore.Open(*dataDir, segstore.Options{
+			Sync:       *syncEvery,
+			RetainRaw:  retainRaw.Seconds(),
+			RetainMid:  retainMid.Seconds(),
+			RetainHour: retainHour.Seconds(),
+		})
+		if err != nil {
+			log.Fatalf("listend: open segment store: %v", err)
+		}
+		st := cs.Stats()
+		if st.RecoveredPts > 0 || st.TornTruncated > 0 || st.Quarantined > 0 {
+			log.Printf("listend: segment store recovered %d active points (%d torn tails truncated, %d segments quarantined)",
+				st.RecoveredPts, st.TornTruncated, st.Quarantined)
+		}
+		tdb := tsdb.New()
+		if err := tdb.AttachCold(cs, hotWindow.Seconds()); err != nil {
+			log.Fatalf("listend: %v", err)
+		}
+		cs.StartBackground(time.Minute)
+		defer cs.Close()
+		l.Ingest = tsdb.NewIngester(tdb, reg)
+		log.Printf("listend: durable time-series store at %s (hot window %s)", *dataDir, hotWindow)
 	}
 
 	if *brokersList != "" {

@@ -5,11 +5,15 @@
 //
 //	portal -db jobs.gob [-listen :8080] [-store ./central]
 //	       [-telemetry 127.0.0.1:9103]
+//	portal -journal jobs.jnl [...]
 //
-// With -store set, detail pages include the Fig 5 per-node plots,
-// assembled on demand from the raw archive. With -telemetry set, the
-// portal serves its own ops endpoint: /metrics (request count, latency
-// and status by route), /healthz, /debug/vars and /debug/pprof.
+// With -journal set, the job table is rebuilt by replaying the
+// crash-safe journal jobetl appends to (torn tails are truncated, the
+// newest finalization of each job wins) instead of loading the gob
+// export. With -store set, detail pages include the Fig 5 per-node
+// plots, assembled on demand from the raw archive. With -telemetry set,
+// the portal serves its own ops endpoint: /metrics (request count,
+// latency and status by route), /healthz, /debug/vars and /debug/pprof.
 package main
 
 import (
@@ -30,6 +34,7 @@ import (
 
 func main() {
 	dbPath := flag.String("db", "jobs.gob", "job table written by jobetl")
+	journalPath := flag.String("journal", "", "rebuild the job table from this crash-safe journal instead of -db")
 	listen := flag.String("listen", "127.0.0.1:8080", "listen address")
 	storeDir := flag.String("store", "", "raw store for detail-page plots (optional)")
 	xaltPath := flag.String("xalt", "", "XALT environment store (optional)")
@@ -46,9 +51,22 @@ func main() {
 		fmt.Printf("portal: telemetry at %s/metrics\n", ops.URL())
 	}
 
-	db, err := reldb.Load(*dbPath)
-	if err != nil {
-		log.Fatalf("portal: %v", err)
+	var db *reldb.DB
+	if *journalPath != "" {
+		db = reldb.New()
+		jnl, err := reldb.OpenJournal(*journalPath, db, false)
+		if err != nil {
+			log.Fatalf("portal: %v", err)
+		}
+		rows, trunc := jnl.Replayed()
+		jnl.Close()
+		fmt.Printf("portal: replayed %d journal rows (%d torn frames truncated)\n", rows, trunc)
+	} else {
+		var err error
+		db, err = reldb.Load(*dbPath)
+		if err != nil {
+			log.Fatalf("portal: %v", err)
+		}
 	}
 	reg := chip.StampedeNode().Registry()
 

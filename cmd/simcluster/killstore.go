@@ -1,0 +1,350 @@
+// The -chaos-kill-store restart audit: SIGKILL a real child process
+// mid-ingest and mid-compaction, reopen the segment store it left
+// behind, and assert the durability contract — every point the child
+// reported synced survives, whatever else survives is a per-series
+// prefix of the emitted stream (no duplication, no reordering, no
+// invented data), and compaction can die at any instant without losing
+// or double-counting a single point.
+//
+// The child is this same binary re-executed with the hidden
+// -store-worker flag; it speaks a line protocol on stdout:
+//
+//	SYNCED n    all of the first n points are committed to the OS
+//	COMPACT k   compaction pass k finished
+//	DONE        the worker completed without being killed
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gostats/internal/segstore"
+)
+
+// Hidden worker-mode flags (the parent sets them when re-executing
+// itself; they are not part of the user-facing surface).
+var (
+	storeWorkerMode = flag.String("store-worker", "",
+		"internal: run as a kill-store worker (ingest or compact)")
+	storeWorkerDir = flag.String("store-dir", "",
+		"internal: segment store directory for -store-worker")
+	storeWorkerPoints = flag.Int("store-points", 0,
+		"internal: points the -store-worker ingests")
+)
+
+const (
+	ksHosts = 8      // distinct hosts → series, spread over the store's shards
+	ksStep  = 30.0   // seconds between a host's samples
+	ksBase  = 1000.0 // first sample time
+)
+
+// ksPoint is the deterministic emitted stream: point i belongs to host
+// i%ksHosts and is that host's (i/ksHosts)-th sample. Times are integer
+// multiples of 30 s (exactly representable in the codec's millisecond
+// grid) and values are an exact function of i, so the parent can verify
+// recovered data byte-for-byte without shipping state to the child.
+func ksPoint(i int) segstore.Point {
+	h := i % ksHosts
+	k := i / ksHosts
+	return segstore.Point{
+		Labels: segstore.Labels{
+			Host:    fmt.Sprintf("node%03d", h),
+			DevType: "cpu",
+			Device:  "0",
+			Event:   "user",
+		},
+		Time:  ksBase + float64(k)*ksStep,
+		Value: math.Sin(float64(i)*0.01)*100 + float64(h),
+	}
+}
+
+// ksWorkerOpts opens the store the way both parent and child must agree
+// on: small segments so seals and multi-segment recovery are exercised,
+// explicit compaction only.
+func ksWorkerOpts() segstore.Options {
+	return segstore.Options{
+		SegmentBytes:    16 << 10,
+		CompactRawAfter: 1800, // raw older than 30 min behind newest compacts
+		CompactMidAfter: -1,   // the audit stops at the 10m tier
+	}
+}
+
+// runStoreWorker is the child side. It never returns.
+func runStoreWorker(mode, dir string, points int) {
+	st, err := segstore.Open(dir, ksWorkerOpts())
+	if err != nil {
+		log.Fatalf("store-worker: %v", err)
+	}
+	switch mode {
+	case "ingest":
+		for i := 0; i < points; i++ {
+			st.Append(ksPoint(i))
+			if (i+1)%256 == 0 {
+				if err := st.Commit(); err != nil {
+					log.Fatalf("store-worker: commit: %v", err)
+				}
+				fmt.Printf("SYNCED %d\n", i+1)
+			}
+		}
+		if err := st.Commit(); err != nil {
+			log.Fatalf("store-worker: final commit: %v", err)
+		}
+		fmt.Printf("SYNCED %d\n", points)
+	case "compact":
+		// Ingest everything, make it fully durable, then compact in a
+		// loop until the parent kills us mid-pass.
+		for i := 0; i < points; i++ {
+			st.Append(ksPoint(i))
+		}
+		if err := st.Commit(); err != nil {
+			log.Fatalf("store-worker: commit: %v", err)
+		}
+		if err := st.Seal(); err != nil {
+			log.Fatalf("store-worker: seal: %v", err)
+		}
+		fmt.Printf("SYNCED %d\n", points)
+		for pass := 0; pass < 10000; pass++ {
+			if err := st.Compact(); err != nil {
+				log.Fatalf("store-worker: compact: %v", err)
+			}
+			fmt.Printf("COMPACT %d\n", pass)
+		}
+	default:
+		log.Fatalf("store-worker: unknown mode %q", mode)
+	}
+	fmt.Println("DONE")
+	os.Exit(0)
+}
+
+// spawnAndKill runs this binary as a -store-worker child, reads its
+// stdout line protocol, and SIGKILLs it the moment shouldKill returns
+// true for a line. It reports the last SYNCED count the child
+// acknowledged and whether the child finished before the kill landed.
+func spawnAndKill(mode, dir string, points int, shouldKill func(line string) bool) (synced int, done bool, err error) {
+	self, err := os.Executable()
+	if err != nil {
+		return 0, false, err
+	}
+	cmd := exec.Command(self,
+		"-store-worker", mode,
+		"-store-dir", dir,
+		"-store-points", strconv.Itoa(points))
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return 0, false, err
+	}
+	if err := cmd.Start(); err != nil {
+		return 0, false, err
+	}
+	killed := false
+	sc := bufio.NewScanner(out)
+	for sc.Scan() {
+		line := sc.Text()
+		if n, ok := strings.CutPrefix(line, "SYNCED "); ok {
+			if v, perr := strconv.Atoi(n); perr == nil {
+				synced = v
+			}
+		}
+		if line == "DONE" {
+			done = true
+		}
+		if !killed && shouldKill(line) {
+			killed = true
+			// SIGKILL, not SIGTERM: the store gets no chance to flush,
+			// close, or clean up — the contract under test.
+			if kerr := cmd.Process.Kill(); kerr != nil {
+				return synced, done, kerr
+			}
+		}
+	}
+	cmd.Wait() // the kill makes a non-zero exit expected
+	if !killed && !done {
+		return synced, done, fmt.Errorf("store-chaos: %s worker exited early (synced %d)", mode, synced)
+	}
+	return synced, done, nil
+}
+
+// ksRecovered is the recovered stream, re-sorted into per-host time
+// order for prefix comparison against the emitted sequence.
+type ksRecovered struct {
+	byHost map[string][]segstore.AggPoint
+	total  uint64 // point count folded across tiers (Σ Count)
+	sum    float64
+}
+
+func ksScan(st *segstore.Store) (*ksRecovered, error) {
+	chunks, err := st.Scan(segstore.Filter{}, 0, math.MaxFloat64)
+	if err != nil {
+		return nil, err
+	}
+	r := &ksRecovered{byHost: map[string][]segstore.AggPoint{}}
+	for _, c := range chunks {
+		r.byHost[c.Labels.Host] = append(r.byHost[c.Labels.Host], c.Points...)
+		for _, p := range c.Points {
+			r.total += p.Count
+			r.sum += p.Sum
+		}
+	}
+	for h := range r.byHost {
+		pts := r.byHost[h]
+		sort.Slice(pts, func(i, j int) bool { return pts[i].Time < pts[j].Time })
+	}
+	return r, nil
+}
+
+// verifyIngestRecovery reopens the store a mid-ingest kill left behind
+// and checks the whole durability contract: at least the synced prefix
+// survived, nothing beyond the emitted stream exists, and per host the
+// recovered points are exactly the emitted prefix — same times, same
+// values, each exactly once.
+func verifyIngestRecovery(dir string, synced, emitted int) error {
+	st, err := segstore.Open(dir, ksWorkerOpts())
+	if err != nil {
+		return fmt.Errorf("store-chaos: reopen after ingest kill: %w", err)
+	}
+	defer st.Close()
+	rec, err := ksScan(st)
+	if err != nil {
+		return fmt.Errorf("store-chaos: scan after ingest kill: %w", err)
+	}
+	recovered := int(rec.total)
+	if recovered < synced {
+		return fmt.Errorf("store-chaos: ingest kill lost synced data: recovered %d < synced %d", recovered, synced)
+	}
+	if recovered > emitted {
+		return fmt.Errorf("store-chaos: recovered %d points but only %d were emitted", recovered, emitted)
+	}
+	for h, pts := range rec.byHost {
+		var hostIdx int
+		if _, err := fmt.Sscanf(h, "node%03d", &hostIdx); err != nil {
+			return fmt.Errorf("store-chaos: unexpected recovered host %q", h)
+		}
+		for k, p := range pts {
+			want := ksPoint(k*ksHosts + hostIdx)
+			if p.Count != 1 || p.Time != want.Time || p.Sum != want.Value {
+				return fmt.Errorf("store-chaos: %s point %d diverges from emitted stream: got (t=%v n=%d v=%v) want (t=%v v=%v)",
+					h, k, p.Time, p.Count, p.Sum, want.Time, want.Value)
+			}
+		}
+	}
+	lost := emitted - recovered
+	fmt.Printf("simcluster store-chaos: ingest kill: emitted=%d synced=%d recovered=%d lost_unsynced_tail=%d — per-host prefixes exact\n",
+		emitted, synced, recovered, lost)
+	return nil
+}
+
+// verifyCompactRecovery reopens the store a mid-compaction kill left
+// behind. Every point was synced before compaction began, so the
+// contract is exact conservation: Σ Count == points and Σ Sum equals
+// the emitted sum — a lost input segment or a double-counted one (an
+// output surviving alongside its inputs) both fail. The surviving data
+// must also still answer an aggregate query per host exactly.
+func verifyCompactRecovery(dir string, points int) error {
+	st, err := segstore.Open(dir, ksWorkerOpts())
+	if err != nil {
+		return fmt.Errorf("store-chaos: reopen after compact kill: %w", err)
+	}
+	defer st.Close()
+	rec, err := ksScan(st)
+	if err != nil {
+		return fmt.Errorf("store-chaos: scan after compact kill: %w", err)
+	}
+	if int(rec.total) != points {
+		return fmt.Errorf("store-chaos: compact kill broke conservation: Σcount=%d, want exactly %d (lost or double-counted)", rec.total, points)
+	}
+	var wantSum float64
+	hostSum := map[string]float64{}
+	for i := 0; i < points; i++ {
+		p := ksPoint(i)
+		wantSum += p.Value
+		hostSum[p.Labels.Host] += p.Value
+	}
+	if relDiff(rec.sum, wantSum) > 1e-9 {
+		return fmt.Errorf("store-chaos: compact kill broke aggregates: Σsum=%g, want %g", rec.sum, wantSum)
+	}
+	for h, pts := range rec.byHost {
+		var s float64
+		for _, p := range pts {
+			s += p.Sum
+		}
+		if relDiff(s, hostSum[h]) > 1e-9 {
+			return fmt.Errorf("store-chaos: compact kill: host %s Σsum=%g, want %g", h, s, hostSum[h])
+		}
+	}
+	stats := st.Stats()
+	fmt.Printf("simcluster store-chaos: compact kill: %d points conserved across tiers (raw=%d segs, 10m=%d segs); Σsum matches to 1e-9\n",
+		points, stats.TierSegments[0], stats.TierSegments[1])
+	return nil
+}
+
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if d == 0 {
+		return 0
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale == 0 {
+		return d
+	}
+	return d / scale
+}
+
+// runKillStoreAudit is the parent side of -chaos-kill-store: two
+// kill -9 scenarios against a live child, each followed by a reopen and
+// a full equivalence check against the deterministic emitted stream.
+// Any violation exits non-zero.
+func runKillStoreAudit(outDir string) {
+	const points = 24000
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		log.Fatalf("simcluster: %v", err)
+	}
+
+	// Scenario 1: kill lands mid-append, after at least half the stream
+	// is acknowledged synced. The kill races the child's write loop, so
+	// it lands at an arbitrary byte offset in the active segments.
+	dir1 := filepath.Join(outDir, "killstore-ingest")
+	synced, done, err := spawnAndKill("ingest", dir1, points, func(line string) bool {
+		n, ok := strings.CutPrefix(line, "SYNCED ")
+		if !ok {
+			return false
+		}
+		v, _ := strconv.Atoi(n)
+		return v >= points/2
+	})
+	if err != nil {
+		log.Fatalf("simcluster: %v", err)
+	}
+	if done {
+		log.Fatalf("simcluster store-chaos: ingest worker finished before the kill landed — raise -store-points")
+	}
+	if err := verifyIngestRecovery(dir1, synced, points); err != nil {
+		log.Fatalf("simcluster: %v", err)
+	}
+
+	// Scenario 2: every point is durable, then the kill lands while
+	// compaction is rewriting raw segments into the 10m tier.
+	dir2 := filepath.Join(outDir, "killstore-compact")
+	synced2, _, err := spawnAndKill("compact", dir2, points, func(line string) bool {
+		return strings.HasPrefix(line, "COMPACT ")
+	})
+	if err != nil {
+		log.Fatalf("simcluster: %v", err)
+	}
+	if synced2 != points {
+		log.Fatalf("simcluster store-chaos: compact worker synced %d of %d before compaction", synced2, points)
+	}
+	if err := verifyCompactRecovery(dir2, points); err != nil {
+		log.Fatalf("simcluster: %v", err)
+	}
+	fmt.Println("simcluster store-chaos: restart audit passed — synced data survives kill -9 at any instant")
+}

@@ -50,6 +50,19 @@
 // archived + spooled, zero duplicates past dedup — or it exits
 // non-zero.
 //
+// With -data-dir (daemon mode only), the listener also folds every
+// snapshot into a durable time-series store: a RAM hot set over
+// crash-safe on-disk segment tiers, closed and sealed at the end of the
+// run.
+//
+// With -chaos-kill-store, no simulation runs at all: the process
+// re-executes itself as a storage worker, SIGKILLs it mid-ingest and
+// again mid-compaction, reopens each store it left behind, and asserts
+// the durability contract — every point acknowledged as synced
+// survives, recovery is an exact per-series prefix of the emitted
+// stream, and an interrupted compaction neither loses nor
+// double-counts a point. Any violation exits non-zero.
+//
 // With -watch (daemon mode only), every snapshot carries provenance
 // stamps from collect through store-ingest (per-stage latency
 // histograms and per-host freshness land on /metrics), and an online
@@ -96,9 +109,11 @@ import (
 	"gostats/internal/realtime"
 	"gostats/internal/reldb"
 	"gostats/internal/schema"
+	"gostats/internal/segstore"
 	"gostats/internal/spool"
 	"gostats/internal/telemetry"
 	"gostats/internal/trace"
+	"gostats/internal/tsdb"
 	"gostats/internal/watch"
 	"gostats/internal/workload"
 	"gostats/internal/xalt"
@@ -129,6 +144,10 @@ func main() {
 		"fabric mode: kill the busiest broker mid-run and assert conservation and rebalance")
 	chaosKillAt := flag.Float64("chaos-kill-at", 900,
 		"simulated time the -chaos-kill-broker kill fires")
+	chaosKillStore := flag.Bool("chaos-kill-store", false,
+		"run the storage restart audit instead of a simulation: SIGKILL the segment store mid-ingest and mid-compaction, reopen, and assert conservation")
+	dataDir := flag.String("data-dir", "",
+		"daemon mode: durable time-series store directory behind the listener (empty = RAM only)")
 	codecName := flag.String("codec", "text",
 		"snapshot codec for wire, spools, and archive: text (v1) or binary (v2)")
 	telemetryAddr := flag.String("telemetry", "127.0.0.1:0",
@@ -142,6 +161,14 @@ func main() {
 	watchMinParity := flag.Float64("watch-min-parity", 0.95,
 		"minimum online/post-hoc flag parity (fraction of jobs with identical flag sets) before a -watch run fails")
 	flag.Parse()
+	if *storeWorkerMode != "" {
+		runStoreWorker(*storeWorkerMode, *storeWorkerDir, *storeWorkerPoints)
+		return
+	}
+	if *chaosKillStore {
+		runKillStoreAudit(*out)
+		return
+	}
 	fabricMode := *fabricBrokers > 1
 	if *chaos && *mode != "daemon" {
 		log.Fatalf("simcluster: -chaos requires -mode daemon")
@@ -245,6 +272,7 @@ func main() {
 	var fsp *spool.Spool
 	var fctl *fabricController
 	var victimAddr string
+	var coldStore *segstore.Store
 	listenDone := make(chan error, 1)
 	switch *mode {
 	case "cron":
@@ -442,6 +470,18 @@ func main() {
 				return rawfile.Header{Hostname: host, Arch: "sandybridge", Registry: reg}
 			},
 		}
+		if *dataDir != "" {
+			coldStore, err = segstore.Open(*dataDir, segstore.Options{})
+			if err != nil {
+				log.Fatalf("simcluster: open segment store: %v", err)
+			}
+			tdb := tsdb.New()
+			if err := tdb.AttachCold(coldStore, 2*3600); err != nil {
+				log.Fatalf("simcluster: %v", err)
+			}
+			listener.Ingest = tsdb.NewIngester(tdb, reg)
+			fmt.Printf("simcluster: durable time-series store at %s\n", *dataDir)
+		}
 		ledger = &wireLedger{reg: reg}
 		listener.OnDecoded = ledger.observe
 		listener.OnSnapshot = func(s model.Snapshot) {
@@ -562,6 +602,15 @@ func main() {
 				}
 			}
 		}
+	}
+
+	if coldStore != nil {
+		if err := coldStore.Close(); err != nil {
+			log.Fatalf("simcluster: segment store close: %v", err)
+		}
+		st := coldStore.Stats()
+		fmt.Printf("simcluster store: sealed durable tsdb: %d raw segments (%d B), %d points archived\n",
+			st.TierSegments[0], st.TierBytes[0], st.TierPoints[0])
 	}
 
 	if err := acctFile.Close(); err != nil {

@@ -179,10 +179,18 @@ func MetaFromSpec(s workload.Spec) Meta {
 // materialized whole; memory scales with in-flight jobs, not with the
 // store.
 func IngestStore(st *rawfile.Store, reg *schema.Registry, meta map[string]Meta, db *reldb.DB) ([]string, error) {
+	return IngestStoreJournaled(st, reg, meta, db, nil)
+}
+
+// IngestStoreJournaled is IngestStore with a crash-safe journal: every
+// finalized row is appended to jnl the moment it exists, so a killed
+// run resumes from the journal instead of starting over. A nil jnl
+// degrades to the plain batch path.
+func IngestStoreJournaled(st *rawfile.Store, reg *schema.Registry, meta map[string]Meta, db *reldb.DB, jnl *reldb.Journal) ([]string, error) {
 	met := newETLMetrics(telemetry.Default())
 	timer := met.batchSeconds.Start()
 	defer timer.Stop()
-	a := &Assembler{Registry: reg, Meta: meta, DB: db, EndGrace: DefaultEndGrace}
+	a := &Assembler{Registry: reg, Meta: meta, DB: db, Journal: jnl, EndGrace: DefaultEndGrace}
 	if _, err := st.Walk(func(s model.Snapshot) error {
 		a.Feed(s)
 		return nil
@@ -190,7 +198,7 @@ func IngestStore(st *rawfile.Store, reg *schema.Registry, meta map[string]Meta, 
 		return nil, err
 	}
 	a.Flush()
-	return a.IngestedIDs(), nil
+	return a.IngestedIDs(), a.Err()
 }
 
 // observedSpan returns the earliest and latest sample times across a

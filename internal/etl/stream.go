@@ -46,6 +46,11 @@ type Assembler struct {
 	Meta map[string]Meta
 	// DB receives finalized rows.
 	DB *reldb.DB
+	// Journal, if set, appends every finalized row to the crash-safe
+	// reldb journal the moment it exists — the durable system of record
+	// that replaces save-on-a-timer. Append failures stick and surface
+	// via Err.
+	Journal *reldb.Journal
 
 	// EndGrace is how far (stream seconds) the watermark must pass a
 	// job's end mark before the row is reduced. Zero finalizes on the
@@ -72,6 +77,7 @@ type Assembler struct {
 	watermark float64
 	ingested  []string
 	skipped   int
+	jnlErr    error
 	met       *etlMetrics
 }
 
@@ -196,6 +202,11 @@ func (a *Assembler) finalize(id string) {
 	if a.DB != nil {
 		a.DB.Insert(row)
 	}
+	if a.Journal != nil {
+		if err := a.Journal.Append(row); err != nil && a.jnlErr == nil {
+			a.jnlErr = err
+		}
+	}
 	a.met.rowsIngested.Inc()
 	a.ingested = append(a.ingested, id)
 	if a.OnRow != nil {
@@ -219,6 +230,10 @@ func (a *Assembler) Flush() {
 
 // Pending reports how many jobs are accumulating but not yet finalized.
 func (a *Assembler) Pending() int { return len(a.jobs) }
+
+// Err reports the first journal-append failure, if any — rows after it
+// are still inserted in memory but the durable log is incomplete.
+func (a *Assembler) Err() error { return a.jnlErr }
 
 // IngestedIDs returns every finalized job id so far, sorted.
 func (a *Assembler) IngestedIDs() []string {

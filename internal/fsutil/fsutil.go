@@ -1,0 +1,64 @@
+// Package fsutil holds the small filesystem durability idioms every
+// on-disk store in gostats shares: atomic whole-file replacement
+// (temp + fsync + rename + directory fsync) and directory syncing.
+//
+// The rename-based protocol is the only portable way to guarantee a
+// reader never observes a half-written file: either the old content or
+// the new content exists, never a torn mix — which is exactly what a
+// crash mid-Save must not be able to produce.
+package fsutil
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// SyncDir fsyncs a directory so a just-created or just-renamed entry
+// survives power loss. Errors on platforms that refuse directory fsync
+// are ignored: the rename itself is still atomic against process crash.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	// Directory fsync is advisory on some filesystems; the entry is
+	// already atomically in place either way.
+	_ = d.Sync()
+	return d.Close()
+}
+
+// WriteAtomic replaces path with the bytes write produces, atomically:
+// the content is written to a temp file in the same directory, fsynced,
+// and renamed over path, then the directory is synced. A crash at any
+// instant leaves either the previous file intact or the new one
+// complete — never a truncated or interleaved mix. On any error the
+// temp file is removed and the original is untouched.
+func WriteAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpPath := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := write(tmp); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	return SyncDir(dir)
+}

@@ -1,0 +1,68 @@
+package fsutil
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteAtomicReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.bin")
+	if err := WriteAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("v1"))
+		return err
+	}); err != nil {
+		t.Fatalf("WriteAtomic: %v", err)
+	}
+	if err := WriteAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("v2-longer"))
+		return err
+	}); err != nil {
+		t.Fatalf("WriteAtomic replace: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "v2-longer" {
+		t.Fatalf("got %q err %v, want v2-longer", got, err)
+	}
+}
+
+// TestWriteAtomicCrashMidSave simulates the crash-mid-save failure the
+// old os.Create path could not survive: the writer dies partway
+// through. The original snapshot must be byte-identical afterwards and
+// no temp litter may remain.
+func TestWriteAtomicCrashMidSave(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.bin")
+	orig := []byte("the only existing snapshot")
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("process died mid-encode")
+	err := WriteAtomic(path, func(w io.Writer) error {
+		// Half the new image reaches the temp file before the "crash".
+		if _, werr := w.Write([]byte("half-written new im")); werr != nil {
+			return werr
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("WriteAtomic returned %v, want the writer's error", err)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil || string(got) != string(orig) {
+		t.Fatalf("original corrupted: %q err %v", got, rerr)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp litter left behind: %s", e.Name())
+		}
+	}
+}

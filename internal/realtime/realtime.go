@@ -362,7 +362,11 @@ func (l *Listener) handleOne(body []byte) error {
 	}
 	if l.Ingest != nil {
 		l.Trace.Stamp(&snap, model.StageStoreIngest)
-		l.Ingest.Ingest(snap)
+		if err := l.Ingest.Ingest(snap); err != nil {
+			// A cold-store write failure means the point may not be
+			// durable: fail the message so the broker redelivers.
+			return fmt.Errorf("realtime: store ingest %s: %w", snap.Host, err)
+		}
 		l.Trace.MarkQueryable(snap.Host, snap)
 	}
 	if l.OnSnapshot != nil {

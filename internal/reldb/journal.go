@@ -1,0 +1,187 @@
+// Journal: the crash-safe system of record for finalized jobs. Instead
+// of rewriting the whole table as a gob blob on a timer (the legacy
+// Save/Load export), every finalized JobRow is appended as one
+// CRC32C-guarded JSON frame the moment it exists; Open replays the log
+// (last write per JobID wins, torn tail truncated) and then continues
+// appending in place. A kill -9 at any instant loses at most rows whose
+// frames never reached the OS — rows whose append returned with Sync on
+// survive even power loss.
+package reldb
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"gostats/internal/fsutil"
+)
+
+// jnlMagic prefixes the journal file ("gostats journal").
+var jnlMagic = []byte{0x00, 'G', 'S', 'J', 1}
+
+const (
+	jnlFrameRow = 'J'
+	// jnlMaxPayload bounds one frame so a corrupt length can't drive a
+	// huge allocation during replay.
+	jnlMaxPayload = 1 << 24
+)
+
+var jnlCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// Journal is an append-only finalized-job log bound to a DB.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	sync bool
+
+	replayed  int // rows recovered at open
+	truncated int // torn-tail truncations at open
+}
+
+// OpenJournal replays path into db (creating the file if absent) and
+// returns a journal positioned to append. A torn final frame — the
+// signature of a crash mid-append — is truncated away; anything before
+// it is intact by CRC. With sync set, every Append fsyncs.
+func OpenJournal(path string, db *DB, sync bool) (*Journal, error) {
+	j := &Journal{path: path, sync: sync}
+	data, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+		f, cerr := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+		if cerr != nil {
+			return nil, cerr
+		}
+		if _, werr := f.Write(jnlMagic); werr != nil {
+			f.Close()
+			os.Remove(path)
+			return nil, werr
+		}
+		if sync {
+			if serr := f.Sync(); serr != nil {
+				f.Close()
+				return nil, serr
+			}
+		}
+		j.f = f
+		return j, nil
+	case err != nil:
+		return nil, err
+	}
+
+	good, rows, derr := replay(data)
+	if derr != nil {
+		// Torn or damaged tail: keep the valid prefix. This is the
+		// normal post-crash path, not an error.
+		if err := os.Truncate(path, int64(good)); err != nil {
+			return nil, err
+		}
+		j.truncated++
+	}
+	for _, r := range rows {
+		db.Insert(r)
+	}
+	j.replayed = len(rows)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j.f = f
+	return j, nil
+}
+
+// replay decodes the journal, returning the valid prefix length, the
+// decoded rows in append order, and the damage error (nil when the
+// whole file decoded).
+func replay(data []byte) (good int, rows []*JobRow, damage error) {
+	if len(data) < len(jnlMagic) {
+		return 0, nil, fmt.Errorf("reldb: journal shorter than its magic")
+	}
+	for i, b := range jnlMagic {
+		if data[i] != b {
+			return 0, nil, fmt.Errorf("reldb: not a journal (bad magic)")
+		}
+	}
+	off := len(jnlMagic)
+	good = off
+	for off < len(data) {
+		typ := data[off]
+		pos := off + 1
+		n, un := binary.Uvarint(data[pos:])
+		if un <= 0 {
+			return good, rows, fmt.Errorf("reldb: torn frame length at %d", pos)
+		}
+		pos += un
+		if n > jnlMaxPayload || uint64(len(data)-pos) < n+4 {
+			return good, rows, fmt.Errorf("reldb: torn frame at %d", off)
+		}
+		payload := data[pos : pos+int(n)]
+		pos += int(n)
+		if crc32.Checksum(payload, jnlCRC) != binary.LittleEndian.Uint32(data[pos:pos+4]) {
+			return good, rows, fmt.Errorf("reldb: frame CRC mismatch at %d", off)
+		}
+		pos += 4
+		if typ == jnlFrameRow {
+			var row JobRow
+			if err := json.Unmarshal(payload, &row); err != nil {
+				return good, rows, fmt.Errorf("reldb: undecodable row frame at %d: %w", off, err)
+			}
+			rows = append(rows, &row)
+		}
+		off = pos
+		good = off
+	}
+	return good, rows, nil
+}
+
+// Append writes one finalized row durably. The frame is handed to the
+// OS in a single write (and fsynced when the journal is sync-mode), so
+// a crash can tear at most the frame in flight — never a replayed row.
+func (j *Journal) Append(row *JobRow) error {
+	payload, err := json.Marshal(row)
+	if err != nil {
+		return fmt.Errorf("reldb: journal append: %w", err)
+	}
+	frame := make([]byte, 0, len(payload)+16)
+	frame = append(frame, jnlFrameRow)
+	frame = binary.AppendUvarint(frame, uint64(len(payload)))
+	frame = append(frame, payload...)
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(payload, jnlCRC))
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("reldb: journal closed")
+	}
+	if _, err := j.f.Write(frame); err != nil {
+		return err
+	}
+	if j.sync {
+		return j.f.Sync()
+	}
+	return nil
+}
+
+// Replayed reports rows recovered and torn-tail truncations at open.
+func (j *Journal) Replayed() (rows, truncations int) { return j.replayed, j.truncated }
+
+// Close fsyncs and closes the journal.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	if err == nil {
+		err = fsutil.SyncDir(filepath.Dir(j.path))
+	}
+	return err
+}

@@ -3,24 +3,27 @@ package reldb
 import (
 	"encoding/gob"
 	"fmt"
+	"io"
 	"os"
+
+	"gostats/internal/fsutil"
 )
 
-// Save writes the table to path (gob). Declared indexes are not
-// persisted; re-declare them after Load.
+// Save writes the table to path (gob), atomically: the image is staged
+// in a temp file, fsynced, and renamed over path, so a crash mid-save
+// leaves the previous snapshot intact instead of a torn blob. Declared
+// indexes are not persisted; re-declare them after Load. (This is the
+// legacy export path — the journal is the crash-safe system of record.)
 func (db *DB) Save(path string) error {
 	db.mu.RLock()
 	rows := db.rows
 	db.mu.RUnlock()
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := gob.NewEncoder(f).Encode(rows); err != nil {
-		f.Close()
-		return fmt.Errorf("reldb: save: %w", err)
-	}
-	return f.Close()
+	return fsutil.WriteAtomic(path, func(w io.Writer) error {
+		if err := gob.NewEncoder(w).Encode(rows); err != nil {
+			return fmt.Errorf("reldb: save: %w", err)
+		}
+		return nil
+	})
 }
 
 // Load reads a table previously written by Save.

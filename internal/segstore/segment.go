@@ -1,0 +1,487 @@
+// Segment file codec: the on-disk unit of the durable store. A segment
+// is a stream of CRC32C-guarded frames in the codec-v2 framing idiom
+// (type byte, uvarint length, payload, checksum), so crash recovery is
+// exact at frame granularity — a torn tail never yields a partial
+// point, and a flipped byte anywhere is caught by the checksum of the
+// frame it lands in.
+//
+// Layout:
+//
+//	magic "\x00GSS" | uvarint formatVersion (=1)
+//	'M' meta frame   — tier, seq, cover range, shard, bucket width
+//	'P' point frames — raw tier: (series ref, Δms, float64 value)*
+//	'B' bucket frames— downsampled tiers: (series ref, Δms, count,
+//	                   sum, min, max)*
+//
+// Series labels are dictionary-encoded per file (a reference equal to
+// the table size introduces the four label strings inline) and
+// timestamps are zigzag-varint millisecond deltas running across the
+// whole file — both make a valid prefix self-contained, which is what
+// lets torn-tail truncation keep every complete frame.
+package segstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+)
+
+// segMagic prefixes every segment file. The leading NUL keeps it
+// unambiguous against the v1 text codec's '$' and readable by Sniff-like
+// prefix checks.
+var segMagic = [4]byte{0x00, 'G', 'S', 'S'}
+
+const (
+	segFormatVersion = 1
+
+	frameMeta   = 'M'
+	framePoints = 'P'
+	frameBucket = 'B'
+
+	// maxFramePayload bounds one frame so a corrupt length prefix cannot
+	// drive a huge allocation.
+	maxFramePayload = 1 << 26
+	// maxSeriesTable bounds the per-file label dictionary.
+	maxSeriesTable = 1 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Labels is the tag tuple of one series — the same (host, device type,
+// device, event) layout the tsdb keys on.
+type Labels struct {
+	Host    string
+	DevType string
+	Device  string
+	Event   string
+}
+
+// AggPoint is one stored sample: a raw point (Count 1, Sum == Min ==
+// Max == the value) or a downsampled bucket carrying enough state to
+// reconstruct Sum/Avg/Min/Max exactly at any coarser granularity.
+type AggPoint struct {
+	Time  float64
+	Count uint64
+	Sum   float64
+	Min   float64
+	Max   float64
+}
+
+// Meta identifies a segment: its tier, its shard, its own sequence
+// number, and — for compacted tiers — the range of lower-tier sequence
+// numbers it consumed. Recovery uses the cover range to finish an
+// interrupted compaction: any live tier-t segment whose seq falls in a
+// live tier-(t+1) segment's cover was already rewritten and is deleted.
+type Meta struct {
+	Tier     int
+	Shard    int
+	Seq      uint64
+	CoverLo  uint64
+	CoverHi  uint64
+	BucketMs int64 // downsample bucket width in ms (0 for raw)
+}
+
+// segData is one fully (or prefix-) decoded segment.
+type segData struct {
+	meta    Meta
+	series  []Labels
+	chunks  [][]AggPoint // parallel to series
+	entries uint64       // physical entries decoded
+	count   uint64       // logical raw points represented (sum of Count)
+	frames  int          // data frames decoded
+	minT    float64
+	maxT    float64
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// segWriter appends frames to a segment file. Appends accumulate into a
+// pending frame buffer; flushFrame hands one complete frame to the OS
+// in a single write, so the frame is the atomic unit on disk.
+type segWriter struct {
+	f    *os.File
+	path string
+	meta Meta
+
+	refs    map[Labels]uint64
+	prevMs  int64
+	pending []byte // entries of the frame being built
+	nPend   int
+	out     []byte // scratch assembled frame
+
+	bytes   int64
+	entries uint64
+	count   uint64
+	minT    float64
+	maxT    float64
+}
+
+// newSegWriter creates path and writes the preamble and meta frame.
+func newSegWriter(path string, meta Meta) (*segWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := &segWriter{f: f, path: path, meta: meta, refs: make(map[Labels]uint64)}
+	pre := append(append([]byte(nil), segMagic[:]...), byte(segFormatVersion))
+	if _, err := f.Write(pre); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	w.bytes = int64(len(pre))
+	mp := make([]byte, 0, 32)
+	mp = binary.AppendUvarint(mp, uint64(meta.Tier))
+	mp = binary.AppendUvarint(mp, uint64(meta.Shard))
+	mp = binary.AppendUvarint(mp, meta.Seq)
+	mp = binary.AppendUvarint(mp, meta.CoverLo)
+	mp = binary.AppendUvarint(mp, meta.CoverHi)
+	mp = binary.AppendUvarint(mp, uint64(meta.BucketMs))
+	if err := w.writeFrame(frameMeta, mp); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return w, nil
+}
+
+// putRef dictionary-encodes a label tuple into the pending buffer.
+func (w *segWriter) putRef(l Labels) {
+	if ref, ok := w.refs[l]; ok {
+		w.pending = binary.AppendUvarint(w.pending, ref)
+		return
+	}
+	ref := uint64(len(w.refs))
+	w.refs[l] = ref
+	w.pending = binary.AppendUvarint(w.pending, ref)
+	w.pending = appendString(w.pending, l.Host)
+	w.pending = appendString(w.pending, l.DevType)
+	w.pending = appendString(w.pending, l.Device)
+	w.pending = appendString(w.pending, l.Event)
+}
+
+// add buffers one entry. Raw-tier segments store the single value; the
+// downsampled tiers store the full (count, sum, min, max) bucket.
+func (w *segWriter) add(l Labels, p AggPoint) {
+	w.putRef(l)
+	ms := int64(math.Round(p.Time * 1000))
+	w.pending = binary.AppendUvarint(w.pending, zigzag(ms-w.prevMs))
+	w.prevMs = ms
+	if w.meta.Tier == tierRaw {
+		w.pending = binary.LittleEndian.AppendUint64(w.pending, math.Float64bits(p.Sum))
+	} else {
+		w.pending = binary.AppendUvarint(w.pending, p.Count)
+		w.pending = binary.LittleEndian.AppendUint64(w.pending, math.Float64bits(p.Sum))
+		w.pending = binary.LittleEndian.AppendUint64(w.pending, math.Float64bits(p.Min))
+		w.pending = binary.LittleEndian.AppendUint64(w.pending, math.Float64bits(p.Max))
+	}
+	w.nPend++
+	if w.entries == 0 && w.nPend == 1 {
+		w.minT = p.Time
+	} else if p.Time < w.minT {
+		w.minT = p.Time
+	}
+	if p.Time > w.maxT {
+		w.maxT = p.Time
+	}
+	w.entries++
+	w.count += p.Count
+}
+
+// flushFrame writes the pending entries as one complete frame.
+func (w *segWriter) flushFrame() error {
+	if w.nPend == 0 {
+		return nil
+	}
+	typ := byte(framePoints)
+	if w.meta.Tier != tierRaw {
+		typ = frameBucket
+	}
+	payload := make([]byte, 0, len(w.pending)+4)
+	payload = binary.AppendUvarint(payload, uint64(w.nPend))
+	payload = append(payload, w.pending...)
+	w.pending = w.pending[:0]
+	w.nPend = 0
+	return w.writeFrame(typ, payload)
+}
+
+func (w *segWriter) writeFrame(typ byte, payload []byte) error {
+	w.out = append(w.out[:0], typ)
+	w.out = binary.AppendUvarint(w.out, uint64(len(payload)))
+	w.out = append(w.out, payload...)
+	w.out = binary.LittleEndian.AppendUint32(w.out, crc32.Checksum(payload, crcTable))
+	n, err := w.f.Write(w.out)
+	w.bytes += int64(n)
+	return err
+}
+
+func (w *segWriter) sync() error { return w.f.Sync() }
+
+// close flushes the pending frame and closes the file without renaming;
+// the caller decides whether to seal or abort.
+func (w *segWriter) close() error {
+	err := w.flushFrame()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// byteCursor is a bounds-checked reader over a frame payload.
+type byteCursor struct {
+	b   []byte
+	off int
+}
+
+func (c *byteCursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.b[c.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("truncated varint at offset %d", c.off)
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *byteCursor) varint() (int64, error) {
+	u, err := c.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	return unzigzag(u), nil
+}
+
+func (c *byteCursor) float() (float64, error) {
+	if len(c.b)-c.off < 8 {
+		return 0, fmt.Errorf("truncated float at offset %d", c.off)
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(c.b[c.off:]))
+	c.off += 8
+	return v, nil
+}
+
+func (c *byteCursor) str() (string, error) {
+	n, err := c.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(c.b)-c.off) {
+		return "", fmt.Errorf("string length %d exceeds frame size", n)
+	}
+	s := string(c.b[c.off : c.off+int(n)])
+	c.off += int(n)
+	return s, nil
+}
+
+// count reads an element count sanity-checked against the remaining
+// payload bytes, so a corrupt count cannot drive a huge allocation.
+func (c *byteCursor) count(minBytes int) (int, error) {
+	v, err := c.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(len(c.b)-c.off)/uint64(minBytes)+1 {
+		return 0, fmt.Errorf("count %d exceeds frame size", v)
+	}
+	return int(v), nil
+}
+
+// readRef resolves a dictionary reference, adding an inline definition
+// to the table.
+func (d *segData) readRef(c *byteCursor) (int, error) {
+	ref, err := c.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if ref < uint64(len(d.series)) {
+		return int(ref), nil
+	}
+	if ref != uint64(len(d.series)) {
+		return 0, fmt.Errorf("series ref %d skips table size %d", ref, len(d.series))
+	}
+	if len(d.series) >= maxSeriesTable {
+		return 0, fmt.Errorf("series table overflow")
+	}
+	var l Labels
+	if l.Host, err = c.str(); err != nil {
+		return 0, err
+	}
+	if l.DevType, err = c.str(); err != nil {
+		return 0, err
+	}
+	if l.Device, err = c.str(); err != nil {
+		return 0, err
+	}
+	if l.Event, err = c.str(); err != nil {
+		return 0, err
+	}
+	d.series = append(d.series, l)
+	d.chunks = append(d.chunks, nil)
+	return int(ref), nil
+}
+
+// parseSegment decodes a segment. It returns the decoded prefix, the
+// byte length of the valid prefix (preamble plus every complete frame),
+// and the damage error (nil when the whole file decoded). Callers use
+// the triple differently: strict opens quarantine on any damage, active
+// recovery truncates to goodLen and keeps the prefix.
+func parseSegment(data []byte) (*segData, int, error) {
+	if len(data) < len(segMagic)+1 {
+		return nil, 0, fmt.Errorf("segstore: short preamble")
+	}
+	for i := range segMagic {
+		if data[i] != segMagic[i] {
+			return nil, 0, fmt.Errorf("segstore: bad magic")
+		}
+	}
+	ver, vn := binary.Uvarint(data[len(segMagic):])
+	if vn <= 0 || ver != segFormatVersion {
+		return nil, 0, fmt.Errorf("segstore: unsupported segment format %d", ver)
+	}
+	off := len(segMagic) + vn
+	d := &segData{}
+	var prevMs int64
+	sawMeta := false
+	var damage error
+
+	good := off
+	for off < len(data) {
+		typ := data[off]
+		pos := off + 1
+		n, un := binary.Uvarint(data[pos:])
+		if un <= 0 {
+			damage = fmt.Errorf("segstore: truncated frame length at offset %d", pos)
+			break
+		}
+		pos += un
+		if n > maxFramePayload || uint64(len(data)-pos) < n+4 {
+			damage = fmt.Errorf("segstore: truncated frame at offset %d", off)
+			break
+		}
+		payload := data[pos : pos+int(n)]
+		pos += int(n)
+		want := binary.LittleEndian.Uint32(data[pos : pos+4])
+		pos += 4
+		if crc32.Checksum(payload, crcTable) != want {
+			damage = fmt.Errorf("segstore: frame CRC mismatch at offset %d", off)
+			break
+		}
+		c := byteCursor{b: payload}
+		switch typ {
+		case frameMeta:
+			damage = d.applyMeta(&c)
+			if damage == nil {
+				sawMeta = true
+			}
+		case framePoints, frameBucket:
+			if !sawMeta {
+				damage = fmt.Errorf("segstore: data frame before meta frame")
+				break
+			}
+			damage = d.applyData(&c, typ, &prevMs)
+		default:
+			// Unknown frame types are forward-compatible noise.
+		}
+		if damage != nil {
+			break
+		}
+		off = pos
+		good = off
+	}
+	if !sawMeta {
+		if damage == nil {
+			damage = fmt.Errorf("segstore: segment has no meta frame")
+		}
+		return nil, len(segMagic) + vn, damage
+	}
+	return d, good, damage
+}
+
+func (d *segData) applyMeta(c *byteCursor) error {
+	vals := make([]uint64, 6)
+	for i := range vals {
+		v, err := c.uvarint()
+		if err != nil {
+			return fmt.Errorf("segstore: meta frame: %w", err)
+		}
+		vals[i] = v
+	}
+	if vals[0] >= numTiers {
+		return fmt.Errorf("segstore: meta tier %d out of range", vals[0])
+	}
+	d.meta = Meta{
+		Tier: int(vals[0]), Shard: int(vals[1]), Seq: vals[2],
+		CoverLo: vals[3], CoverHi: vals[4], BucketMs: int64(vals[5]),
+	}
+	return nil
+}
+
+func (d *segData) applyData(c *byteCursor, typ byte, prevMs *int64) error {
+	if typ == framePoints && d.meta.Tier != tierRaw {
+		return fmt.Errorf("segstore: point frame in tier-%d segment", d.meta.Tier)
+	}
+	if typ == frameBucket && d.meta.Tier == tierRaw {
+		return fmt.Errorf("segstore: bucket frame in raw segment")
+	}
+	n, err := c.count(3)
+	if err != nil {
+		return fmt.Errorf("segstore: entry count: %w", err)
+	}
+	for i := 0; i < n; i++ {
+		ref, err := d.readRef(c)
+		if err != nil {
+			return fmt.Errorf("segstore: entry series: %w", err)
+		}
+		dt, err := c.varint()
+		if err != nil {
+			return fmt.Errorf("segstore: entry time: %w", err)
+		}
+		*prevMs += dt
+		p := AggPoint{Time: float64(*prevMs) / 1000}
+		if typ == framePoints {
+			v, err := c.float()
+			if err != nil {
+				return fmt.Errorf("segstore: entry value: %w", err)
+			}
+			p.Count, p.Sum, p.Min, p.Max = 1, v, v, v
+		} else {
+			if p.Count, err = c.uvarint(); err != nil {
+				return fmt.Errorf("segstore: bucket count: %w", err)
+			}
+			if p.Sum, err = c.float(); err != nil {
+				return fmt.Errorf("segstore: bucket sum: %w", err)
+			}
+			if p.Min, err = c.float(); err != nil {
+				return fmt.Errorf("segstore: bucket min: %w", err)
+			}
+			if p.Max, err = c.float(); err != nil {
+				return fmt.Errorf("segstore: bucket max: %w", err)
+			}
+		}
+		d.chunks[ref] = append(d.chunks[ref], p)
+		if d.entries == 0 {
+			d.minT, d.maxT = p.Time, p.Time
+		} else {
+			if p.Time < d.minT {
+				d.minT = p.Time
+			}
+			if p.Time > d.maxT {
+				d.maxT = p.Time
+			}
+		}
+		d.entries++
+		d.count += p.Count
+	}
+	if c.off != len(c.b) {
+		return fmt.Errorf("segstore: %d trailing bytes in data frame", len(c.b)-c.off)
+	}
+	d.frames++
+	return nil
+}

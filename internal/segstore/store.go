@@ -1,0 +1,811 @@
+// Store: the durable, host-sharded segment store. Each shard owns a
+// directory of sealed segments plus one write-ahead active segment;
+// appends buffer into the active segment's pending frame, Commit hands
+// complete frames to the OS (and fsyncs under Options.Sync), and a full
+// active segment is sealed by flush + fsync + rename — after which its
+// contents can never be lost to a crash. Reopen recovers everything:
+// sealed segments are verified end to end (quarantined as .bad on any
+// damage), the active segment is truncated to its last valid frame and
+// sealed, leftover compaction temporaries are discarded, and interrupted
+// compactions are completed via cover-range bookkeeping (compact.go).
+package segstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gostats/internal/fsutil"
+	"gostats/internal/telemetry"
+)
+
+const (
+	tierRaw  = 0
+	tierMid  = 1
+	tierHour = 2
+	numTiers = 3
+)
+
+// tierWidth is each tier's downsample bucket width in seconds.
+var tierWidth = [numTiers]float64{0, 600, 3600}
+
+// TierName labels tiers in telemetry and stats output.
+func TierName(tier int) string {
+	switch tier {
+	case tierRaw:
+		return "raw"
+	case tierMid:
+		return "10m"
+	case tierHour:
+		return "1h"
+	}
+	return "?"
+}
+
+// Point is one raw sample on the append path.
+type Point struct {
+	Labels
+	Time  float64
+	Value float64
+}
+
+// Filter selects series by exact tag match; empty fields match
+// anything — the same wildcard semantics as tsdb.Query.
+type Filter struct {
+	Host    string
+	DevType string
+	Device  string
+	Event   string
+}
+
+func (f Filter) match(l Labels) bool {
+	return (f.Host == "" || f.Host == l.Host) &&
+		(f.DevType == "" || f.DevType == l.DevType) &&
+		(f.Device == "" || f.Device == l.Device) &&
+		(f.Event == "" || f.Event == l.Event)
+}
+
+// SeriesChunk is one series' points within a scanned time range.
+type SeriesChunk struct {
+	Labels Labels
+	Points []AggPoint
+}
+
+// Options tunes a Store. The zero value is usable: 32 shards (matching
+// tsdb's stripe width so host routing agrees), 1 MiB segments, raw
+// segments compacted once older than 4 h, 10-minute tiers once older
+// than 24 h, and no retention cutoffs (keep everything).
+type Options struct {
+	// Shards is the directory fan-out; must match the writer's host
+	// sharding (tsdb uses 32).
+	Shards int
+	// SegmentBytes seals the active segment once it exceeds this size.
+	SegmentBytes int64
+	// FlushBytes caps the pending in-memory frame; a larger buffer means
+	// fewer, bigger frames but a larger worst-case crash-loss tail.
+	FlushBytes int
+	// Sync fsyncs the active segment on every Commit. Off, a kill -9
+	// loses at most the unsynced OS-buffered tail; on, only the pending
+	// frame since the last Commit (at the cost of an fsync per commit).
+	Sync bool
+	// CompactAfter[t] is the age in seconds past which sealed tier-t
+	// segments are downsampled into tier t+1 (0 = default; <0 = never).
+	CompactRawAfter float64
+	CompactMidAfter float64
+	// Retain[t] drops tier-t segments wholly older than this many
+	// seconds before the shard's newest point (0 = keep forever).
+	RetainRaw  float64
+	RetainMid  float64
+	RetainHour float64
+	// Metrics receives gostats_segstore_* series (nil = telemetry.Default()).
+	Metrics *telemetry.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 32
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 1 << 20
+	}
+	if o.FlushBytes <= 0 {
+		o.FlushBytes = 32 << 10
+	}
+	if o.CompactRawAfter == 0 {
+		o.CompactRawAfter = 4 * 3600
+	}
+	if o.CompactMidAfter == 0 {
+		o.CompactMidAfter = 24 * 3600
+	}
+	if o.Metrics == nil {
+		o.Metrics = telemetry.Default()
+	}
+	return o
+}
+
+func (o Options) compactAfter(tier int) float64 {
+	switch tier {
+	case tierRaw:
+		return o.CompactRawAfter
+	case tierMid:
+		return o.CompactMidAfter
+	}
+	return -1
+}
+
+func (o Options) retain(tier int) float64 {
+	switch tier {
+	case tierRaw:
+		return o.RetainRaw
+	case tierMid:
+		return o.RetainMid
+	case tierHour:
+		return o.RetainHour
+	}
+	return 0
+}
+
+// segInfo describes one sealed segment.
+type segInfo struct {
+	path    string
+	tier    int
+	seq     uint64
+	coverLo uint64
+	coverHi uint64
+	minT    float64
+	maxT    float64
+	bytes   int64
+	entries uint64
+	count   uint64 // logical raw points represented
+}
+
+// shardState is one shard's directory: sealed segments per tier plus
+// the active writer. All fields are guarded by mu.
+type shardState struct {
+	mu      sync.Mutex
+	dir     string
+	id      int
+	sealed  [numTiers][]*segInfo // each sorted by seq ascending
+	w       *segWriter
+	nextSeq uint64
+	newest  float64 // newest point time ever appended/recovered
+	werr    error   // sticky write error; surfaced by Commit
+}
+
+type storeMetrics struct {
+	activeBytes  *telemetry.Gauge
+	tierBytes    [numTiers]*telemetry.Gauge
+	tierSegments [numTiers]*telemetry.Gauge
+	appended     *telemetry.Counter
+	seals        *telemetry.Counter
+	compactions  *telemetry.Counter
+	recovered    *telemetry.Counter
+	truncated    *telemetry.Counter
+	quarantined  *telemetry.Counter
+	dropped      *telemetry.Counter
+}
+
+// Stats is a point-in-time snapshot of store state for audits and tests.
+type Stats struct {
+	ActiveBytes   int64
+	ActivePoints  uint64 // points in active segments (flushed + pending)
+	TierBytes     [numTiers]int64
+	TierSegments  [numTiers]int
+	TierPoints    [numTiers]uint64 // logical raw points per sealed tier
+	Seals         uint64
+	Compactions   uint64
+	RecoveredPts  uint64 // points recovered from segments at Open
+	TornTruncated uint64 // active segments truncated at a torn tail
+	Quarantined   uint64 // sealed segments renamed .bad at Open
+	Dropped       uint64 // points dropped by retention
+}
+
+// Store is the crash-safe segment store. Safe for concurrent use;
+// appends for different hosts never contend.
+type Store struct {
+	dir    string
+	opts   Options
+	shards []*shardState
+	met    storeMetrics
+
+	statMu sync.Mutex
+	stats  Stats
+
+	bgStop chan struct{}
+	bgDone chan struct{}
+}
+
+// Open opens (creating if needed) the store rooted at dir and runs
+// recovery: every sealed segment is verified, damaged ones are
+// quarantined, the previous active segment's torn tail is truncated and
+// the valid prefix sealed, and interrupted compactions are completed.
+// After Open returns, every point the previous process sealed — or
+// wrote into frames that reached the OS — is readable again.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, opts: opts}
+	reg := opts.Metrics
+	s.met.activeBytes = reg.Gauge("gostats_segstore_active_bytes",
+		"Bytes in unsealed active segments across shards.")
+	for t := 0; t < numTiers; t++ {
+		s.met.tierBytes[t] = reg.Gauge("gostats_segstore_bytes",
+			"On-disk bytes of sealed segments per tier.", "tier", TierName(t))
+		s.met.tierSegments[t] = reg.Gauge("gostats_segstore_segments",
+			"Sealed segment count per tier.", "tier", TierName(t))
+	}
+	s.met.appended = reg.Counter("gostats_segstore_appended_total",
+		"Points appended to the store.")
+	s.met.seals = reg.Counter("gostats_segstore_seals_total",
+		"Active segments sealed (rotation, recovery, or close).")
+	s.met.compactions = reg.Counter("gostats_segstore_compactions_total",
+		"Compaction passes that produced a downsampled segment.")
+	s.met.recovered = reg.Counter("gostats_segstore_recovered_points_total",
+		"Points recovered from existing segments at open.")
+	s.met.truncated = reg.Counter("gostats_segstore_torn_truncations_total",
+		"Active segments truncated at a torn tail during recovery.")
+	s.met.quarantined = reg.Counter("gostats_segstore_quarantined_total",
+		"Damaged sealed segments renamed aside at open.")
+	s.met.dropped = reg.Counter("gostats_segstore_retention_dropped_total",
+		"Points dropped by retention windows.")
+
+	s.shards = make([]*shardState, opts.Shards)
+	for i := range s.shards {
+		sh := &shardState{dir: filepath.Join(dir, fmt.Sprintf("shard-%02d", i)), id: i}
+		if err := os.MkdirAll(sh.dir, 0o755); err != nil {
+			return nil, err
+		}
+		if err := s.recoverShard(sh); err != nil {
+			return nil, fmt.Errorf("segstore: shard %d: %w", i, err)
+		}
+		s.shards[i] = sh
+	}
+	s.publishGauges()
+	return s, nil
+}
+
+func sealedName(tier int, seq uint64) string {
+	return fmt.Sprintf("t%d-%08d.seg", tier, seq)
+}
+
+func activeName(seq uint64) string {
+	return fmt.Sprintf("active-%08d.seg", seq)
+}
+
+// parseSealedName inverts sealedName; ok=false for foreign files.
+func parseSealedName(name string) (tier int, seq uint64, ok bool) {
+	n, err := fmt.Sscanf(name, "t%d-%d.seg", &tier, &seq)
+	if n != 2 || err != nil || !strings.HasSuffix(name, ".seg") {
+		return 0, 0, false
+	}
+	return tier, seq, tier >= 0 && tier < numTiers
+}
+
+// recoverShard rebuilds one shard's in-memory index from disk,
+// quarantining damage and sealing the previous active segment.
+func (s *Store) recoverShard(sh *shardState) error {
+	ents, err := os.ReadDir(sh.dir)
+	if err != nil {
+		return err
+	}
+	var activePaths []string
+	for _, e := range ents {
+		name := e.Name()
+		switch {
+		case strings.HasPrefix(name, "tmp-") || strings.Contains(name, ".tmp-"):
+			// Compaction temporary that never reached its rename: the
+			// inputs are still live, so the partial output is garbage.
+			os.Remove(filepath.Join(sh.dir, name))
+		case strings.HasSuffix(name, ".bad"):
+			// Previously quarantined; leave for the operator.
+		case strings.HasPrefix(name, "active-") && strings.HasSuffix(name, ".seg"):
+			activePaths = append(activePaths, filepath.Join(sh.dir, name))
+		case strings.HasSuffix(name, ".seg"):
+			tier, seq, ok := parseSealedName(name)
+			if !ok {
+				continue
+			}
+			path := filepath.Join(sh.dir, name)
+			info, qerr := s.loadSealed(path, tier, seq)
+			if qerr != nil {
+				s.quarantine(path, qerr)
+				continue
+			}
+			sh.sealed[tier] = append(sh.sealed[tier], info)
+		}
+	}
+	for t := 0; t < numTiers; t++ {
+		sort.Slice(sh.sealed[t], func(i, j int) bool { return sh.sealed[t][i].seq < sh.sealed[t][j].seq })
+	}
+
+	// Recover active segments (normally at most one): truncate to the
+	// last valid frame and seal the remainder as an ordinary raw segment.
+	for _, path := range activePaths {
+		if err := s.recoverActive(sh, path); err != nil {
+			return err
+		}
+	}
+	sort.Slice(sh.sealed[tierRaw], func(i, j int) bool { return sh.sealed[tierRaw][i].seq < sh.sealed[tierRaw][j].seq })
+
+	// Complete interrupted compactions: a live tier-t segment whose seq
+	// falls inside a live tier-(t+1) segment's cover range was already
+	// rewritten into that output — keeping it would double-count.
+	for t := 0; t < numTiers-1; t++ {
+		if len(sh.sealed[t]) == 0 || len(sh.sealed[t+1]) == 0 {
+			continue
+		}
+		kept := sh.sealed[t][:0]
+		for _, in := range sh.sealed[t] {
+			covered := false
+			for _, out := range sh.sealed[t+1] {
+				if out.coverLo <= in.seq && in.seq <= out.coverHi {
+					covered = true
+					break
+				}
+			}
+			if covered {
+				os.Remove(in.path)
+			} else {
+				kept = append(kept, in)
+			}
+		}
+		sh.sealed[t] = kept
+	}
+
+	for t := 0; t < numTiers; t++ {
+		for _, info := range sh.sealed[t] {
+			if info.seq >= sh.nextSeq {
+				sh.nextSeq = info.seq + 1
+			}
+			if info.maxT > sh.newest {
+				sh.newest = info.maxT
+			}
+		}
+	}
+	return fsutil.SyncDir(sh.dir)
+}
+
+// loadSealed strictly verifies one sealed segment end to end.
+func (s *Store) loadSealed(path string, tier int, seq uint64) (*segInfo, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	d, good, derr := parseSegment(data)
+	if derr != nil {
+		return nil, derr
+	}
+	if good != len(data) {
+		return nil, fmt.Errorf("segstore: %d bytes of undecodable tail", len(data)-good)
+	}
+	if d.meta.Tier != tier || d.meta.Seq != seq {
+		return nil, fmt.Errorf("segstore: meta (tier %d seq %d) disagrees with name %s",
+			d.meta.Tier, d.meta.Seq, filepath.Base(path))
+	}
+	s.addRecovered(d.count)
+	return &segInfo{
+		path: path, tier: tier, seq: seq,
+		coverLo: d.meta.CoverLo, coverHi: d.meta.CoverHi,
+		minT: d.minT, maxT: d.maxT,
+		bytes: int64(len(data)), entries: d.entries, count: d.count,
+	}, nil
+}
+
+// recoverActive truncates path to its last valid frame and seals the
+// prefix. An empty or unreadable active segment is removed: nothing in
+// it was ever acknowledged as sealed.
+func (s *Store) recoverActive(sh *shardState, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	d, good, derr := parseSegment(data)
+	if d == nil || d.entries == 0 {
+		os.Remove(path)
+		if derr != nil && len(data) > 0 {
+			s.bumpTruncated()
+		}
+		return nil
+	}
+	if derr != nil {
+		// Torn tail: keep the valid prefix only.
+		if err := os.Truncate(path, int64(good)); err != nil {
+			return err
+		}
+		s.bumpTruncated()
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	serr := f.Sync()
+	f.Close()
+	if serr != nil {
+		return serr
+	}
+	sealed := filepath.Join(sh.dir, sealedName(d.meta.Tier, d.meta.Seq))
+	if err := os.Rename(path, sealed); err != nil {
+		return err
+	}
+	s.addRecovered(d.count)
+	s.bumpSeals()
+	sh.sealed[d.meta.Tier] = append(sh.sealed[d.meta.Tier], &segInfo{
+		path: sealed, tier: d.meta.Tier, seq: d.meta.Seq,
+		coverLo: d.meta.CoverLo, coverHi: d.meta.CoverHi,
+		minT: d.minT, maxT: d.maxT,
+		bytes: int64(good), entries: d.entries, count: d.count,
+	})
+	return nil
+}
+
+func (s *Store) quarantine(path string, cause error) {
+	os.Rename(path, path+".bad")
+	s.met.quarantined.Inc()
+	s.statMu.Lock()
+	s.stats.Quarantined++
+	s.statMu.Unlock()
+	_ = cause
+}
+
+func (s *Store) addRecovered(n uint64) {
+	s.met.recovered.Add(n)
+	s.statMu.Lock()
+	s.stats.RecoveredPts += n
+	s.statMu.Unlock()
+}
+
+func (s *Store) bumpTruncated() {
+	s.met.truncated.Inc()
+	s.statMu.Lock()
+	s.stats.TornTruncated++
+	s.statMu.Unlock()
+}
+
+func (s *Store) bumpSeals() {
+	s.met.seals.Inc()
+	s.statMu.Lock()
+	s.stats.Seals++
+	s.statMu.Unlock()
+}
+
+// ShardFor returns the shard index Append will route host to — the same
+// FNV-1a mapping tsdb uses, so the hot and cold halves of a series
+// always live in the same stripe number.
+func (s *Store) ShardFor(host string) int {
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	for i := 0; i < len(host); i++ {
+		h ^= uint32(host[i])
+		h *= prime
+	}
+	return int(h % uint32(len(s.shards)))
+}
+
+// Append buffers one raw point into host's shard. The point is
+// crash-durable only after the frame holding it reaches the OS (Commit
+// or auto-flush) — and, against power loss, after an fsync (Options.Sync
+// or seal). Append never blocks on fsync; write errors stick to the
+// shard and surface on the next Commit.
+func (s *Store) Append(p Point) {
+	sh := s.shards[s.ShardFor(p.Host)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.werr != nil {
+		return
+	}
+	if sh.w == nil {
+		if err := s.openActiveLocked(sh); err != nil {
+			sh.werr = err
+			return
+		}
+	}
+	sh.w.add(p.Labels, AggPoint{Time: p.Time, Count: 1, Sum: p.Value, Min: p.Value, Max: p.Value})
+	if p.Time > sh.newest {
+		sh.newest = p.Time
+	}
+	s.met.appended.Inc()
+	if len(sh.w.pending) >= s.opts.FlushBytes {
+		if err := sh.w.flushFrame(); err != nil {
+			sh.werr = err
+			return
+		}
+	}
+	if sh.w.bytes+int64(len(sh.w.pending)) >= s.opts.SegmentBytes {
+		if err := s.sealActiveLocked(sh); err != nil {
+			sh.werr = err
+		}
+	}
+}
+
+func (s *Store) openActiveLocked(sh *shardState) error {
+	seq := sh.nextSeq
+	sh.nextSeq++
+	w, err := newSegWriter(filepath.Join(sh.dir, activeName(seq)), Meta{
+		Tier: tierRaw, Shard: sh.id, Seq: seq, CoverLo: seq, CoverHi: seq,
+	})
+	if err != nil {
+		return err
+	}
+	sh.w = w
+	return nil
+}
+
+// sealActiveLocked makes the active segment immutable and durable:
+// flush, fsync, close, rename to its tier name, directory fsync.
+func (s *Store) sealActiveLocked(sh *shardState) error {
+	w := sh.w
+	if w == nil {
+		return nil
+	}
+	sh.w = nil
+	if w.entries == 0 {
+		w.close()
+		os.Remove(w.path)
+		return nil
+	}
+	if err := w.flushFrame(); err != nil {
+		w.close()
+		return err
+	}
+	if err := w.sync(); err != nil {
+		w.close()
+		return err
+	}
+	if err := w.close(); err != nil {
+		return err
+	}
+	sealed := filepath.Join(sh.dir, sealedName(w.meta.Tier, w.meta.Seq))
+	if err := os.Rename(w.path, sealed); err != nil {
+		return err
+	}
+	if err := fsutil.SyncDir(sh.dir); err != nil {
+		return err
+	}
+	sh.sealed[w.meta.Tier] = append(sh.sealed[w.meta.Tier], &segInfo{
+		path: sealed, tier: w.meta.Tier, seq: w.meta.Seq,
+		coverLo: w.meta.CoverLo, coverHi: w.meta.CoverHi,
+		minT: w.minT, maxT: w.maxT,
+		bytes: w.bytes, entries: w.entries, count: w.count,
+	})
+	s.bumpSeals()
+	return nil
+}
+
+// Commit flushes every shard's pending frame to the OS (and fsyncs when
+// Options.Sync is set), then reports any write error accumulated since
+// the last Commit. After a nil return with Sync on, every appended
+// point survives power loss; with Sync off, every point survives
+// process death (kill -9) but the OS page cache still owns the tail.
+func (s *Store) Commit() error {
+	var first error
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.werr == nil && sh.w != nil {
+			if err := sh.w.flushFrame(); err != nil {
+				sh.werr = err
+			} else if s.opts.Sync {
+				if err := sh.w.sync(); err != nil {
+					sh.werr = err
+				}
+			}
+		}
+		if sh.werr != nil && first == nil {
+			first = sh.werr
+		}
+		sh.mu.Unlock()
+	}
+	s.publishGauges()
+	return first
+}
+
+// Seal force-rotates every shard's active segment. Mostly for tests and
+// clean shutdown; the normal path rotates on SegmentBytes.
+func (s *Store) Seal() error {
+	var first error
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if err := s.sealActiveLocked(sh); err != nil && first == nil {
+			first = err
+		}
+		sh.mu.Unlock()
+	}
+	s.publishGauges()
+	return first
+}
+
+// Scan returns every stored point matching f in the half-open window
+// [start, end), one chunk per series, each chunk sorted by time.
+// Sealed segments are read back from disk; the active segment's flushed
+// and pending entries are included so a standalone Store is always
+// query-consistent with what was appended.
+func (s *Store) Scan(f Filter, start, end float64) ([]SeriesChunk, error) {
+	if f.Host != "" {
+		return s.ScanShard(s.ShardFor(f.Host), f, start, end)
+	}
+	var out []SeriesChunk
+	for i := range s.shards {
+		chunks, err := s.ScanShard(i, f, start, end)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, chunks...)
+	}
+	sortChunks(out)
+	return out, nil
+}
+
+// NumShards reports the store's shard fan-out, so a fronting hot store
+// can verify its own striping agrees before attaching.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// ScanShard scans one shard only — the entry point for a sharded hot
+// store that merges its stripe i with cold stripe i under its own
+// per-shard boundary.
+func (s *Store) ScanShard(shard int, f Filter, start, end float64) ([]SeriesChunk, error) {
+	acc := make(map[Labels][]AggPoint)
+	scanOne := func(sh *shardState) error {
+		sh.mu.Lock()
+		var paths []string
+		for t := 0; t < numTiers; t++ {
+			for _, info := range sh.sealed[t] {
+				if info.minT < end && info.maxT >= start {
+					paths = append(paths, info.path)
+				}
+			}
+		}
+		var activePath string
+		if sh.w != nil && sh.werr == nil {
+			if err := sh.w.flushFrame(); err != nil {
+				sh.werr = err
+			} else {
+				activePath = sh.w.path
+			}
+		}
+		if activePath != "" {
+			paths = append(paths, activePath)
+		}
+		// Hold the shard lock across the reads: segments are immutable
+		// once sealed, but the active file grows and compaction swaps
+		// sealed sets; the lock freezes both. Reads are page-cache hits
+		// in steady state, so the hold time is dominated by decode.
+		defer sh.mu.Unlock()
+		for _, path := range paths {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			d, _, derr := parseSegment(data)
+			if derr != nil && path != activePath {
+				return fmt.Errorf("segstore: sealed segment %s unreadable mid-run: %w", filepath.Base(path), derr)
+			}
+			if d == nil {
+				continue
+			}
+			for i, l := range d.series {
+				if !f.match(l) {
+					continue
+				}
+				for _, p := range d.chunks[i] {
+					if p.Time >= start && p.Time < end {
+						acc[l] = append(acc[l], p)
+					}
+				}
+			}
+		}
+		return nil
+	}
+	if err := scanOne(s.shards[shard]); err != nil {
+		return nil, err
+	}
+	out := make([]SeriesChunk, 0, len(acc))
+	for l, pts := range acc {
+		sort.Slice(pts, func(i, j int) bool { return pts[i].Time < pts[j].Time })
+		out = append(out, SeriesChunk{Labels: l, Points: pts})
+	}
+	sortChunks(out)
+	return out, nil
+}
+
+func sortChunks(out []SeriesChunk) {
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Labels, out[j].Labels
+		if a.Host != b.Host {
+			return a.Host < b.Host
+		}
+		if a.DevType != b.DevType {
+			return a.DevType < b.DevType
+		}
+		if a.Device != b.Device {
+			return a.Device < b.Device
+		}
+		return a.Event < b.Event
+	})
+}
+
+// Newest returns the newest point time the store has seen (0 if empty).
+func (s *Store) Newest() float64 {
+	var newest float64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.newest > newest {
+			newest = sh.newest
+		}
+		sh.mu.Unlock()
+	}
+	return newest
+}
+
+// Stats snapshots counters and per-tier totals.
+func (s *Store) Stats() Stats {
+	s.statMu.Lock()
+	st := s.stats
+	s.statMu.Unlock()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.w != nil {
+			st.ActiveBytes += sh.w.bytes + int64(len(sh.w.pending))
+			st.ActivePoints += sh.w.count
+		}
+		for t := 0; t < numTiers; t++ {
+			st.TierSegments[t] += len(sh.sealed[t])
+			for _, info := range sh.sealed[t] {
+				st.TierBytes[t] += info.bytes
+				st.TierPoints[t] += info.count
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+func (s *Store) publishGauges() {
+	st := s.Stats()
+	s.met.activeBytes.Set(float64(st.ActiveBytes))
+	for t := 0; t < numTiers; t++ {
+		s.met.tierBytes[t].Set(float64(st.TierBytes[t]))
+		s.met.tierSegments[t].Set(float64(st.TierSegments[t]))
+	}
+}
+
+// StartBackground runs compaction + retention every interval until
+// Close. Safe to skip for batch workloads that call Compact directly.
+func (s *Store) StartBackground(interval time.Duration) {
+	if s.bgStop != nil {
+		return
+	}
+	s.bgStop = make(chan struct{})
+	s.bgDone = make(chan struct{})
+	go func() {
+		defer close(s.bgDone)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.bgStop:
+				return
+			case <-t.C:
+				s.Compact()
+			}
+		}
+	}()
+}
+
+// Close stops background compaction, flushes and seals every active
+// segment, and leaves the store fully durable on disk.
+func (s *Store) Close() error {
+	if s.bgStop != nil {
+		close(s.bgStop)
+		<-s.bgDone
+		s.bgStop = nil
+	}
+	return s.Seal()
+}

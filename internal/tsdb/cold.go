@@ -1,0 +1,135 @@
+// Cold storage attachment: an optional segstore behind the RAM-resident
+// hot shards. With a store attached, Put writes through to the durable
+// segment log, CommitCold periodically flushes it and evicts RAM points
+// older than the hot window, and Do transparently merges cold segments
+// into query results — the half-open split [Start, boundary) from disk
+// and [boundary, End] from RAM means no point is ever counted twice and
+// none is ever missed.
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gostats/internal/segstore"
+)
+
+// AttachCold puts a durable segment store behind the DB. Points older
+// than hotWindow seconds (relative to the newest ingested point) are
+// evicted from RAM after they are flushed to the store; queries span
+// both halves transparently. Must be called before the DB is shared
+// across goroutines. The store's shard fan-out must match the DB's so
+// host routing agrees stripe for stripe.
+func (db *DB) AttachCold(cs *segstore.Store, hotWindow float64) error {
+	if cs.NumShards() != numShards {
+		return fmt.Errorf("tsdb: cold store has %d shards, hot set has %d", cs.NumShards(), numShards)
+	}
+	if hotWindow <= 0 {
+		hotWindow = 2 * 3600
+	}
+	db.cold = cs
+	db.hotWindow = hotWindow
+	// Everything already in the store predates this process's RAM: the
+	// boundary starts just above the store's newest point (the cold
+	// range is half-open, so Nextafter keeps the newest point itself
+	// cold) and a restarted node serves its whole history from disk.
+	if newest := cs.Newest(); newest > 0 {
+		b := math.Nextafter(newest, math.MaxFloat64)
+		for i := range db.shards {
+			db.shards[i].coldBoundary = b
+		}
+		db.lastEvict = newest
+	}
+	return nil
+}
+
+// Cold returns the attached store (nil if none).
+func (db *DB) Cold() *segstore.Store { return db.cold }
+
+// FlushCold hands the store's pending frames to the OS and surfaces any
+// sticky cold-write error. Cheap enough to call at batch boundaries.
+func (db *DB) FlushCold() error {
+	if db.cold == nil {
+		return nil
+	}
+	return db.cold.Commit()
+}
+
+// CommitCold advances the hot/cold boundary: amortized to run once per
+// quarter hot-window of ingested time, it flushes the cold store and
+// only then evicts RAM points older than (newest − hotWindow), setting
+// each shard's boundary in the same critical section as its eviction so
+// queries never see a gap or an overlap. Call it on the ingest path; it
+// is a fast no-op when no eviction is due.
+func (db *DB) CommitCold() error {
+	cs := db.cold
+	if cs == nil {
+		return nil
+	}
+	newest := cs.Newest()
+	db.coldMu.Lock()
+	due := newest >= db.lastEvict+db.hotWindow/4
+	if due {
+		db.lastEvict = newest
+	}
+	db.coldMu.Unlock()
+	if !due {
+		return nil
+	}
+	// Eviction is only safe once the evicted points are out of process
+	// memory and owned by the OS/disk: flush first, then trim.
+	if err := cs.Commit(); err != nil {
+		return err
+	}
+	boundary := newest - db.hotWindow
+	if boundary <= 0 {
+		return nil
+	}
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.Lock()
+		// The boundary only ever advances: on a restarted node it starts
+		// at the store's newest point (RAM holds nothing older), and
+		// moving it backwards would open a gap between the evicted RAM
+		// and the cold scan window.
+		if boundary > sh.coldBoundary {
+			for _, s := range sh.series {
+				s.evictBefore(boundary)
+			}
+			sh.coldBoundary = boundary
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// evictBefore drops points with Time < t (points are time-sorted).
+func (s *series) evictBefore(t float64) {
+	i := sort.Search(len(s.points), func(k int) bool { return s.points[k].Time >= t })
+	if i == 0 {
+		return
+	}
+	n := copy(s.points, s.points[i:])
+	s.points = s.points[:n]
+}
+
+// coldWindow computes the half-open cold range [q.Start, end) for a
+// shard boundary; ok=false when the cold store owns none of the query.
+func coldWindow(q Query, boundary float64) (float64, bool) {
+	if boundary <= 0 || q.Start >= boundary {
+		return 0, false
+	}
+	end := boundary
+	if q.End > 0 {
+		// q.End is inclusive in Query semantics; Nextafter makes the
+		// half-open cold scan include points exactly at q.End.
+		if e := math.Nextafter(q.End, math.MaxFloat64); e < end {
+			end = e
+		}
+	}
+	if q.Start >= end {
+		return 0, false
+	}
+	return end, true
+}

@@ -30,7 +30,11 @@ func NewIngester(db *DB, reg *schema.Registry) *Ingester {
 
 // Ingest folds one snapshot into the database. The first snapshot from a
 // host establishes the delta baseline and produces gauge points only.
-func (ing *Ingester) Ingest(s model.Snapshot) {
+// With a cold store attached to the DB, the returned error is any
+// sticky cold-write failure surfaced by the amortized CommitCold — a
+// caller that nacks on error gets redelivery, so durable ingest stays
+// at-least-once end to end.
+func (ing *Ingester) Ingest(s model.Snapshot) error {
 	prev, havePrev := ing.prev[s.Host]
 	dt := 0.0
 	var prevVals map[schema.Class]map[string][]uint64
@@ -64,6 +68,7 @@ func (ing *Ingester) Ingest(s model.Snapshot) {
 		}
 	}
 	ing.prev[s.Host] = s.Clone()
+	return ing.db.CommitCold()
 }
 
 // indexSnapshot arranges a snapshot's records for O(1) lookup.

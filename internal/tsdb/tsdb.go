@@ -15,10 +15,14 @@ package tsdb
 import (
 	"encoding/gob"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"gostats/internal/fsutil"
+	"gostats/internal/segstore"
 )
 
 // Tags is the fixed tag tuple of the paper's OpenTSDB layout.
@@ -136,6 +140,11 @@ type shard struct {
 	series map[Tags]*series
 	// posting lists: tag key -> tag value -> matching tag tuples.
 	postings map[string]map[string][]Tags
+	// coldBoundary splits queries when a cold store is attached: RAM is
+	// authoritative for Time >= coldBoundary, sealed segments for the
+	// half-open range below it. Set under mu in the same critical
+	// section as the eviction that enforces it.
+	coldBoundary float64
 }
 
 // tagKeys is the fixed posting-list key set.
@@ -146,6 +155,13 @@ var tagKeys = [...]string{"host", "devtype", "device", "event"}
 type DB struct {
 	gen    atomic.Uint64
 	shards [numShards]shard
+
+	// Cold-store attachment (cold.go). cold is set once by AttachCold
+	// before the DB is shared; coldMu guards the eviction cadence only.
+	cold      *segstore.Store
+	hotWindow float64
+	coldMu    sync.Mutex
+	lastEvict float64
 }
 
 // New returns an empty DB.
@@ -164,7 +180,9 @@ func (db *DB) shardFor(tags Tags) *shard {
 	return &db.shards[hostHash(tags.Host)%numShards]
 }
 
-// Put appends one point to the series labeled by tags.
+// Put appends one point to the series labeled by tags. With a cold
+// store attached the point is also written through to the durable
+// segment log; cold-write errors are sticky and surface on CommitCold.
 func (db *DB) Put(tags Tags, t, v float64) {
 	sh := db.shardFor(tags)
 	sh.mu.Lock()
@@ -179,6 +197,13 @@ func (db *DB) Put(tags Tags, t, v float64) {
 	}
 	s.put(DataPoint{Time: t, Value: v})
 	sh.mu.Unlock()
+	if db.cold != nil {
+		db.cold.Append(segstore.Point{
+			Labels: segstore.Labels{Host: tags.Host, DevType: tags.DevType, Device: tags.Device, Event: tags.Event},
+			Time:   t,
+			Value:  v,
+		})
+	}
 	db.gen.Add(1)
 }
 
@@ -300,10 +325,15 @@ func (db *DB) Do(q Query) ([]Result, error) {
 
 	// Phase 1: copy matching point ranges out of each shard under its
 	// read lock, into one pooled scratch buffer. A host filter pins the
-	// query to one shard (shards are keyed by host hash).
+	// query to one shard (shards are keyed by host hash). With a cold
+	// store attached, each shard's boundary splits the query: RAM serves
+	// [boundary, End], sealed segments serve [Start, boundary).
 	bufp := pointBufPool.Get().(*[]DataPoint)
 	pts := (*bufp)[:0]
 	var refs []matchRef
+	cs := db.cold
+	var coldPts []segstore.AggPoint
+	var coldRefs []matchRef // lo:hi index into coldPts
 	shFirst, shLast := 0, numShards
 	if q.Host != "" {
 		shFirst = int(hostHash(q.Host) % numShards)
@@ -312,13 +342,41 @@ func (db *DB) Do(q Query) ([]Result, error) {
 	for i := shFirst; i < shLast; i++ {
 		sh := &db.shards[i]
 		sh.mu.RLock()
+		boundary := sh.coldBoundary
+		hotStart := q.Start
+		if cs != nil && boundary > hotStart {
+			hotStart = boundary
+		}
 		for _, tags := range sh.matchingSeries(q) {
-			r := sh.series[tags].rangePoints(q.Start, q.End)
+			r := sh.series[tags].rangePoints(hotStart, q.End)
 			lo := len(pts)
 			pts = append(pts, r...)
 			refs = append(refs, matchRef{tags: tags, lo: lo, hi: len(pts)})
 		}
 		sh.mu.RUnlock()
+		if cs == nil {
+			continue
+		}
+		coldEnd, ok := coldWindow(q, boundary)
+		if !ok {
+			continue
+		}
+		chunks, err := cs.ScanShard(i, segstore.Filter{
+			Host: q.Host, DevType: q.DevType, Device: q.Device, Event: q.Event,
+		}, q.Start, coldEnd)
+		if err != nil {
+			*bufp = pts[:0]
+			pointBufPool.Put(bufp)
+			return nil, err
+		}
+		for _, c := range chunks {
+			lo := len(coldPts)
+			coldPts = append(coldPts, c.Points...)
+			coldRefs = append(coldRefs, matchRef{
+				tags: Tags{Host: c.Labels.Host, DevType: c.Labels.DevType, Device: c.Labels.Device, Event: c.Labels.Event},
+				lo:   lo, hi: len(coldPts),
+			})
+		}
 	}
 
 	// Decide the accumulator layout: with a downsample width and a
@@ -326,9 +384,21 @@ func (db *DB) Do(q Query) ([]Result, error) {
 	useFlat := false
 	var base int64
 	width := 0
-	if q.Downsample > 0 && len(pts) > 0 {
+	if q.Downsample > 0 && len(pts)+len(coldPts) > 0 {
 		lo, hi := int64(0), int64(0)
 		first := true
+		span := func(blo, bhi int64) {
+			if first {
+				lo, hi, first = blo, bhi, false
+				return
+			}
+			if blo < lo {
+				lo = blo
+			}
+			if bhi > hi {
+				hi = bhi
+			}
+		}
 		for _, ref := range refs {
 			if ref.lo == ref.hi {
 				continue
@@ -336,18 +406,13 @@ func (db *DB) Do(q Query) ([]Result, error) {
 			// Truncation toward zero is monotone in time, so the first
 			// and last points of each (time-sorted) range bound its
 			// bucket indexes.
-			blo := int64(pts[ref.lo].Time / q.Downsample)
-			bhi := int64(pts[ref.hi-1].Time / q.Downsample)
-			if first {
-				lo, hi, first = blo, bhi, false
-			} else {
-				if blo < lo {
-					lo = blo
-				}
-				if bhi > hi {
-					hi = bhi
-				}
+			span(int64(pts[ref.lo].Time/q.Downsample), int64(pts[ref.hi-1].Time/q.Downsample))
+		}
+		for _, ref := range coldRefs {
+			if ref.lo == ref.hi {
+				continue
 			}
+			span(int64(coldPts[ref.lo].Time/q.Downsample), int64(coldPts[ref.hi-1].Time/q.Downsample))
 		}
 		if !first && hi-lo+1 <= maxFlatBuckets {
 			useFlat, base, width = true, lo, int(hi-lo+1)
@@ -359,14 +424,14 @@ func (db *DB) Do(q Query) ([]Result, error) {
 	var order []string
 	plainGroup := len(q.GroupBy) == 0
 	var keyBuf []byte
-	for _, ref := range refs {
+	lookup := func(tags Tags) *groupAcc {
 		var acc *groupAcc
 		if plainGroup {
 			acc = groups[""]
 		} else {
 			keyBuf = keyBuf[:0]
 			for _, g := range q.GroupBy {
-				v, _ := ref.tags.tagValue(g)
+				v, _ := tags.tagValue(g)
 				keyBuf = append(keyBuf, g...)
 				keyBuf = append(keyBuf, '=')
 				keyBuf = append(keyBuf, v...)
@@ -377,7 +442,7 @@ func (db *DB) Do(q Query) ([]Result, error) {
 		if acc == nil {
 			gtags := make(map[string]string, len(q.GroupBy))
 			for _, g := range q.GroupBy {
-				gtags[g], _ = ref.tags.tagValue(g)
+				gtags[g], _ = tags.tagValue(g)
 			}
 			acc = &groupAcc{res: &Result{Group: gtags}, base: base}
 			if useFlat {
@@ -392,23 +457,36 @@ func (db *DB) Do(q Query) ([]Result, error) {
 			groups[key] = acc
 			order = append(order, key)
 		}
+		return acc
+	}
+	// cell returns the accumulator bucket for one point time.
+	cell := func(acc *groupAcc, pt float64) *bucket {
+		if useFlat {
+			return &acc.flat[int64(pt/q.Downsample)-acc.base]
+		}
+		t := pt
+		if q.Downsample > 0 {
+			t = float64(int64(pt/q.Downsample)) * q.Downsample
+		}
+		bi, ok := acc.idx[t]
+		if !ok {
+			bi = len(acc.buckets)
+			acc.buckets = append(acc.buckets, bucket{})
+			acc.times = append(acc.times, t)
+			acc.idx[t] = bi
+		}
+		return &acc.buckets[bi]
+	}
+	for _, ref := range refs {
+		acc := lookup(ref.tags)
 		for _, p := range pts[ref.lo:ref.hi] {
-			if useFlat {
-				acc.flat[int64(p.Time/q.Downsample)-acc.base].add(p.Value)
-				continue
-			}
-			t := p.Time
-			if q.Downsample > 0 {
-				t = float64(int64(p.Time/q.Downsample)) * q.Downsample
-			}
-			bi, ok := acc.idx[t]
-			if !ok {
-				bi = len(acc.buckets)
-				acc.buckets = append(acc.buckets, bucket{})
-				acc.times = append(acc.times, t)
-				acc.idx[t] = bi
-			}
-			acc.buckets[bi].add(p.Value)
+			cell(acc, p.Time).add(p.Value)
+		}
+	}
+	for _, ref := range coldRefs {
+		acc := lookup(ref.tags)
+		for _, p := range coldPts[ref.lo:ref.hi] {
+			cell(acc, p.Time).merge(p)
 		}
 	}
 
@@ -466,6 +544,27 @@ func (b *bucket) add(v float64) {
 	b.sum += v
 }
 
+// merge folds a pre-aggregated cold bucket in. Because it carries
+// (count, sum, min, max), Sum/Avg/Min/Max stay exact no matter how the
+// points were downsampled on disk.
+func (b *bucket) merge(p segstore.AggPoint) {
+	if p.Count == 0 {
+		return
+	}
+	if b.n == 0 {
+		b.max, b.min = p.Max, p.Min
+	} else {
+		if p.Max > b.max {
+			b.max = p.Max
+		}
+		if p.Min < b.min {
+			b.min = p.Min
+		}
+	}
+	b.n += int(p.Count)
+	b.sum += p.Sum
+}
+
 func (b *bucket) result(a Agg) float64 {
 	switch a {
 	case Sum:
@@ -493,7 +592,11 @@ type persisted struct {
 	Points [][]DataPoint
 }
 
-// Save writes the database to path.
+// Save writes the database to path atomically: the image lands in a
+// temp file that is fsynced and renamed over path, so a crash mid-save
+// can never corrupt the previous snapshot. (With a cold store attached
+// this exports the RAM-resident hot set only — the legacy export path;
+// the segment store is the durable system of record.)
 func (db *DB) Save(path string) error {
 	img := persisted{}
 	for i := range db.shards {
@@ -505,15 +608,12 @@ func (db *DB) Save(path string) error {
 		}
 		sh.mu.RUnlock()
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := gob.NewEncoder(f).Encode(img); err != nil {
-		f.Close()
-		return fmt.Errorf("tsdb: save: %w", err)
-	}
-	return f.Close()
+	return fsutil.WriteAtomic(path, func(w io.Writer) error {
+		if err := gob.NewEncoder(w).Encode(img); err != nil {
+			return fmt.Errorf("tsdb: save: %w", err)
+		}
+		return nil
+	})
 }
 
 // Load reads a database written by Save.
