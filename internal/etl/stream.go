@@ -202,8 +202,11 @@ func (a *Assembler) finalize(id string) {
 	if a.DB != nil {
 		a.DB.Insert(row)
 	}
-	if a.Journal != nil {
-		if err := a.Journal.Append(row); err != nil && a.jnlErr == nil {
+	// Once the journal has latched a write error, later rows can never
+	// be made durable — stop appending so Err reflects the first loss
+	// rather than burying it under repeats.
+	if a.Journal != nil && a.jnlErr == nil {
+		if err := a.Journal.Append(row); err != nil {
 			a.jnlErr = err
 		}
 	}

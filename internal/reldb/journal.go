@@ -9,6 +9,7 @@
 package reldb
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -38,6 +39,8 @@ type Journal struct {
 	f    *os.File
 	path string
 	sync bool
+	off  int64 // durable end offset: preamble plus every acked frame
+	werr error // sticky write error; every Append fails after the first
 
 	replayed  int // rows recovered at open
 	truncated int // torn-tail truncations at open
@@ -47,12 +50,25 @@ type Journal struct {
 // returns a journal positioned to append. A torn final frame — the
 // signature of a crash mid-append — is truncated away; anything before
 // it is intact by CRC. With sync set, every Append fsyncs.
+//
+// Header damage is handled separately from tail damage: a missing,
+// empty, or partial-magic file (a crash between create and the preamble
+// reaching disk) is rewritten from scratch with a fresh preamble, and a
+// file whose first bytes are neither the magic nor a prefix of it is
+// refused outright — it is not a journal, and truncating it would
+// destroy someone else's data. Appends only ever go to a file whose
+// preamble was verified or just rewritten.
 func OpenJournal(path string, db *DB, sync bool) (*Journal, error) {
 	j := &Journal{path: path, sync: sync}
 	data, err := os.ReadFile(path)
-	switch {
-	case os.IsNotExist(err):
-		f, cerr := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	if len(data) < len(jnlMagic) || !bytes.Equal(data[:len(jnlMagic)], jnlMagic) {
+		if len(data) > 0 && !bytes.HasPrefix(jnlMagic, data) {
+			return nil, fmt.Errorf("reldb: %s is not a journal (bad magic); refusing to modify it", path)
+		}
+		f, cerr := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 		if cerr != nil {
 			return nil, cerr
 		}
@@ -67,16 +83,18 @@ func OpenJournal(path string, db *DB, sync bool) (*Journal, error) {
 				return nil, serr
 			}
 		}
+		if len(data) > 0 {
+			j.truncated++
+		}
 		j.f = f
+		j.off = int64(len(jnlMagic))
 		return j, nil
-	case err != nil:
-		return nil, err
 	}
 
 	good, rows, derr := replay(data)
 	if derr != nil {
-		// Torn or damaged tail: keep the valid prefix. This is the
-		// normal post-crash path, not an error.
+		// Torn or damaged tail past a verified preamble: keep the valid
+		// prefix. This is the normal post-crash path, not an error.
 		if err := os.Truncate(path, int64(good)); err != nil {
 			return nil, err
 		}
@@ -91,6 +109,7 @@ func OpenJournal(path string, db *DB, sync bool) (*Journal, error) {
 		return nil, err
 	}
 	j.f = f
+	j.off = int64(good)
 	return j, nil
 }
 
@@ -141,6 +160,13 @@ func replay(data []byte) (good int, rows []*JobRow, damage error) {
 // Append writes one finalized row durably. The frame is handed to the
 // OS in a single write (and fsynced when the journal is sync-mode), so
 // a crash can tear at most the frame in flight — never a replayed row.
+//
+// Write errors are sticky: a failed frame write (short write, ENOSPC)
+// may leave a torn frame on disk, and replay stops at the first damage
+// — so appending past it would be acknowledging rows that recovery can
+// never see. The first error latches, the torn frame is trimmed back
+// to the last acked offset (best effort), and every later Append fails
+// with the same error.
 func (j *Journal) Append(row *JobRow) error {
 	payload, err := json.Marshal(row)
 	if err != nil {
@@ -156,11 +182,20 @@ func (j *Journal) Append(row *JobRow) error {
 	if j.f == nil {
 		return fmt.Errorf("reldb: journal closed")
 	}
-	if _, err := j.f.Write(frame); err != nil {
-		return err
+	if j.werr != nil {
+		return j.werr
 	}
+	if _, err := j.f.Write(frame); err != nil {
+		j.werr = fmt.Errorf("reldb: journal append: %w", err)
+		j.f.Truncate(j.off)
+		return j.werr
+	}
+	j.off += int64(len(frame))
 	if j.sync {
-		return j.f.Sync()
+		if err := j.f.Sync(); err != nil {
+			j.werr = fmt.Errorf("reldb: journal sync: %w", err)
+			return j.werr
+		}
 	}
 	return nil
 }
@@ -168,12 +203,13 @@ func (j *Journal) Append(row *JobRow) error {
 // Replayed reports rows recovered and torn-tail truncations at open.
 func (j *Journal) Replayed() (rows, truncations int) { return j.replayed, j.truncated }
 
-// Close fsyncs and closes the journal.
+// Close fsyncs and closes the journal. A latched write error takes
+// precedence over close-time errors — it is the one that lost data.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.f == nil {
-		return nil
+		return j.werr
 	}
 	err := j.f.Sync()
 	if cerr := j.f.Close(); err == nil {
@@ -182,6 +218,9 @@ func (j *Journal) Close() error {
 	j.f = nil
 	if err == nil {
 		err = fsutil.SyncDir(filepath.Dir(j.path))
+	}
+	if j.werr != nil {
+		return j.werr
 	}
 	return err
 }

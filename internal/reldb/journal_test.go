@@ -168,3 +168,94 @@ func TestJournalCorruptMidFrameKeepsPrefix(t *testing.T) {
 		t.Fatalf("Replayed = (%d,%d), want (2,1)", replayed, trunc)
 	}
 }
+
+// A crash between creating the journal and its preamble reaching disk
+// leaves an empty or partial-magic file. Open must rewrite the preamble
+// from scratch — never truncate-to-zero and append headerless frames,
+// which would make the NEXT open destroy every row.
+func TestJournalHeaderCrashRecovery(t *testing.T) {
+	for name, header := range map[string][]byte{
+		"empty":        {},
+		"partialMagic": jnlMagic[:2],
+	} {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "jobs.jnl")
+			if err := os.WriteFile(path, header, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			j, err := OpenJournal(path, New(), false)
+			if err != nil {
+				t.Fatalf("OpenJournal on %s header: %v", name, err)
+			}
+			if err := j.Append(jrow("1", "u", 10)); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+			if err := j.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			// The second open is where the old bug destroyed the log: the
+			// preamble must be present and the appended row must replay.
+			db := New()
+			j2, err := OpenJournal(path, db, false)
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			defer j2.Close()
+			replayed, _ := j2.Replayed()
+			if replayed != 1 {
+				t.Fatalf("replayed %d rows after header rewrite, want 1", replayed)
+			}
+			if n, err := db.Count(); err != nil || n != 1 {
+				t.Fatalf("Count = %d (%v), want 1", n, err)
+			}
+		})
+	}
+}
+
+// A file whose first bytes are not the journal magic is not a journal:
+// Open must refuse it and leave it byte-for-byte intact, not truncate
+// someone else's data to zero.
+func TestJournalRefusesForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "notes.txt")
+	const content = "precious non-journal bytes"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(path, New(), false); err == nil {
+		t.Fatal("OpenJournal accepted a non-journal file")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != content {
+		t.Fatalf("non-journal file was modified: %q (%v)", data, err)
+	}
+}
+
+// After the first failed frame write the journal must latch the error
+// and fail every later Append: replay stops at the torn frame, so rows
+// acked past it would be silently lost at recovery.
+func TestJournalAppendErrorSticky(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jnl")
+	j, err := OpenJournal(path, New(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(jrow("1", "u", 10)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the fd going bad (disk error) under the journal.
+	j.f.Close()
+	err1 := j.Append(jrow("2", "u", 10))
+	if err1 == nil {
+		t.Fatal("Append on a dead fd returned nil")
+	}
+	err2 := j.Append(jrow("3", "u", 10))
+	if err2 == nil {
+		t.Fatal("Append after a latched write error returned nil")
+	}
+	if err2 != err1 {
+		t.Fatalf("latched error not sticky: %v then %v", err1, err2)
+	}
+	if cerr := j.Close(); cerr == nil {
+		t.Fatal("Close swallowed the latched write error")
+	}
+}

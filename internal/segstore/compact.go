@@ -101,15 +101,32 @@ func (s *Store) compactTierLocked(sh *shardState, tier int) error {
 	var series []Labels
 	refs := make(map[Labels]int)
 	acc := make(map[bkey]*AggPoint)
+	// An input that fails verification here (bit rot since its seal-time
+	// check) is quarantined and dropped so compaction and retention keep
+	// making progress — erroring out would wedge the tier forever while
+	// raw backlog grows. The pass stops at the first damaged input so the
+	// output's cover range spans only segments it actually consumed; the
+	// inputs past it compact on the next pass.
+	var used []*segInfo
+	var dropped *segInfo
 	for _, info := range inputs {
 		data, err := os.ReadFile(info.path)
+		var d *segData
+		if err == nil {
+			var good int
+			var derr error
+			d, good, derr = parseSegment(data)
+			if derr == nil && good != len(data) {
+				derr = fmt.Errorf("%d bytes of undecodable tail", len(data)-good)
+			}
+			err = derr
+		}
 		if err != nil {
-			return err
+			s.quarantine(info.path, fmt.Errorf("compaction input: %w", err))
+			dropped = info
+			break
 		}
-		d, good, derr := parseSegment(data)
-		if derr != nil || good != len(data) {
-			return fmt.Errorf("segstore: compaction input %s: %v", filepath.Base(info.path), derr)
-		}
+		used = append(used, info)
 		for i, l := range d.series {
 			ref, ok := refs[l]
 			if !ok {
@@ -136,6 +153,18 @@ func (s *Store) compactTierLocked(sh *shardState, tier int) error {
 			}
 		}
 	}
+	if dropped != nil {
+		kept := sh.sealed[tier][:0]
+		for _, info := range sh.sealed[tier] {
+			if info != dropped {
+				kept = append(kept, info)
+			}
+		}
+		sh.sealed[tier] = kept
+	}
+	if len(used) == 0 {
+		return nil
+	}
 
 	keys := make([]bkey, 0, len(acc))
 	for k := range acc {
@@ -153,7 +182,7 @@ func (s *Store) compactTierLocked(sh *shardState, tier int) error {
 	tmp := filepath.Join(sh.dir, fmt.Sprintf("tmp-t%d-%08d.seg", tier+1, seq))
 	w, err := newSegWriter(tmp, Meta{
 		Tier: tier + 1, Shard: sh.id, Seq: seq,
-		CoverLo: inputs[0].seq, CoverHi: inputs[len(inputs)-1].seq,
+		CoverLo: used[0].seq, CoverHi: used[len(used)-1].seq,
 		BucketMs: int64(width * 1000),
 	})
 	if err != nil {
@@ -193,13 +222,15 @@ func (s *Store) compactTierLocked(sh *shardState, tier int) error {
 	}
 
 	// The output is durable; the inputs are now covered and can go.
-	for _, info := range inputs {
+	// (Quarantined inputs were already filtered out of sh.sealed[tier]
+	// above, so `used` is exactly its current prefix.)
+	for _, info := range used {
 		os.Remove(info.path)
 	}
-	sh.sealed[tier] = append(sh.sealed[tier][:0], sh.sealed[tier][len(inputs):]...)
+	sh.sealed[tier] = append(sh.sealed[tier][:0], sh.sealed[tier][len(used):]...)
 	sh.sealed[tier+1] = append(sh.sealed[tier+1], &segInfo{
 		path: final, tier: tier + 1, seq: seq,
-		coverLo: inputs[0].seq, coverHi: inputs[len(inputs)-1].seq,
+		coverLo: used[0].seq, coverHi: used[len(used)-1].seq,
 		minT: w.minT, maxT: w.maxT,
 		bytes: w.bytes, entries: w.entries, count: w.count,
 	})

@@ -452,3 +452,77 @@ func TestScanSeesPendingWithoutCommit(t *testing.T) {
 	}
 	s.Close()
 }
+
+// A sealed compaction input that rotted on disk since its seal-time
+// verification must be quarantined and skipped — not wedge the tier by
+// erroring out of every compaction pass forever.
+func TestCompactionQuarantinesDamagedInput(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOpts()
+	opts.Shards = 1
+	opts.SegmentBytes = 2 << 10
+	opts.FlushBytes = 256
+	opts.CompactRawAfter = 100
+	opts.Logf = t.Logf
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const N = 3000
+	for i := 0; i < N; i++ {
+		s.Append(mkPoint("hostA", i))
+	}
+	if err := s.Seal(); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	sh := s.shards[0]
+	if len(sh.sealed[tierRaw]) < 4 {
+		t.Fatalf("want several raw segments, got %d", len(sh.sealed[tierRaw]))
+	}
+	// Rot a byte in the middle of the second-oldest segment so the
+	// damage sits between good inputs of the same compaction pass.
+	victim := sh.sealed[tierRaw][1]
+	lost := victim.count
+	data, err := os.ReadFile(victim.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(victim.path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 10; i++ {
+		if err := s.Compact(); err != nil {
+			t.Fatalf("Compact pass %d: %v", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.Quarantined != 1 {
+		t.Fatalf("Quarantined = %d, want 1", st.Quarantined)
+	}
+	if st.Compactions == 0 {
+		t.Fatal("compaction never progressed past the damaged input")
+	}
+	if _, err := os.Stat(victim.path + ".bad"); err != nil {
+		t.Fatalf("damaged segment not renamed aside: %v", err)
+	}
+	// Every point outside the quarantined segment is still queryable.
+	n, _ := totalPoints(t, s, 0, math.Inf(1))
+	if n != N-lost {
+		t.Fatalf("post-quarantine scan got %d points, want %d (lost segment held %d)", n, N-lost, lost)
+	}
+	// Reopen: the .bad file stays aside and totals are unchanged.
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	s2, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	n2, _ := totalPoints(t, s2, 0, math.Inf(1))
+	if n2 != N-lost {
+		t.Fatalf("reopen scan got %d points, want %d", n2, N-lost)
+	}
+}

@@ -12,6 +12,7 @@ package segstore
 
 import (
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
@@ -103,6 +104,9 @@ type Options struct {
 	RetainHour float64
 	// Metrics receives gostats_segstore_* series (nil = telemetry.Default()).
 	Metrics *telemetry.Registry
+	// Logf receives recovery and quarantine diagnostics — which file was
+	// damaged and why (default log.Printf).
+	Logf func(format string, args ...any)
 }
 
 func (o Options) withDefaults() Options {
@@ -123,6 +127,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Metrics == nil {
 		o.Metrics = telemetry.Default()
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
 	}
 	return o
 }
@@ -444,13 +451,21 @@ func (s *Store) recoverActive(sh *shardState, path string) error {
 	return nil
 }
 
+// quarantine renames a damaged segment aside as .bad, recording which
+// file and why so the operator can diagnose it. A failed rename leaves
+// the segment in place (and uncounted — the next open retries it), but
+// is still logged: silently losing track of damaged data is worse than
+// a noisy log line.
 func (s *Store) quarantine(path string, cause error) {
-	os.Rename(path, path+".bad")
+	if err := os.Rename(path, path+".bad"); err != nil {
+		s.opts.Logf("segstore: segment %s damaged (%v) but quarantine rename failed: %v", path, cause, err)
+		return
+	}
+	s.opts.Logf("segstore: quarantined damaged segment %s -> %s.bad: %v", path, filepath.Base(path), cause)
 	s.met.quarantined.Inc()
 	s.statMu.Lock()
 	s.stats.Quarantined++
 	s.statMu.Unlock()
-	_ = cause
 }
 
 func (s *Store) addRecovered(n uint64) {
@@ -580,6 +595,22 @@ func (s *Store) sealActiveLocked(sh *shardState) error {
 	return nil
 }
 
+// commitShardLocked flushes one shard's pending frame to the OS (and
+// fsyncs when Options.Sync is set), returning the shard's sticky write
+// error. Caller holds sh.mu.
+func (s *Store) commitShardLocked(sh *shardState) error {
+	if sh.werr == nil && sh.w != nil {
+		if err := sh.w.flushFrame(); err != nil {
+			sh.werr = err
+		} else if s.opts.Sync {
+			if err := sh.w.sync(); err != nil {
+				sh.werr = err
+			}
+		}
+	}
+	return sh.werr
+}
+
 // Commit flushes every shard's pending frame to the OS (and fsyncs when
 // Options.Sync is set), then reports any write error accumulated since
 // the last Commit. After a nil return with Sync on, every appended
@@ -589,22 +620,24 @@ func (s *Store) Commit() error {
 	var first error
 	for _, sh := range s.shards {
 		sh.mu.Lock()
-		if sh.werr == nil && sh.w != nil {
-			if err := sh.w.flushFrame(); err != nil {
-				sh.werr = err
-			} else if s.opts.Sync {
-				if err := sh.w.sync(); err != nil {
-					sh.werr = err
-				}
-			}
-		}
-		if sh.werr != nil && first == nil {
-			first = sh.werr
+		if err := s.commitShardLocked(sh); err != nil && first == nil {
+			first = err
 		}
 		sh.mu.Unlock()
 	}
 	s.publishGauges()
 	return first
+}
+
+// CommitShard flushes a single shard's pending frame with the same
+// durability semantics as Commit. A fronting hot store calls it inside
+// its own stripe critical section, making flush-then-evict atomic with
+// respect to that stripe's appends.
+func (s *Store) CommitShard(shard int) error {
+	sh := s.shards[shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return s.commitShardLocked(sh)
 }
 
 // Seal force-rotates every shard's active segment. Mostly for tests and

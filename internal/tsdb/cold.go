@@ -57,11 +57,12 @@ func (db *DB) FlushCold() error {
 }
 
 // CommitCold advances the hot/cold boundary: amortized to run once per
-// quarter hot-window of ingested time, it flushes the cold store and
-// only then evicts RAM points older than (newest − hotWindow), setting
-// each shard's boundary in the same critical section as its eviction so
-// queries never see a gap or an overlap. Call it on the ingest path; it
-// is a fast no-op when no eviction is due.
+// quarter hot-window of ingested time, it flushes each stripe's cold
+// shard and only then evicts that stripe's RAM points older than
+// (newest − hotWindow), setting the boundary in the same critical
+// section as the eviction so queries never see a gap or an overlap.
+// Call it on the ingest path; it is a fast no-op when no eviction is
+// due.
 func (db *DB) CommitCold() error {
 	cs := db.cold
 	if cs == nil {
@@ -77,18 +78,29 @@ func (db *DB) CommitCold() error {
 	if !due {
 		return nil
 	}
-	// Eviction is only safe once the evicted points are out of process
-	// memory and owned by the OS/disk: flush first, then trim.
-	if err := cs.Commit(); err != nil {
-		return err
-	}
 	boundary := newest - db.hotWindow
 	if boundary <= 0 {
-		return nil
+		// Nothing old enough to evict, but still flush so cold-write
+		// errors surface on the ingest path as documented.
+		return cs.Commit()
 	}
+	var first error
 	for i := range db.shards {
 		sh := &db.shards[i]
 		sh.mu.Lock()
+		// Eviction is only safe once the evicted points are out of
+		// process memory and owned by the OS/disk. Put appends to the
+		// cold store under this same stripe lock, so flushing stripe i
+		// here — inside the critical section — guarantees every RAM
+		// point below the boundary is already in an OS-owned frame
+		// before it is trimmed; a flush error skips the trim entirely.
+		if err := cs.CommitShard(i); err != nil {
+			sh.mu.Unlock()
+			if first == nil {
+				first = err
+			}
+			continue
+		}
 		// The boundary only ever advances: on a restarted node it starts
 		// at the store's newest point (RAM holds nothing older), and
 		// moving it backwards would open a gap between the evicted RAM
@@ -101,7 +113,7 @@ func (db *DB) CommitCold() error {
 		}
 		sh.mu.Unlock()
 	}
-	return nil
+	return first
 }
 
 // evictBefore drops points with Time < t (points are time-sorted).

@@ -196,14 +196,19 @@ func (db *DB) Put(tags Tags, t, v float64) {
 		}
 	}
 	s.put(DataPoint{Time: t, Value: v})
-	sh.mu.Unlock()
 	if db.cold != nil {
+		// Write through under the same stripe lock as the RAM insert:
+		// CommitCold flushes and evicts under this lock too, so it can
+		// never observe a point in RAM that has not yet reached the cold
+		// store's pending frame (which would let eviction trim a point
+		// whose only durable copy is still in process memory).
 		db.cold.Append(segstore.Point{
 			Labels: segstore.Labels{Host: tags.Host, DevType: tags.DevType, Device: tags.Device, Event: tags.Event},
 			Time:   t,
 			Value:  v,
 		})
 	}
+	sh.mu.Unlock()
 	db.gen.Add(1)
 }
 
