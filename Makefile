@@ -1,9 +1,13 @@
 GO ?= go
 
-.PHONY: check vet vuln fmt build test race chaos watchparity bench benchsmoke fuzzsmoke
+## BENCH_PR numbers this PR's benchmark record; bench diffs it against
+## the latest earlier BENCH_PR*.json automatically.
+BENCH_PR ?= 9
 
-## check: everything CI runs — vet, vuln scan, formatting, build, chaos smoke, tests under -race, watch parity audit, fuzz smoke, benchmark smoke
-check: vet vuln fmt build chaos race watchparity fuzzsmoke benchsmoke
+.PHONY: check vet vuln fmt build test race chaos watchparity apiload bench benchsmoke fuzzsmoke
+
+## check: everything CI runs — vet, vuln scan, formatting, build, chaos smoke, tests under -race, watch parity audit, api load smoke, fuzz smoke, benchmark smoke
+check: vet vuln fmt build chaos race watchparity apiload fuzzsmoke benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -65,12 +69,25 @@ watchparity:
 	[ "$$rc" -eq 0 ] || tail -5 "$$dir/run.log"; \
 	rm -rf "$$dir"; exit $$rc
 
+## apiload: versioned query API smoke — a simcluster run with a durable
+## store drives 10k concurrent /api/v1 readers in-process through the
+## mixed jobs/metrics/top-N workload and must report throughput, p50/p95
+## latency, cache hit ratio, and rate-limit rejections.
+apiload:
+	@dir="$$(mktemp -d)"; rc=0; \
+	$(GO) run ./cmd/simcluster -mode daemon -nodes 4 -days 0.5 \
+		-data-dir "$$dir/tsdb" -portal-readers 10000 -portal-requests 20000 \
+		-out "$$dir" -telemetry off > "$$dir/run.log" 2>&1 || rc=$$?; \
+	grep -E '^simcluster api-load:' "$$dir/run.log"; \
+	[ "$$rc" -eq 0 ] || tail -5 "$$dir/run.log"; \
+	rm -rf "$$dir"; exit $$rc
+
 ## bench: run the root benchmark suite, record it machine-readably in
-## BENCH_PR8.json (name, ns/op, B/op, allocs/op), and diff against the
-## previous PR's baseline to surface regressions.
+## BENCH_PR$(BENCH_PR).json (name, ns/op, B/op, allocs/op), and diff
+## against the newest earlier PR's baseline to surface regressions.
 bench:
-	$(GO) test -bench=. -benchmem -run='^$$' . | tee BENCH_PR8.txt
-	$(GO) run ./cmd/benchjson -o BENCH_PR8.json -baseline BENCH_PR7.json < BENCH_PR8.txt
+	$(GO) test -bench=. -benchmem -run='^$$' . | tee BENCH_PR$(BENCH_PR).txt
+	$(GO) run ./cmd/benchjson -o BENCH_PR$(BENCH_PR).json -baseline auto < BENCH_PR$(BENCH_PR).txt
 
 ## benchsmoke: every benchmark runs once (-short skips the long suite) —
 ## catches benchmarks that break without paying for full measurement.

@@ -926,6 +926,12 @@ func BenchmarkTSDBColdQuery(b *testing.B) {
 	}
 	const hosts, span, step = 32, 24 * 3600, 30
 	coldBenchFill(b, db, hosts, span, step)
+	// Seal every shard so the cold window genuinely reads sealed,
+	// indexed segments — the steady state of data past the hot window —
+	// rather than re-parsing still-active segment tails.
+	if err := cs.Seal(); err != nil {
+		b.Fatal(err)
+	}
 	st := cs.Stats()
 	totalPts := st.ActivePoints
 	for _, n := range st.TierPoints {

@@ -10,6 +10,9 @@
 // With -baseline pointing at a previous PR's JSON (e.g. BENCH_PR4.json),
 // benchjson also diffs the fresh results against it and prints per-
 // benchmark deltas, flagging ns/op regressions beyond -regress-pct.
+// `-baseline auto` selects the highest-numbered BENCH_PR<N>.json in the
+// current directory other than the -o target itself, so the bench
+// recipe needs no per-PR edit to keep diffing against its predecessor.
 // Any regression past the threshold makes benchjson exit non-zero, so
 // the diff can gate CI; tune -regress-pct up on noisy machines. A
 // missing baseline is not an error — the first recorded suite has
@@ -23,6 +26,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"regexp"
 	"strconv"
 )
@@ -46,7 +50,8 @@ var benchLine = regexp.MustCompile(
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
-	baseline := flag.String("baseline", "", "previous PR's JSON to diff against (missing file = skip)")
+	baseline := flag.String("baseline", "",
+		`previous PR's JSON to diff against ("auto" = latest BENCH_PR*.json; missing file = skip)`)
 	regressPct := flag.Float64("regress-pct", 10, "ns/op increase (percent) that counts as a regression")
 	flag.Parse()
 
@@ -88,11 +93,44 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(results), *out)
 	}
+	if *baseline == "auto" {
+		*baseline = latestBaseline(*out)
+		if *baseline == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: no prior BENCH_PR*.json found, skipping diff")
+		}
+	}
 	if *baseline != "" {
 		if diffBaseline(results, *baseline, *regressPct) > 0 {
 			os.Exit(1)
 		}
 	}
+}
+
+// baselineName extracts the PR number from a BENCH_PR<N>.json filename.
+var baselineName = regexp.MustCompile(`^BENCH_PR(\d+)\.json$`)
+
+// latestBaseline picks the highest-numbered BENCH_PR<N>.json in the
+// current directory, skipping the file this run writes ("" when there
+// is no prior suite to diff against).
+func latestBaseline(out string) string {
+	matches, err := filepath.Glob("BENCH_PR*.json")
+	if err != nil {
+		return ""
+	}
+	best, bestN := "", -1
+	for _, m := range matches {
+		if out != "" && m == filepath.Base(out) {
+			continue
+		}
+		sub := baselineName.FindStringSubmatch(m)
+		if sub == nil {
+			continue
+		}
+		if n, err := strconv.Atoi(sub[1]); err == nil && n > bestN {
+			best, bestN = m, n
+		}
+	}
+	return best
 }
 
 // diffBaseline prints per-benchmark ns/op deltas against a previous

@@ -23,6 +23,15 @@
 // ratio — the read-path capacity check matching the write-path
 // overhead summary below.
 //
+// With -portal-readers N > 0, the run instead (or additionally) drives
+// N concurrent clients through the versioned /api/v1 query API —
+// paginated job lists, top-N rankings, time-range metric queries,
+// gauges — in-process via ServeHTTP, so N can reach tens of thousands
+// without socket limits. Each reader carries its own X-Client-ID and
+// every tenth shares one, so the per-client token-bucket limiter fires
+// visibly; the report adds the 429 count and, with -data-dir, the
+// segment index and block-cache counters from the cold-read path.
+//
 // Unless disabled with -telemetry off, the run serves its own ops
 // endpoint (/metrics, /healthz, /debug/pprof) and, at exit, scrapes it
 // to print a fleet overhead summary against the paper's ~0.09 s per
@@ -83,6 +92,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"sort"
@@ -155,7 +165,9 @@ func main() {
 	portalLoad := flag.Int("portal-load", 0,
 		"concurrent portal readers to drive after ETL (0 = off)")
 	portalRequests := flag.Int("portal-requests", 2000,
-		"total portal requests across all -portal-load readers")
+		"total portal requests across all -portal-load or -portal-readers readers")
+	portalReaders := flag.Int("portal-readers", 0,
+		"concurrent /api/v1 readers to drive after ETL against the versioned query API (0 = off)")
 	watchMode := flag.Bool("watch", false,
 		"daemon mode only: trace provenance end to end and run the online job watcher, auditing its flags against the post-hoc ETL")
 	watchMinParity := flag.Float64("watch-min-parity", 0.95,
@@ -273,6 +285,7 @@ func main() {
 	var fctl *fabricController
 	var victimAddr string
 	var coldStore *segstore.Store
+	var tdb *tsdb.DB
 	listenDone := make(chan error, 1)
 	switch *mode {
 	case "cron":
@@ -471,11 +484,14 @@ func main() {
 			},
 		}
 		if *dataDir != "" {
-			coldStore, err = segstore.Open(*dataDir, segstore.Options{})
+			// Short simulated runs never fill the 1 MiB default, which
+			// would leave every point in unsealed active segments; a
+			// smaller segment keeps the sealed, indexed read path in play.
+			coldStore, err = segstore.Open(*dataDir, segstore.Options{SegmentBytes: 256 << 10})
 			if err != nil {
 				log.Fatalf("simcluster: open segment store: %v", err)
 			}
-			tdb := tsdb.New()
+			tdb = tsdb.New()
 			if err := tdb.AttachCold(coldStore, 2*3600); err != nil {
 				log.Fatalf("simcluster: %v", err)
 			}
@@ -604,15 +620,6 @@ func main() {
 		}
 	}
 
-	if coldStore != nil {
-		if err := coldStore.Close(); err != nil {
-			log.Fatalf("simcluster: segment store close: %v", err)
-		}
-		st := coldStore.Stats()
-		fmt.Printf("simcluster store: sealed durable tsdb: %d raw segments (%d B), %d points archived\n",
-			st.TierSegments[0], st.TierBytes[0], st.TierPoints[0])
-	}
-
 	if err := acctFile.Close(); err != nil {
 		log.Fatalf("simcluster: %v", err)
 	}
@@ -655,6 +662,21 @@ func main() {
 		if err := runPortalLoad(db, rec, *portalLoad, *portalRequests); err != nil {
 			log.Fatalf("simcluster: portal load: %v", err)
 		}
+	}
+	// The /api/v1 load runs while the segment store is still open so
+	// cold time-range queries exercise the indexed read path.
+	if *portalReaders > 0 {
+		if err := runAPILoad(db, tdb, *portalReaders, *portalRequests, span); err != nil {
+			log.Fatalf("simcluster: api load: %v", err)
+		}
+	}
+	if coldStore != nil {
+		if err := coldStore.Close(); err != nil {
+			log.Fatalf("simcluster: segment store close: %v", err)
+		}
+		st := coldStore.Stats()
+		fmt.Printf("simcluster store: sealed durable tsdb: %d raw segments (%d B), %d points archived\n",
+			st.TierSegments[0], st.TierBytes[0], st.TierPoints[0])
 	}
 	printOverheadSummary(ops, *nodes, span)
 }
@@ -909,6 +931,151 @@ func runPortalLoad(db *reldb.DB, rec *trace.Recorder, readers, total int) error 
 			fmt.Printf("simcluster portal-load: stalest partition p%03d: %d hosts, max freshness %.2f s\n",
 				worst.Partition, worst.Hosts, worst.MaxFreshnessSeconds)
 		}
+	}
+	return nil
+}
+
+// apiJobMix is the job-table side of the -portal-readers workload:
+// paginated lists, ordered pages, and bounded-heap rankings.
+var apiJobMix = [...]string{
+	"/api/v1/jobs?limit=50",
+	"/api/v1/jobs?order_by=-runtime&limit=20",
+	"/api/v1/jobs?order_by=starttime&offset=20&limit=20",
+	"/api/v1/jobs?field1=nodes&op1=gte&val1=2&limit=25",
+	"/api/v1/top/jobs?field=runtime&n=10",
+	"/api/v1/top/jobs?field=nodehours&n=5&order=bottom",
+}
+
+// apiMetricMix extends the workload with the tsdb-backed routes when a
+// durable store is attached; the full-span time ranges reach behind the
+// hot boundary and exercise the indexed cold-read path.
+func apiMetricMix(span float64) []string {
+	return []string{
+		fmt.Sprintf("/api/v1/metrics?group_by=host&agg=avg&step=3600&start=0&end=%g", span),
+		fmt.Sprintf("/api/v1/metrics?group_by=host,devtype&agg=sum&step=7200&start=0&end=%g", span/2),
+		fmt.Sprintf("/api/v1/top/hosts?n=5&agg=max&start=0&end=%g", span),
+		"/api/v1/gauges?devtype=cpu",
+	}
+}
+
+// nullRecorder is the response sink for direct in-process API requests:
+// status plus byte count, no buffering — ten thousand concurrent
+// readers must not each hold a response body.
+type nullRecorder struct {
+	header http.Header
+	status int
+	bytes  int
+}
+
+func (w *nullRecorder) Header() http.Header { return w.header }
+func (w *nullRecorder) WriteHeader(c int)   { w.status = c }
+func (w *nullRecorder) Write(p []byte) (int, error) {
+	w.bytes += len(p)
+	return len(p), nil
+}
+
+// runAPILoad drives `readers` concurrent clients through `total`
+// requests of the mixed /api/v1 workload against an in-process portal
+// over the freshly built job table and the run's live tsdb. Requests go
+// straight through ServeHTTP — no sockets — so reader concurrency is
+// bounded by goroutines, not file descriptors. Each reader carries its
+// own X-Client-ID; every tenth reader shares one id so the token-bucket
+// limiter demonstrably fires under the pile-up. 429s are counted, never
+// fatal, and (because the limiter wraps outside the cache) never
+// populate or evict cache entries.
+func runAPILoad(db *reldb.DB, tdb *tsdb.DB, readers, total int, span float64) error {
+	if total <= 0 {
+		return fmt.Errorf("-portal-requests must be positive, got %d", total)
+	}
+	reg := telemetry.NewRegistry()
+	ps := portal.NewServer(db, chip.StampedeNode().Registry(), nil)
+	ps.Metrics = reg
+	ps.TSDB = tdb
+	ps.Limiter = portal.NewLimiter(200, 50)
+	mix := append([]string(nil), apiJobMix[:]...)
+	if tdb != nil {
+		mix = append(mix, apiMetricMix(span)...)
+	}
+
+	var limited atomic.Int64
+	var firstErr atomic.Value
+	var mu sync.Mutex
+	var durs []time.Duration
+	var wg sync.WaitGroup
+	start := time.Now()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		id := fmt.Sprintf("reader-%d", r)
+		if r%10 == 0 {
+			id = "shared-hot-client"
+		}
+		// Strided fixed assignment — each reader is one client issuing
+		// its own request stream, so a fast goroutine cannot burn
+		// another client's token budget.
+		go func(r int) {
+			defer wg.Done()
+			var local []time.Duration
+			for i := r; i < total; i += readers {
+				path := mix[i%len(mix)]
+				req := httptest.NewRequest(http.MethodGet, path, nil)
+				req.Header.Set("X-Client-ID", id)
+				w := &nullRecorder{header: make(http.Header), status: http.StatusOK}
+				t0 := time.Now()
+				ps.ServeHTTP(w, req)
+				switch w.status {
+				case http.StatusOK:
+					local = append(local, time.Since(t0))
+				case http.StatusTooManyRequests:
+					limited.Add(1)
+				default:
+					firstErr.CompareAndSwap(nil, fmt.Errorf("%s: status %d", path, w.status))
+					return
+				}
+			}
+			mu.Lock()
+			durs = append(durs, local...)
+			mu.Unlock()
+		}(r)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, _ := firstErr.Load().(error); err != nil {
+		return err
+	}
+	if len(durs) == 0 {
+		return fmt.Errorf("api load: every request was rate limited")
+	}
+
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	pct := func(p float64) time.Duration { return durs[int(p*float64(len(durs)-1))] }
+	vals := telemetry.ParseExposition(reg.Exposition())
+	var hits, misses float64
+	for name, v := range vals {
+		if strings.HasPrefix(name, "gostats_portal_cache_hits_total") {
+			hits += v
+		} else if strings.HasPrefix(name, "gostats_portal_cache_misses_total") {
+			misses += v
+		}
+	}
+	fmt.Printf("simcluster api-load: %d requests (%d served, %d rate-limited), %d readers in %.2fs = %.0f req/s\n",
+		total, len(durs), limited.Load(), readers, elapsed.Seconds(), float64(total)/elapsed.Seconds())
+	fmt.Printf("simcluster api-load: latency p50=%s p95=%s max=%s\n",
+		pct(0.50), pct(0.95), durs[len(durs)-1])
+	if hits+misses > 0 {
+		fmt.Printf("simcluster api-load: cache hits=%.0f misses=%.0f (%.1f%% hit ratio)\n",
+			hits, misses, 100*hits/(hits+misses))
+	}
+	if rl := vals["gostats_portal_ratelimited_total"]; rl != float64(limited.Load()) {
+		return fmt.Errorf("api load: limiter counter %v disagrees with observed 429s %d", rl, limited.Load())
+	}
+	// The cold-read path's own telemetry (index hits vs full scans,
+	// block-cache effectiveness) lands in the default registry.
+	if tdb != nil {
+		sv := telemetry.ParseExposition(telemetry.Default().Exposition())
+		fmt.Printf("simcluster api-load: segment index hits=%.0f fullscans=%.0f; block cache hits=%.0f misses=%.0f evictions=%.0f\n",
+			sv["gostats_segstore_index_hits_total"], sv["gostats_segstore_index_fullscans_total"],
+			sv["gostats_segstore_blockcache_hits_total"], sv["gostats_segstore_blockcache_misses_total"],
+			sv["gostats_segstore_blockcache_evictions_total"])
 	}
 	return nil
 }

@@ -1,0 +1,233 @@
+package portal
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"gostats/internal/telemetry"
+	"gostats/internal/tsdb"
+)
+
+type v1JobsEnvelope struct {
+	Total  int        `json:"total"`
+	Offset int        `json:"offset"`
+	Limit  int        `json:"limit"`
+	Jobs   []v1JobRow `json:"jobs"`
+}
+
+func getJSON(t *testing.T, url string, v interface{}) {
+	t.Helper()
+	code, body := get(t, url)
+	if code != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, code, body)
+	}
+	if err := json.Unmarshal([]byte(body), v); err != nil {
+		t.Fatalf("GET %s: bad JSON: %v\n%s", url, err, body)
+	}
+}
+
+func TestV1JobsPagination(t *testing.T) {
+	_, url := buildPortal(t)
+	var env v1JobsEnvelope
+	getJSON(t, url+"/api/v1/jobs?order_by=-runtime", &env)
+	if env.Total != 3 || len(env.Jobs) != 3 {
+		t.Fatalf("total %d, %d jobs; want 3, 3", env.Total, len(env.Jobs))
+	}
+	// Jobs 100 and 101 tie at runtime 3000 and must keep insertion order.
+	for i, want := range []string{"100", "101", "102"} {
+		if env.Jobs[i].JobID != want {
+			t.Fatalf("order_by=-runtime row %d = %s, want %s", i, env.Jobs[i].JobID, want)
+		}
+	}
+	// Page 2 of size 2 holds only the last job, with the full count.
+	getJSON(t, url+"/api/v1/jobs?order_by=-runtime&limit=2&offset=2", &env)
+	if env.Total != 3 || len(env.Jobs) != 1 || env.Jobs[0].JobID != "102" {
+		t.Fatalf("page 2 = %+v", env)
+	}
+	// Offset past the end is empty, not an error.
+	getJSON(t, url+"/api/v1/jobs?offset=99", &env)
+	if env.Total != 3 || len(env.Jobs) != 0 {
+		t.Fatalf("offset past end = %+v", env)
+	}
+	if code, _ := get(t, url+"/api/v1/jobs?offset=-1"); code != http.StatusBadRequest {
+		t.Fatalf("negative offset: status %d", code)
+	}
+	if code, _ := get(t, url+"/api/v1/jobs?order_by=nosuch"); code != http.StatusBadRequest {
+		t.Fatalf("bad order_by: status %d", code)
+	}
+}
+
+func TestV1TopJobs(t *testing.T) {
+	_, url := buildPortal(t)
+	var ranked []struct {
+		v1JobRow
+		Value float64 `json:"value"`
+	}
+	getJSON(t, url+"/api/v1/top/jobs?field=runtime&n=2", &ranked)
+	if len(ranked) != 2 || ranked[0].JobID != "100" || ranked[1].JobID != "101" {
+		t.Fatalf("top 2 by runtime = %+v", ranked)
+	}
+	if ranked[0].Value != 3000 {
+		t.Fatalf("ranked value = %g, want 3000", ranked[0].Value)
+	}
+	getJSON(t, url+"/api/v1/top/jobs?field=runtime&n=1&order=bottom", &ranked)
+	if len(ranked) != 1 || ranked[0].JobID != "102" || ranked[0].Value != 1800 {
+		t.Fatalf("bottom 1 by runtime = %+v", ranked)
+	}
+	if code, _ := get(t, url+"/api/v1/top/jobs?n=3"); code != http.StatusBadRequest {
+		t.Fatalf("missing field: status %d", code)
+	}
+	if code, _ := get(t, url+"/api/v1/top/jobs?field=runtime&order=sideways"); code != http.StatusBadRequest {
+		t.Fatalf("bad order: status %d", code)
+	}
+}
+
+func TestV1MetricRoutes(t *testing.T) {
+	s, url := buildPortal(t)
+	// No metric store attached: 503, which must not be cached.
+	if code, _ := get(t, url+"/api/v1/gauges"); code != http.StatusServiceUnavailable {
+		t.Fatalf("no tsdb: status %d", code)
+	}
+	s.TSDB = tsdb.New()
+	for hi, host := range []string{"c401-101", "c401-102"} {
+		for ti := 0.0; ti < 600; ti += 60 {
+			s.TSDB.Put(tsdb.Tags{Host: host, DevType: "cpu", Device: "cpu0", Event: "user"},
+				ti, float64(hi+1))
+		}
+	}
+	type series struct {
+		Group  map[string]string `json:"group"`
+		Points [][2]float64      `json:"points"`
+	}
+	var ss []series
+	getJSON(t, url+"/api/v1/metrics?group_by=host&agg=sum&step=600", &ss)
+	if len(ss) != 2 {
+		t.Fatalf("got %d series, want 2", len(ss))
+	}
+	if ss[0].Group["host"] != "c401-101" || len(ss[0].Points) != 1 || ss[0].Points[0][1] != 10 {
+		t.Fatalf("series 0 = %+v", ss[0])
+	}
+	var ranked []struct {
+		Group map[string]string `json:"group"`
+		Value float64           `json:"value"`
+	}
+	getJSON(t, url+"/api/v1/top/hosts?n=1&agg=sum", &ranked)
+	if len(ranked) != 1 || ranked[0].Group["host"] != "c401-102" || ranked[0].Value != 20 {
+		t.Fatalf("top host = %+v", ranked)
+	}
+	var gauges []struct {
+		Host  string  `json:"host"`
+		Time  float64 `json:"time"`
+		Value float64 `json:"value"`
+	}
+	getJSON(t, url+"/api/v1/gauges?host=c401-102", &gauges)
+	if len(gauges) != 1 || gauges[0].Time != 540 || gauges[0].Value != 2 {
+		t.Fatalf("gauges = %+v", gauges)
+	}
+	if code, _ := get(t, url+"/api/v1/metrics?agg=median"); code != http.StatusBadRequest {
+		t.Fatalf("bad agg: status %d", code)
+	}
+}
+
+// TestRateLimit429DoesNotPoisonCache drains one client's bucket and
+// checks three things about the refusal: it carries Retry-After, it
+// leaves previously cached entries warm for other clients, and it
+// leaves no entry behind for URLs it blocked before they were ever
+// rendered.
+func TestRateLimit429DoesNotPoisonCache(t *testing.T) {
+	s, _ := buildPortal(t)
+	reg := telemetry.NewRegistry()
+	s.Metrics = reg
+	s.Limiter = NewLimiter(1, 2)
+	clock := time.Unix(1000, 0)
+	s.Limiter.now = func() time.Time { return clock }
+
+	do := func(client, target string) (int, string, http.Header) {
+		r := httptest.NewRequest("GET", target, nil)
+		r.Header.Set("X-Client-ID", client)
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, r)
+		return w.Code, w.Body.String(), w.Result().Header
+	}
+	counter := func(name string, labels ...string) uint64 {
+		return reg.Counter(name, "", labels...).Value()
+	}
+	const warmURL = "/api/v1/jobs?order_by=-runtime"
+
+	// Burst of 2: render once, hit once, then the bucket is dry.
+	code1, body1, _ := do("alice", warmURL)
+	code2, body2, _ := do("alice", warmURL)
+	if code1 != 200 || code2 != 200 || body1 != body2 {
+		t.Fatalf("warmup: %d/%d, bodies equal=%v", code1, code2, body1 == body2)
+	}
+	code3, _, hdr := do("alice", warmURL)
+	if code3 != http.StatusTooManyRequests {
+		t.Fatalf("third request: status %d, want 429", code3)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 carries no Retry-After")
+	}
+	if got := counter("gostats_portal_ratelimited_total"); got != 1 {
+		t.Fatalf("ratelimited counter = %d, want 1", got)
+	}
+	hitsBefore := counter("gostats_portal_cache_hits_total", "route", "/api/v1/jobs")
+	missesBefore := counter("gostats_portal_cache_misses_total", "route", "/api/v1/jobs")
+	if hitsBefore != 1 || missesBefore != 1 {
+		t.Fatalf("warmup counters: %d hits, %d misses; want 1, 1", hitsBefore, missesBefore)
+	}
+
+	// The refused request must not have evicted the warm entry: another
+	// client gets a byte-identical cache hit.
+	code4, body4, _ := do("bob", warmURL)
+	if code4 != 200 || body4 != body1 {
+		t.Fatalf("post-429 read: status %d, cached=%v", code4, body4 == body1)
+	}
+	if got := counter("gostats_portal_cache_hits_total", "route", "/api/v1/jobs"); got != hitsBefore+1 {
+		t.Fatalf("bob's read was not a cache hit (hits %d -> %d)", hitsBefore, got)
+	}
+
+	// A URL first seen by a drained client: the 429 must leave no cache
+	// entry, so the next allowed client renders it fresh and correct.
+	const coldURL = "/api/v1/jobs?user=u100"
+	if code, _, _ := do("alice", coldURL); code != http.StatusTooManyRequests {
+		t.Fatalf("drained client on cold URL: status %d, want 429", code)
+	}
+	code5, body5, _ := do("bob", coldURL)
+	if code5 != 200 {
+		t.Fatalf("cold URL after 429: status %d", code5)
+	}
+	var env v1JobsEnvelope
+	if err := json.Unmarshal([]byte(body5), &env); err != nil || env.Total != 1 || env.Jobs[0].User != "u100" {
+		t.Fatalf("cold URL rendered wrong: %v %s", err, body5)
+	}
+	if got := counter("gostats_portal_cache_misses_total", "route", "/api/v1/jobs"); got != missesBefore+1 {
+		t.Fatalf("cold URL was not rendered fresh (misses %d)", got)
+	}
+
+	// Refill: one second restores one token for the drained client.
+	clock = clock.Add(time.Second)
+	if code, _, _ := do("alice", warmURL); code != 200 {
+		t.Fatalf("after refill: status %d", code)
+	}
+}
+
+// TestV1CacheInvalidatedByGeneration checks a v1 route's cached
+// response goes stale the moment its backing store changes.
+func TestV1CacheInvalidatedByGeneration(t *testing.T) {
+	s, url := buildPortal(t)
+	var env v1JobsEnvelope
+	getJSON(t, url+"/api/v1/jobs", &env)
+	if env.Total != 3 {
+		t.Fatalf("total = %d, want 3", env.Total)
+	}
+	clone := *s.DB.Get("100")
+	clone.JobID = "999"
+	s.DB.Insert(&clone)
+	getJSON(t, url+"/api/v1/jobs", &env)
+	if env.Total != 4 {
+		t.Fatalf("stale cache: total = %d, want 4", env.Total)
+	}
+}

@@ -18,6 +18,10 @@ type Cache struct {
 	mu       sync.Mutex
 	entries  map[string]*cacheEntry
 	order    []string // insertion order, for oldest-first eviction
+	// inflight collapses concurrent misses on one key to a single
+	// render: the first requester becomes the leader, the rest wait for
+	// its channel to close and re-check the cache.
+	inflight map[string]chan struct{}
 }
 
 type cacheEntry struct {
@@ -31,7 +35,11 @@ func NewCache(capacity int) *Cache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Cache{capacity: capacity, entries: make(map[string]*cacheEntry)}
+	return &Cache{
+		capacity: capacity,
+		entries:  make(map[string]*cacheEntry),
+		inflight: make(map[string]chan struct{}),
+	}
 }
 
 // Len reports the number of live entries.
@@ -72,6 +80,30 @@ func (c *Cache) put(key string, e *cacheEntry) {
 	}
 }
 
+// begin claims the render for key: the caller is the leader when the
+// returned channel is nil, otherwise a leader is already rendering and
+// the caller should wait for the channel to close and retry the lookup.
+func (c *Cache) begin(key string) chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ch, ok := c.inflight[key]; ok {
+		return ch
+	}
+	c.inflight[key] = make(chan struct{})
+	return nil
+}
+
+// done releases the leader's claim and wakes the waiters.
+func (c *Cache) done(key string) {
+	c.mu.Lock()
+	ch := c.inflight[key]
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
 // captureWriter buffers a handler's response so it can be both sent to
 // the client and stored in the cache.
 type captureWriter struct {
@@ -90,11 +122,19 @@ func (w *captureWriter) WriteHeader(code int) { w.status = code }
 
 func (w *captureWriter) Write(p []byte) (int, error) { return w.buf.Write(p) }
 
-// cacheable wraps a GET handler with the response cache. The generation
-// is read before rendering: a concurrent Insert can only make the stored
-// entry stale-stamped (an extra miss later), never serve stale data
-// after the table changed.
+// cacheable wraps a GET handler with the response cache, stamped by the
+// job table's generation.
 func (s *Server) cacheable(route string, h http.HandlerFunc) http.HandlerFunc {
+	return s.cacheableGen(route, func() uint64 { return s.DB.Generation() }, h)
+}
+
+// cacheableGen is cacheable with an explicit generation source, so
+// routes backed by the metric store stamp entries with its generation
+// rather than the job table's — each route invalidates exactly when its
+// own backing data changes. The generation is read before rendering: a
+// concurrent write can only make the stored entry stale-stamped (an
+// extra miss later), never serve stale data after the store changed.
+func (s *Server) cacheableGen(route string, gen func() uint64, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		c := s.Cache
 		if c == nil || r.Method != http.MethodGet {
@@ -103,14 +143,25 @@ func (s *Server) cacheable(route string, h http.HandlerFunc) http.HandlerFunc {
 		}
 		reg := s.registry()
 		key := route + "?" + r.URL.Query().Encode() // Encode sorts params
-		gen := s.DB.Generation()
-		if e, ok := c.get(key, gen); ok {
-			reg.Counter("gostats_portal_cache_hits_total",
-				"Portal response cache hits by route.", "route", route).Inc()
-			w.Header().Set("Content-Type", e.contentType)
-			w.Write(e.body)
-			return
+		var g uint64
+		for {
+			g = gen()
+			if e, ok := c.get(key, g); ok {
+				reg.Counter("gostats_portal_cache_hits_total",
+					"Portal response cache hits by route.", "route", route).Inc()
+				w.Header().Set("Content-Type", e.contentType)
+				w.Write(e.body)
+				return
+			}
+			ch := c.begin(key)
+			if ch == nil {
+				break // this request is the render leader
+			}
+			// Another request is rendering this key; wait it out and
+			// re-check — its entry is usually the hit we need.
+			<-ch
 		}
+		defer c.done(key)
 		reg.Counter("gostats_portal_cache_misses_total",
 			"Portal response cache misses by route.", "route", route).Inc()
 		cw := newCaptureWriter()
@@ -124,7 +175,7 @@ func (s *Server) cacheable(route string, h http.HandlerFunc) http.HandlerFunc {
 		body := cw.buf.Bytes()
 		w.Write(body)
 		if cw.status == http.StatusOK {
-			c.put(key, &cacheEntry{gen: gen, contentType: cw.header.Get("Content-Type"), body: body})
+			c.put(key, &cacheEntry{gen: g, contentType: cw.header.Get("Content-Type"), body: body})
 		}
 	}
 }

@@ -1,0 +1,138 @@
+// Per-client token-bucket rate limiting for the versioned query API.
+// Each client — identified by its X-Client-ID header, falling back to
+// the peer address — gets a bucket refilled at a steady rate with a
+// bounded burst. A refused request is answered 429 with a Retry-After
+// hint; the limiter sits outside the response cache, so rejected
+// requests never render, never populate the cache, and cannot evict
+// warm entries.
+package portal
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// limiterMaxClients bounds the per-client bucket map. At the cap, idle
+// (fully refilled) buckets are swept first; if every client is active,
+// arbitrary buckets are dropped — a dropped active client restarts with
+// a fresh bucket, trading one extra burst for bounded memory.
+const limiterMaxClients = 8192
+
+// Limiter is a per-client token bucket: each client may burst up to
+// burst requests and sustain rate requests per second thereafter.
+type Limiter struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket capacity
+	now   func() time.Time
+
+	mu      sync.Mutex
+	clients map[string]*tokenBucket
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewLimiter returns a limiter allowing ratePerSec sustained requests
+// per second per client with bursts of up to burst (minimum 1 each).
+func NewLimiter(ratePerSec, burst float64) *Limiter {
+	if ratePerSec < 1 {
+		ratePerSec = 1
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &Limiter{
+		rate:    ratePerSec,
+		burst:   burst,
+		now:     time.Now,
+		clients: make(map[string]*tokenBucket),
+	}
+}
+
+// refillLocked advances a bucket to now and returns its token count.
+func (l *Limiter) refillLocked(b *tokenBucket, now time.Time) float64 {
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(l.burst, b.tokens+dt*l.rate)
+		b.last = now
+	}
+	return b.tokens
+}
+
+// allow takes one token from key's bucket. When the bucket is empty it
+// reports false plus the seconds until the next token accrues.
+func (l *Limiter) allow(key string) (bool, float64) {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.clients[key]
+	if !ok {
+		if len(l.clients) >= limiterMaxClients {
+			l.sweepLocked(now)
+		}
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.clients[key] = b
+	}
+	if l.refillLocked(b, now) >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, (1 - b.tokens) / l.rate
+}
+
+// sweepLocked makes room in the client map: idle buckets first, then
+// arbitrary ones if every client is mid-burst.
+func (l *Limiter) sweepLocked(now time.Time) {
+	for k, b := range l.clients {
+		if l.refillLocked(b, now) >= l.burst {
+			delete(l.clients, k)
+		}
+	}
+	for k := range l.clients {
+		if len(l.clients) < limiterMaxClients {
+			break
+		}
+		delete(l.clients, k)
+	}
+}
+
+// clientKey identifies the requesting client: the X-Client-ID header
+// when present (simulated fleets and API consumers set it), else the
+// peer host.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// limit wraps a handler with the per-client limiter. It must wrap
+// OUTSIDE cacheable: a 429 is written straight to the client, so
+// rejected requests never touch the response cache. Nil limiter means
+// unlimited.
+func (s *Server) limit(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		l := s.Limiter
+		if l == nil {
+			h(w, r)
+			return
+		}
+		if ok, retry := l.allow(clientKey(r)); !ok {
+			s.registry().Counter("gostats_portal_ratelimited_total",
+				"Portal requests rejected by the per-client rate limiter.").Inc()
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(math.Max(retry, 1)))))
+			http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
+			return
+		}
+		h(w, r)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"gostats/internal/schema"
 	"gostats/internal/telemetry"
 	"gostats/internal/trace"
+	"gostats/internal/tsdb"
 	"gostats/internal/xalt"
 )
 
@@ -52,7 +53,15 @@ type Server struct {
 	// pipeline's provenance recorder (per-stage latencies and per-host
 	// freshness). Nil serves an empty summary.
 	Lag *trace.Recorder
-	mux *http.ServeMux
+	// TSDB, if set, backs the /api/v1 metric routes (time-range queries,
+	// top-N rankings, gauges). Nil answers those routes 503.
+	TSDB *tsdb.DB
+	// Limiter, if set, rate-limits every /api/v1 route per client
+	// (X-Client-ID header, else peer host) with 429 + Retry-After. The
+	// limiter sits outside the response cache, so rejected requests
+	// never populate or evict cache entries. Nil means unlimited.
+	Limiter *Limiter
+	mux     *http.ServeMux
 }
 
 // NewServer builds a portal over the given job table.
@@ -75,6 +84,23 @@ func NewServer(db *reldb.DB, reg *schema.Registry, series SeriesSource) *Server 
 	s.mux.HandleFunc("/api/jobs", s.instrument("/api/jobs", s.cacheable("/api/jobs", s.handleAPIJobs)))
 	// /api/lag is live pipeline state, never cached.
 	s.mux.HandleFunc("/api/lag", s.instrument("/api/lag", s.handleAPILag))
+	// The versioned query API. Wrapping order matters: the limiter sits
+	// outside the cache so a 429 never renders or poisons an entry, and
+	// each route's cache is stamped by the generation of the store that
+	// actually backs it (job table vs metric store).
+	jobGen := func() uint64 { return s.DB.Generation() }
+	for route, h := range map[string]struct {
+		gen func() uint64
+		h   http.HandlerFunc
+	}{
+		"/api/v1/jobs":      {jobGen, s.handleV1Jobs},
+		"/api/v1/top/jobs":  {jobGen, s.handleV1TopJobs},
+		"/api/v1/metrics":   {s.tsdbGen, s.handleV1Metrics},
+		"/api/v1/top/hosts": {s.tsdbGen, s.handleV1TopHosts},
+		"/api/v1/gauges":    {s.tsdbGen, s.handleV1Gauges},
+	} {
+		s.mux.HandleFunc(route, s.instrument(route, s.limit(s.cacheableGen(route, h.gen, h.h))))
+	}
 	return s
 }
 

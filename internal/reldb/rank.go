@@ -1,0 +1,98 @@
+package reldb
+
+import (
+	"container/heap"
+	"fmt"
+	"strings"
+)
+
+// TopN is the bounded-heap ranking plan: the n rows with the highest
+// (or, with bottom set, lowest) value of a numeric field among the rows
+// matching the filters, best first. The match set is swept once and
+// only a heap of n candidates is kept — the full sorted set is never
+// materialized, so ranking 10 of a million rows costs O(rows · log n)
+// comparisons and O(n) memory past the filter scan.
+//
+// Ties on equal field values resolve to the earlier row in insertion
+// order, matching exactly what QueryOrdered with a "-field" (or
+// "field") ordering and Limit n returns.
+func (db *DB) TopN(fieldName string, n int, bottom bool, filters ...Filter) ([]*JobRow, error) {
+	name := strings.ToLower(fieldName)
+	col, ok := fields[name]
+	if !ok || col.kind != kindNum {
+		return nil, fmt.Errorf("reldb: cannot rank by %q", fieldName)
+	}
+	if n <= 0 {
+		return nil, nil
+	}
+	rows, err := db.Query(filters...)
+	if err != nil {
+		return nil, err
+	}
+	get := col.num
+	h := topHeap{bottom: bottom}
+	for i, r := range rows {
+		cand := topItem{row: r, val: get(r), pos: i}
+		if h.Len() < n {
+			heap.Push(&h, cand)
+		} else if h.worse(h.items[0], cand) {
+			h.items[0] = cand
+			heap.Fix(&h, 0)
+		}
+	}
+	// Drain worst-first, filling the result back to front.
+	out := make([]*JobRow, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(topItem).row
+	}
+	return out, nil
+}
+
+// NumField evaluates a numeric field on one row, for callers that
+// ranked rows by it and need the ranked value alongside the row.
+func NumField(r *JobRow, fieldName string) (float64, bool) {
+	col, ok := fields[strings.ToLower(fieldName)]
+	if !ok || col.kind != kindNum {
+		return 0, false
+	}
+	return col.num(r), true
+}
+
+// topItem is one ranking candidate; pos is its position in the filter
+// scan, used as the tie-break.
+type topItem struct {
+	row *JobRow
+	val float64
+	pos int
+}
+
+// topHeap keeps the current n best candidates with the worst at the
+// root.
+type topHeap struct {
+	items  []topItem
+	bottom bool
+}
+
+// worse reports whether a ranks strictly worse than b: a smaller value
+// (larger for bottom-N), with later scan position losing ties.
+func (h *topHeap) worse(a, b topItem) bool {
+	if a.val != b.val {
+		if h.bottom {
+			return a.val > b.val
+		}
+		return a.val < b.val
+	}
+	return a.pos > b.pos
+}
+
+func (h *topHeap) Len() int           { return len(h.items) }
+func (h *topHeap) Less(i, j int) bool { return h.worse(h.items[i], h.items[j]) }
+func (h *topHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *topHeap) Push(x interface{}) { h.items = append(h.items, x.(topItem)) }
+func (h *topHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

@@ -1,0 +1,73 @@
+package reldb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestTopNMatchesQueryOrdered checks the bounded-heap plan returns
+// exactly what the full sort does — same rows, same order, including
+// insertion-order tie-breaks — across fields, directions, and sizes.
+func TestTopNMatchesQueryOrdered(t *testing.T) {
+	db := New()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		// Coarse quantization forces plenty of exact ties.
+		rt := float64(int(rng.Float64()*20)) * 100
+		db.Insert(row(fmt.Sprint(i), fmt.Sprintf("u%d", i%7), "x", rt, rng.Float64(), rng.Float64()*1e6))
+	}
+	fields := []string{"runtime", "cpu_usage", "nodehours"}
+	for _, field := range fields {
+		for _, n := range []int{1, 10, 499, 500, 1000} {
+			for _, bottom := range []bool{false, true} {
+				order := "-" + field
+				if bottom {
+					order = field
+				}
+				want, err := db.QueryOrdered(QueryOpts{OrderBy: order, Limit: n})
+				if err != nil {
+					t.Fatalf("QueryOrdered(%s): %v", order, err)
+				}
+				got, err := db.TopN(field, n, bottom)
+				if err != nil {
+					t.Fatalf("TopN(%s, %d, %v): %v", field, n, bottom, err)
+				}
+				if len(want) != len(got) {
+					t.Fatalf("TopN(%s, %d, %v): %d rows vs %d", field, n, bottom, len(got), len(want))
+				}
+				for i := range want {
+					if want[i] != got[i] {
+						t.Fatalf("TopN(%s, %d, %v) row %d: job %s vs %s",
+							field, n, bottom, i, got[i].JobID, want[i].JobID)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTopNFiltersAndErrors covers filtered ranking and the non-numeric
+// field rejection.
+func TestTopNFiltersAndErrors(t *testing.T) {
+	db := seedDB(t)
+	got, err := db.TopN("runtime", 2, false, F("user", "u1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].JobID != "1" || got[1].JobID != "2" {
+		t.Fatalf("filtered TopN = %v", got)
+	}
+	if _, err := db.TopN("user", 3, false); err == nil {
+		t.Fatal("TopN accepted a non-numeric field")
+	}
+	if out, err := db.TopN("runtime", 0, false); err != nil || out != nil {
+		t.Fatalf("n=0 should rank nothing, got %v (%v)", out, err)
+	}
+	if v, ok := NumField(db.Get("1"), "runtime"); !ok || v != 3600 {
+		t.Fatalf("NumField(runtime) = %g, %v", v, ok)
+	}
+	if _, ok := NumField(db.Get("1"), "user"); ok {
+		t.Fatal("NumField accepted a non-numeric field")
+	}
+}

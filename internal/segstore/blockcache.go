@@ -1,0 +1,93 @@
+// Block cache: decoded cold frames, bounded by memory, shared by every
+// reader of the store. The cache key is (shard, tier, seq, frame
+// offset); sealed segments are immutable and sequence numbers never
+// recycle within a store, so a key's bytes can never change out from
+// under a cached entry — the seq acts as the generation stamp. Loads
+// are singleflighted per block: concurrent readers of the same frame
+// wait for one decode instead of each paying for their own.
+package segstore
+
+import (
+	"container/list"
+	"sync"
+
+	"gostats/internal/telemetry"
+)
+
+type blockKey struct {
+	shard int
+	tier  int
+	seq   uint64
+	off   int64
+}
+
+type blockEntry struct {
+	key   blockKey
+	df    *decodedFrame
+	err   error
+	ready chan struct{} // closed when df/err are set
+	elem  *list.Element // nil while the load is in flight
+}
+
+type blockCache struct {
+	mu   sync.Mutex
+	max  int64
+	used int64
+	m    map[blockKey]*blockEntry
+	lru  *list.List // front = most recently used; values *blockEntry
+
+	hits   *telemetry.Counter
+	misses *telemetry.Counter
+	evicts *telemetry.Counter
+}
+
+func newBlockCache(max int64, hits, misses, evicts *telemetry.Counter) *blockCache {
+	return &blockCache{
+		max: max, m: make(map[blockKey]*blockEntry), lru: list.New(),
+		hits: hits, misses: misses, evicts: evicts,
+	}
+}
+
+// get returns the decoded frame for key, calling load at most once
+// across concurrent callers. Failed loads are not cached — the next
+// reader retries (and typically degrades to a full scan before then).
+func (bc *blockCache) get(key blockKey, load func() (*decodedFrame, error)) (*decodedFrame, error) {
+	bc.mu.Lock()
+	if e, ok := bc.m[key]; ok {
+		if e.elem != nil {
+			bc.lru.MoveToFront(e.elem)
+		}
+		bc.mu.Unlock()
+		bc.hits.Inc()
+		<-e.ready
+		return e.df, e.err
+	}
+	e := &blockEntry{key: key, ready: make(chan struct{})}
+	bc.m[key] = e
+	bc.mu.Unlock()
+	bc.misses.Inc()
+
+	df, err := load()
+
+	bc.mu.Lock()
+	e.df, e.err = df, err
+	if err != nil {
+		delete(bc.m, key)
+	} else {
+		e.elem = bc.lru.PushFront(e)
+		bc.used += df.mem
+		// Evict cold entries, but never the one just inserted: a frame
+		// larger than the whole budget still has to be served once.
+		for bc.used > bc.max && bc.lru.Len() > 1 {
+			back := bc.lru.Back()
+			ev := back.Value.(*blockEntry)
+			bc.lru.Remove(back)
+			delete(bc.m, ev.key)
+			bc.used -= ev.df.mem
+			bc.evicts.Inc()
+		}
+	}
+	bc.mu.Unlock()
+	close(e.ready)
+	return df, err
+}

@@ -119,6 +119,11 @@ func (s *Store) compactTierLocked(sh *shardState, tier int) error {
 			if derr == nil && good != len(data) {
 				derr = fmt.Errorf("%d bytes of undecodable tail", len(data)-good)
 			}
+			if derr != nil && d != nil && d.indexTail {
+				// Damage confined to the trailing index frame: the data
+				// prefix is whole, so compact it rather than quarantine it.
+				derr = nil
+			}
 			err = derr
 		}
 		if err != nil {
@@ -198,7 +203,8 @@ func (s *Store) compactTierLocked(sh *shardState, tier int) error {
 			}
 		}
 	}
-	if err := w.flushFrame(); err != nil {
+	ix, err := w.writeIndex()
+	if err != nil {
 		w.close()
 		os.Remove(tmp)
 		return err
@@ -233,6 +239,7 @@ func (s *Store) compactTierLocked(sh *shardState, tier int) error {
 		coverLo: used[0].seq, coverHi: used[len(used)-1].seq,
 		minT: w.minT, maxT: w.maxT,
 		bytes: w.bytes, entries: w.entries, count: w.count,
+		index: ix,
 	})
 	sort.Slice(sh.sealed[tier+1], func(i, j int) bool { return sh.sealed[tier+1][i].seq < sh.sealed[tier+1][j].seq })
 	s.met.compactions.Inc()

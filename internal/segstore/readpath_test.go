@@ -1,0 +1,241 @@
+package segstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"gostats/internal/telemetry"
+)
+
+// segFrame is one frame located in a segment file: its offset, total
+// size on disk, and type byte.
+type segFrame struct {
+	off, size int
+	typ       byte
+}
+
+// walkSegFrames locates every frame in a segment file's bytes.
+func walkSegFrames(t *testing.T, data []byte) []segFrame {
+	t.Helper()
+	pos := len(segMagic)
+	_, n := binary.Uvarint(data[pos:])
+	if n <= 0 {
+		t.Fatal("bad format version varint")
+	}
+	pos += n
+	var out []segFrame
+	for pos < len(data) {
+		ln, un := binary.Uvarint(data[pos+1:])
+		if un <= 0 {
+			t.Fatalf("bad frame length varint at offset %d", pos)
+		}
+		size := 1 + un + int(ln) + 4
+		out = append(out, segFrame{off: pos, size: size, typ: data[pos]})
+		pos += size
+	}
+	return out
+}
+
+// sealedSegFiles lists every sealed segment file under a store dir.
+func sealedSegFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "shard-*", "t*-*.seg"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no sealed segments under %s (err=%v)", dir, err)
+	}
+	return matches
+}
+
+// indexedFixture fills a store with a deterministic multi-host data set
+// and seals every shard, so all data lives in sealed, indexed segments.
+// Returns the reference scan result taken through the indexed path.
+func indexedFixture(t *testing.T, dir string) []SeriesChunk {
+	t.Helper()
+	opts := testOpts()
+	opts.SegmentBytes = 4 << 10 // several segments per shard
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 3000; i++ {
+		s.Append(Point{
+			Labels: Labels{
+				Host:    fmt.Sprintf("node%02d", i%5),
+				DevType: "cpu",
+				Device:  fmt.Sprintf("cpu%d", i%2),
+				Event:   "user",
+			},
+			Time:  float64(1000 + i),
+			Value: float64(i % 97),
+		})
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if err := s.Seal(); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	ref, err := s.Scan(Filter{}, 0, math.Inf(1))
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if got := s.metrics().idxHits.Value(); got == 0 {
+		t.Fatal("reference scan never took the indexed path")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return ref
+}
+
+// metrics exposes the store's counters to tests in this package.
+func (s *Store) metrics() *storeMetrics { return &s.met }
+
+func rescanAndCompare(t *testing.T, dir string, want []SeriesChunk) *Store {
+	t.Helper()
+	s, err := Open(dir, Options{Shards: 4, Metrics: telemetry.NewRegistry()})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if q := s.Stats().Quarantined; q != 0 {
+		t.Fatalf("reopen quarantined %d segments; damage confined to the index must not cost data", q)
+	}
+	got, err := s.Scan(Filter{}, 0, math.Inf(1))
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("scan differs from indexed reference: %d chunks vs %d", len(want), len(got))
+	}
+	return s
+}
+
+// TestUnindexedSegmentsReadable strips the trailing index frame from
+// every sealed segment — exactly the layout older binaries wrote — and
+// checks the store reads them back byte-for-byte identically via full
+// scans, with nothing quarantined.
+func TestUnindexedSegmentsReadable(t *testing.T) {
+	dir := t.TempDir()
+	want := indexedFixture(t, dir)
+	for _, path := range sealedSegFiles(t, dir) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames := walkSegFrames(t, data)
+		last := frames[len(frames)-1]
+		if last.typ != frameIndex {
+			t.Fatalf("%s: final frame is %q, want index", filepath.Base(path), last.typ)
+		}
+		if err := os.Truncate(path, int64(last.off)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := rescanAndCompare(t, dir, want)
+	defer s.Close()
+	if s.metrics().idxHits.Value() != 0 {
+		t.Fatal("indexed path hit on segments with no index frame")
+	}
+	if s.metrics().idxFullscans.Value() == 0 {
+		t.Fatal("full-scan counter never advanced")
+	}
+}
+
+// TestCorruptedIndexDegradesToFullScan flips a byte inside every sealed
+// segment's index frame: the data prefix is intact, so reopening must
+// keep every segment (quarantine-free) and serve identical results
+// through full scans.
+func TestCorruptedIndexDegradesToFullScan(t *testing.T) {
+	dir := t.TempDir()
+	want := indexedFixture(t, dir)
+	for _, path := range sealedSegFiles(t, dir) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames := walkSegFrames(t, data)
+		last := frames[len(frames)-1]
+		if last.typ != frameIndex {
+			t.Fatalf("%s: final frame is %q, want index", filepath.Base(path), last.typ)
+		}
+		data[last.off+last.size/2] ^= 0xff
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := rescanAndCompare(t, dir, want)
+	defer s.Close()
+	if s.metrics().idxFullscans.Value() == 0 {
+		t.Fatal("full-scan counter never advanced")
+	}
+}
+
+// TestIndexedScanEquivalence cross-checks the indexed pread path
+// against the whole-file scan on filtered and windowed queries: an
+// untouched store and an index-stripped copy of it must agree exactly.
+func TestIndexedScanEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	indexedFixture(t, dir)
+	stripped := t.TempDir()
+	for _, path := range sealedSegFiles(t, dir) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames := walkSegFrames(t, data)
+		last := frames[len(frames)-1]
+		rel, _ := filepath.Rel(dir, path)
+		dst := filepath.Join(stripped, rel)
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(dst, data[:last.off], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ixStore, err := Open(dir, Options{Shards: 4, Metrics: telemetry.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ixStore.Close()
+	fsStore, err := Open(stripped, Options{Shards: 4, Metrics: telemetry.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fsStore.Close()
+	queries := []struct {
+		f          Filter
+		start, end float64
+	}{
+		{Filter{}, 0, math.Inf(1)},
+		{Filter{Host: "node03"}, 0, math.Inf(1)},
+		{Filter{Device: "cpu1"}, 1500, 2500},
+		{Filter{Host: "node00", Event: "user"}, 2000, 2001},
+		{Filter{Host: "nope"}, 0, math.Inf(1)},
+		{Filter{}, 3999, 4000},
+	}
+	for _, q := range queries {
+		want, err := fsStore.Scan(q.f, q.start, q.end)
+		if err != nil {
+			t.Fatalf("full scan %+v: %v", q.f, err)
+		}
+		got, err := ixStore.Scan(q.f, q.start, q.end)
+		if err != nil {
+			t.Fatalf("indexed scan %+v: %v", q.f, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("indexed scan %+v [%g,%g) differs from full scan", q.f, q.start, q.end)
+		}
+	}
+	if ixStore.metrics().idxHits.Value() == 0 {
+		t.Fatal("indexed store never used its indexes")
+	}
+	if ixStore.metrics().idxFullscans.Value() != 0 {
+		t.Fatal("indexed store fell back to full scans")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"hash/crc32"
 	"math"
 	"os"
+	"sort"
 )
 
 // segMagic prefixes every segment file. The leading NUL keeps it
@@ -39,6 +40,7 @@ const (
 	frameMeta   = 'M'
 	framePoints = 'P'
 	frameBucket = 'B'
+	frameIndex  = 'I'
 
 	// maxFramePayload bounds one frame so a corrupt length prefix cannot
 	// drive a huge allocation.
@@ -96,6 +98,13 @@ type segData struct {
 	frames  int          // data frames decoded
 	minT    float64
 	maxT    float64
+
+	frameStats []frameStat // per data frame, for rebuilding an index
+	index      *segIndex   // decoded 'I' frame, when present and valid
+	// indexTail marks damage confined to a final index frame: the data
+	// prefix is intact, so the caller may keep the segment (without an
+	// index) instead of quarantining it.
+	indexTail bool
 }
 
 func appendString(b []byte, s string) []byte {
@@ -122,6 +131,10 @@ type segWriter struct {
 	count   uint64
 	minT    float64
 	maxT    float64
+
+	frames []frameStat         // stats of flushed data frames
+	fstat  frameStat           // stats of the frame being built
+	frefs  map[uint64]struct{} // distinct refs in the frame being built
 }
 
 // newSegWriter creates path and writes the preamble and meta frame.
@@ -130,7 +143,11 @@ func newSegWriter(path string, meta Meta) (*segWriter, error) {
 	if err != nil {
 		return nil, err
 	}
-	w := &segWriter{f: f, path: path, meta: meta, refs: make(map[Labels]uint64)}
+	w := &segWriter{
+		f: f, path: path, meta: meta,
+		refs:  make(map[Labels]uint64),
+		frefs: make(map[uint64]struct{}),
+	}
 	pre := append(append([]byte(nil), segMagic[:]...), byte(segFormatVersion))
 	if _, err := f.Write(pre); err != nil {
 		f.Close()
@@ -154,10 +171,10 @@ func newSegWriter(path string, meta Meta) (*segWriter, error) {
 }
 
 // putRef dictionary-encodes a label tuple into the pending buffer.
-func (w *segWriter) putRef(l Labels) {
+func (w *segWriter) putRef(l Labels) uint64 {
 	if ref, ok := w.refs[l]; ok {
 		w.pending = binary.AppendUvarint(w.pending, ref)
-		return
+		return ref
 	}
 	ref := uint64(len(w.refs))
 	w.refs[l] = ref
@@ -166,13 +183,27 @@ func (w *segWriter) putRef(l Labels) {
 	w.pending = appendString(w.pending, l.DevType)
 	w.pending = appendString(w.pending, l.Device)
 	w.pending = appendString(w.pending, l.Event)
+	return ref
 }
 
 // add buffers one entry. Raw-tier segments store the single value; the
 // downsampled tiers store the full (count, sum, min, max) bucket.
 func (w *segWriter) add(l Labels, p AggPoint) {
-	w.putRef(l)
 	ms := int64(math.Round(p.Time * 1000))
+	if w.nPend == 0 {
+		// Snapshot the decode context a standalone reader needs to enter
+		// this frame: the running delta base and the dictionary size.
+		w.fstat = frameStat{firstMs: w.prevMs, minMs: ms, maxMs: ms, dictBase: uint64(len(w.refs))}
+		clear(w.frefs)
+	}
+	ref := w.putRef(l)
+	w.frefs[ref] = struct{}{}
+	if ms < w.fstat.minMs {
+		w.fstat.minMs = ms
+	}
+	if ms > w.fstat.maxMs {
+		w.fstat.maxMs = ms
+	}
 	w.pending = binary.AppendUvarint(w.pending, zigzag(ms-w.prevMs))
 	w.prevMs = ms
 	if w.meta.Tier == tierRaw {
@@ -196,7 +227,8 @@ func (w *segWriter) add(l Labels, p AggPoint) {
 	w.count += p.Count
 }
 
-// flushFrame writes the pending entries as one complete frame.
+// flushFrame writes the pending entries as one complete frame and
+// records its index stats.
 func (w *segWriter) flushFrame() error {
 	if w.nPend == 0 {
 		return nil
@@ -210,7 +242,39 @@ func (w *segWriter) flushFrame() error {
 	payload = append(payload, w.pending...)
 	w.pending = w.pending[:0]
 	w.nPend = 0
-	return w.writeFrame(typ, payload)
+	fs := w.fstat
+	fs.refs = make([]uint64, 0, len(w.frefs))
+	for r := range w.frefs {
+		fs.refs = append(fs.refs, r)
+	}
+	sort.Slice(fs.refs, func(i, j int) bool { return fs.refs[i] < fs.refs[j] })
+	off := w.bytes
+	if err := w.writeFrame(typ, payload); err != nil {
+		return err
+	}
+	fs.off = off
+	fs.size = w.bytes - off
+	w.frames = append(w.frames, fs)
+	return nil
+}
+
+// writeIndex flushes the pending frame and appends the segment's index
+// frame; seal paths call it so the index is the last frame of every
+// sealed segment. It returns the in-memory index so the caller can
+// attach it to the segment's bookkeeping without re-reading the file.
+func (w *segWriter) writeIndex() (*segIndex, error) {
+	if err := w.flushFrame(); err != nil {
+		return nil, err
+	}
+	series := make([]Labels, len(w.refs))
+	for l, ref := range w.refs {
+		series[ref] = l
+	}
+	ix := &segIndex{series: series, frames: w.frames}
+	if err := w.writeFrame(frameIndex, encodeIndexPayload(series, w.frames)); err != nil {
+		return nil, err
+	}
+	return ix, nil
 }
 
 func (w *segWriter) writeFrame(typ byte, payload []byte) error {
@@ -357,11 +421,16 @@ func parseSegment(data []byte) (*segData, int, error) {
 		pos := off + 1
 		n, un := binary.Uvarint(data[pos:])
 		if un <= 0 {
+			// The length varint ran off the end of the file: the frame is
+			// the file's last. Damage confined to a trailing index frame
+			// leaves the data prefix whole.
+			d.indexTail = typ == frameIndex
 			damage = fmt.Errorf("segstore: truncated frame length at offset %d", pos)
 			break
 		}
 		pos += un
 		if n > maxFramePayload || uint64(len(data)-pos) < n+4 {
+			d.indexTail = typ == frameIndex
 			damage = fmt.Errorf("segstore: truncated frame at offset %d", off)
 			break
 		}
@@ -370,6 +439,10 @@ func parseSegment(data []byte) (*segData, int, error) {
 		want := binary.LittleEndian.Uint32(data[pos : pos+4])
 		pos += 4
 		if crc32.Checksum(payload, crcTable) != want {
+			// Only a final index frame qualifies for the quarantine-free
+			// degrade: a CRC mismatch mid-file means data after it is
+			// unreachable and the segment really is damaged.
+			d.indexTail = typ == frameIndex && pos == len(data)
 			damage = fmt.Errorf("segstore: frame CRC mismatch at offset %d", off)
 			break
 		}
@@ -385,7 +458,20 @@ func parseSegment(data []byte) (*segData, int, error) {
 				damage = fmt.Errorf("segstore: data frame before meta frame")
 				break
 			}
-			damage = d.applyData(&c, typ, &prevMs)
+			fs := frameStat{off: int64(off), size: int64(pos - off), firstMs: prevMs, dictBase: uint64(len(d.series))}
+			damage = d.applyData(&c, typ, &prevMs, &fs)
+			if damage == nil && len(fs.refs) > 0 {
+				d.frameStats = append(d.frameStats, fs)
+			}
+		case frameIndex:
+			// A CRC-valid frame whose payload fails to decode as an index
+			// is treated like an unknown frame type: the data frames stand
+			// on their own, the reader just loses the pread fast path.
+			if sawMeta {
+				if ix, err := parseIndexPayload(payload); err == nil {
+					d.index = ix
+				}
+			}
 		default:
 			// Unknown frame types are forward-compatible noise.
 		}
@@ -423,7 +509,7 @@ func (d *segData) applyMeta(c *byteCursor) error {
 	return nil
 }
 
-func (d *segData) applyData(c *byteCursor, typ byte, prevMs *int64) error {
+func (d *segData) applyData(c *byteCursor, typ byte, prevMs *int64, fs *frameStat) error {
 	if typ == framePoints && d.meta.Tier != tierRaw {
 		return fmt.Errorf("segstore: point frame in tier-%d segment", d.meta.Tier)
 	}
@@ -434,16 +520,31 @@ func (d *segData) applyData(c *byteCursor, typ byte, prevMs *int64) error {
 	if err != nil {
 		return fmt.Errorf("segstore: entry count: %w", err)
 	}
+	seen := make(map[int]struct{}, 8)
 	for i := 0; i < n; i++ {
 		ref, err := d.readRef(c)
 		if err != nil {
 			return fmt.Errorf("segstore: entry series: %w", err)
+		}
+		if _, ok := seen[ref]; !ok {
+			seen[ref] = struct{}{}
+			fs.refs = append(fs.refs, uint64(ref))
 		}
 		dt, err := c.varint()
 		if err != nil {
 			return fmt.Errorf("segstore: entry time: %w", err)
 		}
 		*prevMs += dt
+		if i == 0 {
+			fs.minMs, fs.maxMs = *prevMs, *prevMs
+		} else {
+			if *prevMs < fs.minMs {
+				fs.minMs = *prevMs
+			}
+			if *prevMs > fs.maxMs {
+				fs.maxMs = *prevMs
+			}
+		}
 		p := AggPoint{Time: float64(*prevMs) / 1000}
 		if typ == framePoints {
 			v, err := c.float()
@@ -482,6 +583,7 @@ func (d *segData) applyData(c *byteCursor, typ byte, prevMs *int64) error {
 	if c.off != len(c.b) {
 		return fmt.Errorf("segstore: %d trailing bytes in data frame", len(c.b)-c.off)
 	}
+	sort.Slice(fs.refs, func(i, j int) bool { return fs.refs[i] < fs.refs[j] })
 	d.frames++
 	return nil
 }

@@ -102,6 +102,9 @@ type Options struct {
 	RetainRaw  float64
 	RetainMid  float64
 	RetainHour float64
+	// BlockCacheBytes bounds the decoded cold-frame cache shared by all
+	// readers (0 = 64 MiB; <0 = a minimal 1-frame cache).
+	BlockCacheBytes int64
 	// Metrics receives gostats_segstore_* series (nil = telemetry.Default()).
 	Metrics *telemetry.Registry
 	// Logf receives recovery and quarantine diagnostics — which file was
@@ -124,6 +127,11 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CompactMidAfter == 0 {
 		o.CompactMidAfter = 24 * 3600
+	}
+	if o.BlockCacheBytes == 0 {
+		o.BlockCacheBytes = 64 << 20
+	} else if o.BlockCacheBytes < 0 {
+		o.BlockCacheBytes = 1
 	}
 	if o.Metrics == nil {
 		o.Metrics = telemetry.Default()
@@ -168,6 +176,10 @@ type segInfo struct {
 	bytes   int64
 	entries uint64
 	count   uint64 // logical raw points represented
+	// index is the decoded seal-time frame index, nil for segments
+	// sealed by older binaries or whose index frame was damaged —
+	// those are served by full scans instead.
+	index *segIndex
 }
 
 // shardState is one shard's directory: sealed segments per tier plus
@@ -194,6 +206,11 @@ type storeMetrics struct {
 	truncated    *telemetry.Counter
 	quarantined  *telemetry.Counter
 	dropped      *telemetry.Counter
+	idxHits      *telemetry.Counter
+	idxFullscans *telemetry.Counter
+	bcHits       *telemetry.Counter
+	bcMisses     *telemetry.Counter
+	bcEvicts     *telemetry.Counter
 }
 
 // Stats is a point-in-time snapshot of store state for audits and tests.
@@ -218,6 +235,7 @@ type Store struct {
 	opts   Options
 	shards []*shardState
 	met    storeMetrics
+	blocks *blockCache
 
 	statMu sync.Mutex
 	stats  Stats
@@ -261,6 +279,17 @@ func Open(dir string, opts Options) (*Store, error) {
 		"Damaged sealed segments renamed aside at open.")
 	s.met.dropped = reg.Counter("gostats_segstore_retention_dropped_total",
 		"Points dropped by retention windows.")
+	s.met.idxHits = reg.Counter("gostats_segstore_index_hits_total",
+		"Sealed-segment scans served via the seal-time frame index.")
+	s.met.idxFullscans = reg.Counter("gostats_segstore_index_fullscans_total",
+		"Sealed-segment scans that fell back to a whole-file decode.")
+	s.met.bcHits = reg.Counter("gostats_segstore_blockcache_hits_total",
+		"Cold-frame reads served from the decoded block cache.")
+	s.met.bcMisses = reg.Counter("gostats_segstore_blockcache_misses_total",
+		"Cold-frame reads that had to pread and decode the frame.")
+	s.met.bcEvicts = reg.Counter("gostats_segstore_blockcache_evictions_total",
+		"Decoded frames evicted from the block cache by its byte bound.")
+	s.blocks = newBlockCache(opts.BlockCacheBytes, s.met.bcHits, s.met.bcMisses, s.met.bcEvicts)
 
 	s.shards = make([]*shardState, opts.Shards)
 	for i := range s.shards {
@@ -378,18 +407,25 @@ func (s *Store) recoverShard(sh *shardState) error {
 	return fsutil.SyncDir(sh.dir)
 }
 
-// loadSealed strictly verifies one sealed segment end to end.
+// loadSealed strictly verifies one sealed segment end to end. Damage
+// confined to a trailing index frame is not fatal: the data prefix is
+// intact, so the segment is kept (index-less, served by full scans)
+// instead of quarantining readable points.
 func (s *Store) loadSealed(path string, tier int, seq uint64) (*segInfo, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
 	d, good, derr := parseSegment(data)
-	if derr != nil {
-		return nil, derr
+	if derr == nil && good != len(data) {
+		derr = fmt.Errorf("segstore: %d bytes of undecodable tail", len(data)-good)
 	}
-	if good != len(data) {
-		return nil, fmt.Errorf("segstore: %d bytes of undecodable tail", len(data)-good)
+	if derr != nil {
+		if d == nil || !d.indexTail {
+			return nil, derr
+		}
+		s.opts.Logf("segstore: %s: index frame damaged (%v); serving segment via full scans", filepath.Base(path), derr)
+		d.index = nil
 	}
 	if d.meta.Tier != tier || d.meta.Seq != seq {
 		return nil, fmt.Errorf("segstore: meta (tier %d seq %d) disagrees with name %s",
@@ -401,6 +437,7 @@ func (s *Store) loadSealed(path string, tier int, seq uint64) (*segInfo, error) 
 		coverLo: d.meta.CoverLo, coverHi: d.meta.CoverHi,
 		minT: d.minT, maxT: d.maxT,
 		bytes: int64(len(data)), entries: d.entries, count: d.count,
+		index: d.index,
 	}, nil
 }
 
@@ -427,6 +464,19 @@ func (s *Store) recoverActive(sh *shardState, path string) error {
 		}
 		s.bumpTruncated()
 	}
+	// Give the recovered segment the index frame a normal seal would have
+	// written (unless a completed one survived the crash), so recovered
+	// segments serve the same pread fast path as cleanly sealed ones.
+	sealedBytes := int64(good)
+	ix := d.index
+	if ix == nil {
+		ix = &segIndex{series: d.series, frames: d.frameStats}
+		n, err := appendIndexFrame(path, ix)
+		if err != nil {
+			return err
+		}
+		sealedBytes += n
+	}
 	f, err := os.OpenFile(path, os.O_WRONLY, 0)
 	if err != nil {
 		return err
@@ -446,7 +496,8 @@ func (s *Store) recoverActive(sh *shardState, path string) error {
 		path: sealed, tier: d.meta.Tier, seq: d.meta.Seq,
 		coverLo: d.meta.CoverLo, coverHi: d.meta.CoverHi,
 		minT: d.minT, maxT: d.maxT,
-		bytes: int64(good), entries: d.entries, count: d.count,
+		bytes: sealedBytes, entries: d.entries, count: d.count,
+		index: ix,
 	})
 	return nil
 }
@@ -567,7 +618,8 @@ func (s *Store) sealActiveLocked(sh *shardState) error {
 		os.Remove(w.path)
 		return nil
 	}
-	if err := w.flushFrame(); err != nil {
+	ix, err := w.writeIndex()
+	if err != nil {
 		w.close()
 		return err
 	}
@@ -590,6 +642,7 @@ func (s *Store) sealActiveLocked(sh *shardState) error {
 		coverLo: w.meta.CoverLo, coverHi: w.meta.CoverHi,
 		minT: w.minT, maxT: w.maxT,
 		bytes: w.bytes, entries: w.entries, count: w.count,
+		index: ix,
 	})
 	s.bumpSeals()
 	return nil
@@ -679,74 +732,6 @@ func (s *Store) Scan(f Filter, start, end float64) ([]SeriesChunk, error) {
 // NumShards reports the store's shard fan-out, so a fronting hot store
 // can verify its own striping agrees before attaching.
 func (s *Store) NumShards() int { return len(s.shards) }
-
-// ScanShard scans one shard only — the entry point for a sharded hot
-// store that merges its stripe i with cold stripe i under its own
-// per-shard boundary.
-func (s *Store) ScanShard(shard int, f Filter, start, end float64) ([]SeriesChunk, error) {
-	acc := make(map[Labels][]AggPoint)
-	scanOne := func(sh *shardState) error {
-		sh.mu.Lock()
-		var paths []string
-		for t := 0; t < numTiers; t++ {
-			for _, info := range sh.sealed[t] {
-				if info.minT < end && info.maxT >= start {
-					paths = append(paths, info.path)
-				}
-			}
-		}
-		var activePath string
-		if sh.w != nil && sh.werr == nil {
-			if err := sh.w.flushFrame(); err != nil {
-				sh.werr = err
-			} else {
-				activePath = sh.w.path
-			}
-		}
-		if activePath != "" {
-			paths = append(paths, activePath)
-		}
-		// Hold the shard lock across the reads: segments are immutable
-		// once sealed, but the active file grows and compaction swaps
-		// sealed sets; the lock freezes both. Reads are page-cache hits
-		// in steady state, so the hold time is dominated by decode.
-		defer sh.mu.Unlock()
-		for _, path := range paths {
-			data, err := os.ReadFile(path)
-			if err != nil {
-				return err
-			}
-			d, _, derr := parseSegment(data)
-			if derr != nil && path != activePath {
-				return fmt.Errorf("segstore: sealed segment %s unreadable mid-run: %w", filepath.Base(path), derr)
-			}
-			if d == nil {
-				continue
-			}
-			for i, l := range d.series {
-				if !f.match(l) {
-					continue
-				}
-				for _, p := range d.chunks[i] {
-					if p.Time >= start && p.Time < end {
-						acc[l] = append(acc[l], p)
-					}
-				}
-			}
-		}
-		return nil
-	}
-	if err := scanOne(s.shards[shard]); err != nil {
-		return nil, err
-	}
-	out := make([]SeriesChunk, 0, len(acc))
-	for l, pts := range acc {
-		sort.Slice(pts, func(i, j int) bool { return pts[i].Time < pts[j].Time })
-		out = append(out, SeriesChunk{Labels: l, Points: pts})
-	}
-	sortChunks(out)
-	return out, nil
-}
 
 func sortChunks(out []SeriesChunk) {
 	sort.Slice(out, func(i, j int) bool {

@@ -1,0 +1,301 @@
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"testing"
+
+	"gostats/internal/segstore"
+	"gostats/internal/telemetry"
+)
+
+// rankFixture ingests a deterministic grid of series so every host has
+// a distinct, known aggregate.
+func rankFixture() *DB {
+	db := New()
+	for h := 0; h < 12; h++ {
+		host := fmt.Sprintf("c40%d-%03d", h/4, 100+h%4)
+		for _, ev := range []string{"user", "system"} {
+			for ti := 0.0; ti < 3600; ti += 60 {
+				v := float64(h+1) + ti/36000
+				if ev == "system" {
+					v /= 10
+				}
+				db.Put(Tags{Host: host, DevType: "cpu", Device: "cpu0", Event: ev}, ti, v)
+			}
+		}
+	}
+	return db
+}
+
+// refTopN is the full-sort reference: the same collapsed query TopN
+// runs, fully sorted with the same direction and tie-break rule, then
+// truncated to n.
+func refTopN(t *testing.T, db *DB, q Query, n int, bottom bool) []Ranked {
+	t.Helper()
+	qq := q
+	qq.Downsample = rankAllWindow
+	results, err := db.Do(qq)
+	if err != nil {
+		t.Fatalf("ref Do: %v", err)
+	}
+	var all []Ranked
+	for _, r := range results {
+		if len(r.Points) > 0 {
+			all = append(all, Ranked{Group: r.Group, Value: r.Points[0].Value})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Value != b.Value {
+			if bottom {
+				return a.Value < b.Value
+			}
+			return a.Value > b.Value
+		}
+		return groupKey(a.Group, q.GroupBy) < groupKey(b.Group, q.GroupBy)
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+func assertSameRanking(t *testing.T, label string, want, got []Ranked) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d entries vs %d", label, len(want), len(got))
+	}
+	for i := range want {
+		// Two Do calls may differ in the last bit (group accumulation
+		// follows map iteration order), so value equality is tolerant;
+		// ordering is exact because fixture groups are well separated.
+		tol := 1e-9 * math.Max(1, math.Abs(want[i].Value))
+		if math.Abs(want[i].Value-got[i].Value) > tol {
+			t.Fatalf("%s entry %d: value %g vs %g", label, i, want[i].Value, got[i].Value)
+		}
+		for k, v := range want[i].Group {
+			if got[i].Group[k] != v {
+				t.Fatalf("%s entry %d: group %s %q vs %q", label, i, k, v, got[i].Group[k])
+			}
+		}
+	}
+}
+
+// TestTopNMatchesFullSort checks the bounded-heap ranking returns
+// exactly what a full sort of every group would, across directions,
+// sizes, aggregates, and tie-heavy group sets.
+func TestTopNMatchesFullSort(t *testing.T) {
+	db := rankFixture()
+	cases := []struct {
+		name   string
+		q      Query
+		n      int
+		bottom bool
+	}{
+		{"top3-host-sum", Query{Event: "user", Aggregate: Sum, GroupBy: []string{"host"}}, 3, false},
+		{"bottom3-host-sum", Query{Event: "user", Aggregate: Sum, GroupBy: []string{"host"}}, 3, true},
+		{"top5-host-avg", Query{Aggregate: Avg, GroupBy: []string{"host"}}, 5, false},
+		{"top1-max", Query{Aggregate: Max, GroupBy: []string{"host", "event"}}, 1, false},
+		{"n-exceeds-groups", Query{Event: "user", Aggregate: Sum, GroupBy: []string{"host"}}, 100, false},
+		{"windowed", Query{Start: 600, End: 1800, Aggregate: Sum, GroupBy: []string{"host"}}, 4, false},
+		{"two-groups", Query{Aggregate: Avg, GroupBy: []string{"event"}}, 2, false},
+	}
+	for _, tc := range cases {
+		want := refTopN(t, db, tc.q, tc.n, tc.bottom)
+		got, err := db.TopN(tc.q, tc.n, tc.bottom)
+		if err != nil {
+			t.Fatalf("%s: TopN: %v", tc.name, err)
+		}
+		assertSameRanking(t, tc.name, want, got)
+	}
+	if out, err := db.TopN(Query{Aggregate: Sum}, 0, false); err != nil || out != nil {
+		t.Fatalf("n=0 should rank nothing, got %v (%v)", out, err)
+	}
+}
+
+// TestTopNExactTies pits groups with bit-identical aggregates against
+// each other: selection inside a tie must follow group-key order, same
+// as the full-sort reference.
+func TestTopNExactTies(t *testing.T) {
+	db := New()
+	// Two pairs of hosts with identical constant series: {a,c} at 5,
+	// {b,d} at 3. Each group holds one series, so its aggregate is exact.
+	for host, v := range map[string]float64{"a": 5, "c": 5, "b": 3, "d": 3} {
+		for ti := 0.0; ti < 600; ti += 60 {
+			db.Put(Tags{Host: host, DevType: "cpu", Device: "cpu0", Event: "user"}, ti, v)
+		}
+	}
+	q := Query{Aggregate: Avg, GroupBy: []string{"host"}}
+	for _, n := range []int{1, 2, 3, 4} {
+		for _, bottom := range []bool{false, true} {
+			want := refTopN(t, db, q, n, bottom)
+			got, err := db.TopN(q, n, bottom)
+			if err != nil {
+				t.Fatalf("TopN(n=%d bottom=%v): %v", n, bottom, err)
+			}
+			assertSameRanking(t, fmt.Sprintf("n=%d bottom=%v", n, bottom), want, got)
+		}
+	}
+	top3, _ := db.TopN(q, 3, false)
+	if top3[0].Group["host"] != "a" || top3[1].Group["host"] != "c" || top3[2].Group["host"] != "b" {
+		t.Fatalf("tie-break order wrong: %v", top3)
+	}
+}
+
+// TestLatestGauges checks Latest reports exactly each matching series'
+// newest point.
+func TestLatestGauges(t *testing.T) {
+	db := rankFixture()
+	gauges := db.Latest(Query{Event: "user"})
+	if len(gauges) != 12 {
+		t.Fatalf("got %d gauges, want 12", len(gauges))
+	}
+	for i, g := range gauges {
+		if g.Time != 3540 {
+			t.Fatalf("gauge %d: newest time %g, want 3540", i, g.Time)
+		}
+		if i > 0 && gauges[i-1].Tags.Host > g.Tags.Host {
+			t.Fatal("gauges not sorted by tags")
+		}
+	}
+	one := db.Latest(Query{Host: gauges[0].Tags.Host})
+	if len(one) != 2 {
+		t.Fatalf("host-pinned Latest got %d series, want 2", len(one))
+	}
+}
+
+// compareResults is assertSameResults without t.Fatal, safe to call
+// from concurrent query goroutines.
+func compareResults(want, got []Result) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("%d groups vs %d", len(want), len(got))
+	}
+	for gi := range want {
+		w, g := want[gi], got[gi]
+		for k, v := range w.Group {
+			if g.Group[k] != v {
+				return fmt.Errorf("group %d key %s: %q vs %q", gi, k, v, g.Group[k])
+			}
+		}
+		if len(w.Points) != len(g.Points) {
+			return fmt.Errorf("group %d: %d points vs %d", gi, len(w.Points), len(g.Points))
+		}
+		for pi := range w.Points {
+			wp, gp := w.Points[pi], g.Points[pi]
+			if wp.Time != gp.Time {
+				return fmt.Errorf("group %d point %d: time %g vs %g", gi, pi, wp.Time, gp.Time)
+			}
+			tol := 1e-9 * math.Max(1, math.Abs(wp.Value))
+			if math.Abs(wp.Value-gp.Value) > tol {
+				return fmt.Errorf("group %d point %d (t=%g): value %g vs %g", gi, pi, wp.Time, wp.Value, gp.Value)
+			}
+		}
+	}
+	return nil
+}
+
+// TestQueryStraddlesCommitCold runs queries concurrently with the
+// evictions that move their window's data from RAM to sealed segments
+// mid-flight: every answer must equal the all-hot reference no matter
+// where the boundary lands during the scan. Run under -race this also
+// audits the boundary/eviction synchronization.
+func TestQueryStraddlesCommitCold(t *testing.T) {
+	ref := New()
+	db := New()
+	cs, err := segstore.Open(t.TempDir(), segstore.Options{
+		Shards:          32,
+		SegmentBytes:    4 << 10,
+		CompactRawAfter: -1,
+		CompactMidAfter: -1,
+		Metrics:         telemetry.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatalf("segstore.Open: %v", err)
+	}
+	defer cs.Close()
+	const hotWindow = 1800
+	if err := db.AttachCold(cs, hotWindow); err != nil {
+		t.Fatalf("AttachCold: %v", err)
+	}
+	hosts := []string{"c401-101", "c401-102", "c402-101"}
+	queries := []Query{
+		{Aggregate: Sum, Downsample: 600},
+		{Aggregate: Avg, Downsample: 600, GroupBy: []string{"host"}},
+		{Host: "c402-101", Aggregate: Max, Downsample: 600},
+		{Start: 600, End: 6600, Aggregate: Sum, Downsample: 600, GroupBy: []string{"event"}},
+	}
+
+	// Ingest in phases of a half hot-window; after each phase the data
+	// is static, so concurrent queries must exactly match the all-hot
+	// reference while CommitCold advances the boundary underneath them.
+	const phaseSpan, phases = hotWindow / 2, 10
+	for ph := 0; ph < phases; ph++ {
+		lo := float64(ph) * phaseSpan
+		for ti := lo; ti < lo+phaseSpan; ti += 30 {
+			for hi, h := range hosts {
+				for ei, ev := range []string{"user", "system"} {
+					v := math.Sin(ti/700+float64(hi)) + float64(ei) + 2
+					tags := Tags{Host: h, DevType: "cpu", Device: "cpu0", Event: ev}
+					ref.Put(tags, ti, v)
+					db.Put(tags, ti, v)
+				}
+			}
+		}
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for w := 0; w < 3; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for round := 0; round < 4; round++ {
+					for _, q := range queries {
+						want, err := ref.Do(q)
+						if err != nil {
+							t.Errorf("ref.Do(%+v): %v", q, err)
+							return
+						}
+						got, err := db.Do(q)
+						if err != nil {
+							t.Errorf("db.Do(%+v): %v", q, err)
+							return
+						}
+						if err := compareResults(want, got); err != nil {
+							t.Errorf("phase %d query %+v: %v", ph, q, err)
+							return
+						}
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if err := db.CommitCold(); err != nil {
+				t.Errorf("CommitCold: %v", err)
+			}
+		}()
+		close(start)
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+	}
+	// The straddle must have been real: data evicted to disk while the
+	// replay above stayed byte-identical.
+	evicted := false
+	for i := range db.shards {
+		db.shards[i].mu.RLock()
+		if db.shards[i].coldBoundary > 0 {
+			evicted = true
+		}
+		db.shards[i].mu.RUnlock()
+	}
+	if !evicted {
+		t.Fatal("no shard ever advanced its cold boundary; the straddle never happened")
+	}
+}

@@ -300,6 +300,13 @@ type matchRef struct {
 	lo, hi int
 }
 
+// coldRef is one matched cold series: a direct reference to the chunk
+// the segment scan built for this query (never shared, so no copy).
+type coldRef struct {
+	tags Tags
+	pts  []segstore.AggPoint
+}
+
 // groupAcc accumulates one group's (time -> bucket) cells. With a
 // downsample width and a dense-enough span it uses a flat slice keyed by
 // bucket index (no per-cell allocation, already time-ordered);
@@ -337,13 +344,17 @@ func (db *DB) Do(q Query) ([]Result, error) {
 	pts := (*bufp)[:0]
 	var refs []matchRef
 	cs := db.cold
-	var coldPts []segstore.AggPoint
-	var coldRefs []matchRef // lo:hi index into coldPts
+	var coldRefs []coldRef
 	shFirst, shLast := 0, numShards
 	if q.Host != "" {
 		shFirst = int(hostHash(q.Host) % numShards)
 		shLast = shFirst + 1
 	}
+	type coldJob struct {
+		shard int
+		end   float64
+	}
+	var jobs []coldJob
 	for i := shFirst; i < shLast; i++ {
 		sh := &db.shards[i]
 		sh.mu.RLock()
@@ -362,25 +373,58 @@ func (db *DB) Do(q Query) ([]Result, error) {
 		if cs == nil {
 			continue
 		}
-		coldEnd, ok := coldWindow(q, boundary)
-		if !ok {
-			continue
+		// The boundary was captured under the same read lock as the hot
+		// copy, so the cold window below it and the RAM range above it
+		// tile the query exactly even if CommitCold runs in between.
+		if coldEnd, ok := coldWindow(q, boundary); ok {
+			jobs = append(jobs, coldJob{shard: i, end: coldEnd})
 		}
-		chunks, err := cs.ScanShard(i, segstore.Filter{
-			Host: q.Host, DevType: q.DevType, Device: q.Device, Event: q.Event,
-		}, q.Start, coldEnd)
-		if err != nil {
-			*bufp = pts[:0]
-			pointBufPool.Put(bufp)
-			return nil, err
+	}
+	if len(jobs) > 0 {
+		filter := segstore.Filter{Host: q.Host, DevType: q.DevType, Device: q.Device, Event: q.Event}
+		chunksByJob := make([][]segstore.SeriesChunk, len(jobs))
+		errs := make([]error, len(jobs))
+		if len(jobs) == 1 {
+			chunksByJob[0], errs[0] = cs.ScanShard(jobs[0].shard, filter, q.Start, jobs[0].end)
+		} else {
+			// Wildcard-host queries fan the per-shard cold scans out in
+			// parallel; each scan is itself parallel across its segments,
+			// so the outer width stays modest.
+			sem := make(chan struct{}, 4)
+			var wg sync.WaitGroup
+			wg.Add(len(jobs))
+			for ji := range jobs {
+				go func(ji int) {
+					defer wg.Done()
+					sem <- struct{}{}
+					defer func() { <-sem }()
+					chunksByJob[ji], errs[ji] = cs.ScanShard(jobs[ji].shard, filter, q.Start, jobs[ji].end)
+				}(ji)
+			}
+			wg.Wait()
 		}
-		for _, c := range chunks {
-			lo := len(coldPts)
-			coldPts = append(coldPts, c.Points...)
-			coldRefs = append(coldRefs, matchRef{
-				tags: Tags{Host: c.Labels.Host, DevType: c.Labels.DevType, Device: c.Labels.Device, Event: c.Labels.Event},
-				lo:   lo, hi: len(coldPts),
-			})
+		nChunks := 0
+		for ji := range jobs {
+			if err := errs[ji]; err != nil {
+				*bufp = pts[:0]
+				pointBufPool.Put(bufp)
+				return nil, err
+			}
+			nChunks += len(chunksByJob[ji])
+		}
+		// Each chunk's points are freshly built per scan, so they can be
+		// referenced directly — no flat merge copy.
+		coldRefs = make([]coldRef, 0, nChunks)
+		for ji := range jobs {
+			for _, c := range chunksByJob[ji] {
+				if len(c.Points) == 0 {
+					continue
+				}
+				coldRefs = append(coldRefs, coldRef{
+					tags: Tags{Host: c.Labels.Host, DevType: c.Labels.DevType, Device: c.Labels.Device, Event: c.Labels.Event},
+					pts:  c.Points,
+				})
+			}
 		}
 	}
 
@@ -389,7 +433,7 @@ func (db *DB) Do(q Query) ([]Result, error) {
 	useFlat := false
 	var base int64
 	width := 0
-	if q.Downsample > 0 && len(pts)+len(coldPts) > 0 {
+	if q.Downsample > 0 && len(pts)+len(coldRefs) > 0 {
 		lo, hi := int64(0), int64(0)
 		first := true
 		span := func(blo, bhi int64) {
@@ -414,10 +458,7 @@ func (db *DB) Do(q Query) ([]Result, error) {
 			span(int64(pts[ref.lo].Time/q.Downsample), int64(pts[ref.hi-1].Time/q.Downsample))
 		}
 		for _, ref := range coldRefs {
-			if ref.lo == ref.hi {
-				continue
-			}
-			span(int64(coldPts[ref.lo].Time/q.Downsample), int64(coldPts[ref.hi-1].Time/q.Downsample))
+			span(int64(ref.pts[0].Time/q.Downsample), int64(ref.pts[len(ref.pts)-1].Time/q.Downsample))
 		}
 		if !first && hi-lo+1 <= maxFlatBuckets {
 			useFlat, base, width = true, lo, int(hi-lo+1)
@@ -490,7 +531,7 @@ func (db *DB) Do(q Query) ([]Result, error) {
 	}
 	for _, ref := range coldRefs {
 		acc := lookup(ref.tags)
-		for _, p := range coldPts[ref.lo:ref.hi] {
+		for _, p := range ref.pts {
 			cell(acc, p.Time).merge(p)
 		}
 	}
