@@ -7,6 +7,7 @@ package gostats
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -17,6 +18,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"gostats/internal/analysis"
 	"gostats/internal/broker"
@@ -29,6 +31,7 @@ import (
 	"gostats/internal/experiments"
 	"gostats/internal/hwsim"
 	"gostats/internal/model"
+	"gostats/internal/pipeline"
 	"gostats/internal/portal"
 	"gostats/internal/preload"
 	"gostats/internal/rawfile"
@@ -1081,5 +1084,79 @@ func BenchmarkSegstoreCompact(b *testing.B) {
 		if st.TierPoints[t] > 0 {
 			b.ReportMetric(float64(st.TierBytes[t])/points, "diskB/pt-"+name)
 		}
+	}
+}
+
+// BenchmarkPipelineStageHop measures the framework tax on one item
+// crossing a three-stage pipeline: submit, two queue hops, and the
+// per-stage bookkeeping. The completion channel mirrors how the
+// listener acks, so the number is the real per-message overhead the
+// daemons pay for staged execution.
+func BenchmarkPipelineStageHop(b *testing.B) {
+	type item struct{ done chan error }
+	p := pipeline.New("bench-hop", telemetry.NewRegistry())
+	s1 := pipeline.AddStage(p, "a", pipeline.Options[*item]{Queue: 64},
+		func(ctx context.Context, it *item) (*item, error) { return it, nil })
+	s2 := pipeline.AddStage(p, "b", pipeline.Options[*item]{Queue: 64},
+		func(ctx context.Context, it *item) (*item, error) { return it, nil })
+	sink := pipeline.AddSink(p, "c", pipeline.Options[*item]{Queue: 64},
+		func(ctx context.Context, it *item) error { it.done <- nil; return nil })
+	s1.To(s2)
+	s2.To(sink)
+	p.Start()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := &item{done: make(chan error, 1)}
+		if err := s1.Submit(context.Background(), it); err != nil {
+			b.Fatal(err)
+		}
+		if err := <-it.done; err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := p.Drain(ctx); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPipelineFanOut measures 8-way key-affinity fan-out
+// throughput: items for 64 keys routed across 8 workers with per-key
+// order preserved — the shape a multi-broker ingest stage would use.
+func BenchmarkPipelineFanOut(b *testing.B) {
+	type item struct{ key int }
+	var handled atomic.Int64
+	p := pipeline.New("bench-fan", telemetry.NewRegistry())
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("host%02d", i)
+	}
+	sink := pipeline.AddSink(p, "fan", pipeline.Options[item]{
+		Workers: 8,
+		Queue:   256,
+		Key:     func(it item) string { return keys[it.key] },
+	}, func(ctx context.Context, it item) error {
+		handled.Add(1)
+		return nil
+	})
+	p.Start()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sink.Submit(context.Background(), item{key: i & 63}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := p.Drain(ctx); err != nil {
+		b.Fatal(err)
+	}
+	if handled.Load() != int64(b.N) {
+		b.Fatalf("handled %d of %d", handled.Load(), b.N)
 	}
 }

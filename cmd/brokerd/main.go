@@ -27,13 +27,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
-	"os/signal"
 	"strings"
 	"time"
 
 	"gostats/internal/broker"
 	"gostats/internal/fabric"
+	"gostats/internal/pipeline"
 	"gostats/internal/telemetry"
 )
 
@@ -96,9 +95,11 @@ func main() {
 		fmt.Printf("brokerd: telemetry at %s/metrics\n", ops.URL())
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
+	// The shared daemon lifecycle: wait for SIGINT/SIGTERM, then close
+	// the server (which joins every connection goroutine).
+	if _, err := (pipeline.Daemon{}).Run(); err != nil {
+		log.Fatalf("brokerd: %v", err)
+	}
 	fmt.Println("brokerd: shutting down")
 	if err := srv.Close(); err != nil {
 		log.Fatalf("brokerd: close: %v", err)

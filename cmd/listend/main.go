@@ -42,19 +42,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 	"time"
 
 	"gostats/internal/broker"
 	"gostats/internal/chip"
 	"gostats/internal/codec"
 	"gostats/internal/fabric"
+	"gostats/internal/pipeline"
 	"gostats/internal/rawfile"
 	"gostats/internal/realtime"
 	"gostats/internal/schema"
@@ -172,22 +172,23 @@ func main() {
 	}
 	l.Cons = cons
 
-	// Graceful shutdown: stop consuming, let the in-flight snapshot be
-	// archived and acked, then exit. Every archived snapshot is written
-	// synchronously, so when Run returns the store is flushed.
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		s := <-sig
-		log.Printf("listend: %s: finishing in-flight message and shutting down", s)
-		if ops != nil {
-			ops.SetHealth("broker", fmt.Errorf("shutting down on %s", s))
-		}
-		l.Shutdown()
-	}()
-
+	// Graceful shutdown through the shared daemon lifecycle: stop
+	// consuming, let the in-flight snapshot be archived and acked, then
+	// exit. Every archived snapshot is written synchronously and Run
+	// drains the staged pipeline on return, so when Run returns the
+	// store is flushed.
 	log.Printf("listend: consuming %s from %s into %s", broker.StatsQueue, *brokerAddr, *storeDir)
-	if err := l.Run(); err != nil {
+	_, err = pipeline.Daemon{
+		Body: func(ctx context.Context) error { return l.Run() },
+		Stop: func(s os.Signal) {
+			log.Printf("listend: %s: finishing in-flight message and shutting down", s)
+			if ops != nil {
+				ops.SetHealth("broker", fmt.Errorf("shutting down on %s", s))
+			}
+			l.Shutdown()
+		},
+	}.Run()
+	if err != nil {
 		log.Fatalf("listend: consume loop for queue %q: %v", broker.StatsQueue, err)
 	}
 	if !l.ShutdownRequested() {
@@ -257,24 +258,31 @@ func runFabric(l *realtime.Listener, ops *telemetry.OpsServer, brokersList strin
 	log.Printf("listend: fabric group member %d/%d consuming %d partitions across %d brokers into %s (map v%d)",
 		index, count, m.Partitions, len(m.Brokers), storeDir, m.Version)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	select {
-	case s := <-sig:
-		log.Printf("listend: %s: finishing in-flight messages and shutting down", s)
-		if ops != nil {
-			ops.SetHealth("broker", fmt.Errorf("shutting down on %s", s))
-		}
-		g.Stop()
-		l.Close()
-		st := g.Stats()
-		log.Printf("listend: stopped cleanly; %d snapshots handled (%d deduped, %d consumer restarts)",
-			st.Handled, st.Deduped, st.Restarts)
-	case err := <-g.Err():
-		// A consumer died repeatedly against a broker the map still
-		// considers alive — the error names partition and broker.
-		g.Stop()
-		l.Close()
-		log.Fatalf("listend: %v", err)
+	_, derr := pipeline.Daemon{
+		Body: func(ctx context.Context) error {
+			select {
+			case <-ctx.Done():
+				return nil
+			case err := <-g.Err():
+				// A consumer died repeatedly against a broker the map
+				// still considers alive — the error names partition and
+				// broker.
+				return err
+			}
+		},
+		Stop: func(s os.Signal) {
+			log.Printf("listend: %s: finishing in-flight messages and shutting down", s)
+			if ops != nil {
+				ops.SetHealth("broker", fmt.Errorf("shutting down on %s", s))
+			}
+		},
+	}.Run()
+	g.Stop()
+	l.Close()
+	if derr != nil {
+		log.Fatalf("listend: %v", derr)
 	}
+	st := g.Stats()
+	log.Printf("listend: stopped cleanly; %d snapshots handled (%d deduped, %d consumer restarts)",
+		st.Handled, st.Deduped, st.Restarts)
 }

@@ -573,6 +573,11 @@ func main() {
 		gst := fgroup.Stats()
 		ledger.print()
 		fgroup.Stop()
+		// Stop the listener's staged pipeline and flush the archiver —
+		// the group no longer feeds it.
+		if err := listener.Close(); err != nil {
+			log.Fatalf("simcluster: listener close: %v", err)
+		}
 		if err := fpub.Close(); err != nil {
 			log.Fatalf("simcluster: publisher close: %v", err)
 		}

@@ -37,10 +37,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"strings"
 	"time"
 
@@ -50,10 +52,31 @@ import (
 	"gostats/internal/collect"
 	"gostats/internal/fabric"
 	"gostats/internal/hwsim"
+	"gostats/internal/model"
+	"gostats/internal/pipeline"
 	"gostats/internal/spool"
 	"gostats/internal/telemetry"
 	"gostats/internal/workload"
 )
+
+// tick is one sampling interval moving through the node pipeline:
+// sample fills snap, encode fills body, publish ships it.
+type tick struct {
+	i            int
+	now, elapsed float64
+	snap         model.Snapshot
+	body         []byte
+}
+
+// publisher is what both transports (single-broker reliable publisher
+// and fabric publisher) provide the staged pipeline.
+type publisher interface {
+	collect.Publisher
+	Encode(s *model.Snapshot) ([]byte, error)
+	PublishEncoded(s model.Snapshot, body []byte) error
+	AttachSpool(sp *spool.Spool)
+	Close() error
+}
 
 // bootstrapMap fetches the partition map from the first fabric broker
 // that answers.
@@ -128,7 +151,7 @@ func main() {
 		log.Printf("tacc_statsd: telemetry at %s/metrics", ops.URL())
 	}
 
-	model, err := pickModel(*wl, "u001")
+	wmodel, err := pickModel(*wl, "u001")
 	if err != nil {
 		log.Fatalf("tacc_statsd: %v", err)
 	}
@@ -142,11 +165,7 @@ func main() {
 	// restarts. Without a spool a dead broker costs at most the current
 	// interval's sample; with one, the sample waits on disk instead.
 	col := collect.New(node)
-	var pub interface {
-		collect.Publisher
-		AttachSpool(sp *spool.Spool)
-		Close() error
-	}
+	var pub publisher
 	target := *brokerAddr
 	if *brokersList != "" {
 		brokers := strings.Split(*brokersList, ",")
@@ -189,41 +208,125 @@ func main() {
 		log.Printf("tacc_statsd: spooling undeliverable snapshots under %s", *spoolDir)
 	}
 	defer pub.Close()
-	agent := collect.NewDaemonAgent(col, pub)
 
 	rng := rand.New(rand.NewSource(*seed))
 	runtime := float64(*ticks) * *interval
 	if *ticks == 0 {
 		runtime = 1e12
 	}
-	now, elapsed := 0.0, 0.0
 	var jobs []string
 	if *job != "" {
 		jobs = []string{*job}
 	}
-	log.Printf("tacc_statsd: %s publishing to %s every %.0f simulated seconds", *host, target, *interval)
-	for i := 0; *ticks == 0 || i < *ticks; i++ {
-		// The real daemon sleeps; we sleep the compressed interval.
-		if *speedup > 0 {
-			time.Sleep(time.Duration(*interval / *speedup * float64(time.Second)))
-		}
-		d := hwsim.IdleDemand()
-		if model != nil {
-			d = model.Demand(elapsed, runtime, 0, 1, rng)
-		}
-		node.Advance(*interval, d)
-		now += *interval
-		elapsed += *interval
-		if err := agent.Tick(now, jobs, ""); err != nil {
+
+	// The Fig 2 node-side pipeline, staged: a tick-clock source feeds
+	// sample → encode → publish. Every stage is single-worker (the
+	// node model and the publisher's per-host ordering are sequential
+	// by contract); the bounded queues let a slow broker overlap with
+	// at most a few intervals of lookahead before backpressure holds
+	// the clock. A failed encode or publish loses that sample — the
+	// original deployment's failure envelope — never the daemon.
+	p := pipeline.New("node", telemetry.Default())
+	sample := pipeline.AddStage(p, "sample", pipeline.Options[*tick]{Queue: 4},
+		func(ctx context.Context, t *tick) (*tick, error) {
+			d := hwsim.IdleDemand()
+			if wmodel != nil {
+				d = wmodel.Demand(t.elapsed, runtime, 0, 1, rng)
+			}
+			node.Advance(*interval, d)
+			t.snap, _ = col.Collect(t.now, jobs, "")
+			return t, nil
+		})
+	encode := pipeline.AddStage(p, "encode", pipeline.Options[*tick]{
+		Queue: 4,
+		Mode:  pipeline.DropOnError,
+		OnFailure: func(t *tick, err error) {
 			if ops != nil {
 				ops.SetHealth("publisher", err)
 			}
-			log.Printf("tacc_statsd: %v (sample lost — exhausted attempts and no spool accepted it)", err)
-			continue
+			log.Printf("tacc_statsd: collect: publish from %s: %v (sample lost — exhausted attempts and no spool accepted it)", *host, err)
+		},
+	}, func(ctx context.Context, t *tick) (*tick, error) {
+		body, err := pub.Encode(&t.snap)
+		if err != nil {
+			return nil, err
+		}
+		t.body = body
+		return t, nil
+	})
+	publish := pipeline.AddSink(p, "publish", pipeline.Options[*tick]{
+		Queue: 4,
+		Mode:  pipeline.DropOnError,
+		OnFailure: func(t *tick, err error) {
+			if ops != nil {
+				ops.SetHealth("publisher", err)
+			}
+			log.Printf("tacc_statsd: collect: publish from %s: %v (sample lost — exhausted attempts and no spool accepted it)", *host, err)
+		},
+	}, func(ctx context.Context, t *tick) error {
+		if err := pub.PublishEncoded(t.snap, t.body); err != nil {
+			return err
 		}
 		if ops != nil {
 			ops.SetHealth("publisher", nil)
 		}
-		log.Printf("tacc_statsd: published collection %d at t=%.0f", i+1, now)
+		log.Printf("tacc_statsd: published collection %d at t=%.0f", t.i+1, t.now)
+		return nil
+	})
+	sample.To(encode)
+	encode.To(publish)
+
+	ticksDone := make(chan struct{})
+	p.AddSource("tick-clock", func(ctx context.Context) error {
+		defer close(ticksDone)
+		now, elapsed := 0.0, 0.0
+		for i := 0; *ticks == 0 || i < *ticks; i++ {
+			// The real daemon sleeps; we sleep the compressed interval.
+			if *speedup > 0 {
+				select {
+				case <-time.After(time.Duration(*interval / *speedup * float64(time.Second))):
+				case <-ctx.Done():
+					return nil
+				}
+			} else if ctx.Err() != nil {
+				return nil
+			}
+			t := &tick{i: i, now: now + *interval, elapsed: elapsed}
+			now += *interval
+			elapsed += *interval
+			if err := sample.Submit(ctx, t); err != nil {
+				return nil // pipeline stopping; the drain handles the rest
+			}
+		}
+		return nil
+	})
+
+	log.Printf("tacc_statsd: %s publishing to %s every %.0f simulated seconds", *host, target, *interval)
+	p.Start()
+	sig, err := pipeline.Daemon{
+		Body: func(ctx context.Context) error {
+			select {
+			case <-ticksDone:
+				return nil
+			case <-p.Fatal():
+				return p.Err()
+			case <-ctx.Done():
+				return nil
+			}
+		},
+		Stop: func(s os.Signal) {
+			log.Printf("tacc_statsd: %v received, draining", s)
+		},
+	}.Run()
+	dctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if derr := p.Drain(dctx); derr != nil && err == nil {
+		err = derr
+	}
+	if err != nil {
+		log.Fatalf("tacc_statsd: %v", err)
+	}
+	if sig != nil {
+		log.Printf("tacc_statsd: drained cleanly after %v", sig)
 	}
 }

@@ -1,0 +1,48 @@
+package broker
+
+import (
+	"testing"
+
+	"gostats/internal/leakcheck"
+	"gostats/internal/telemetry"
+)
+
+// TestLifecycleJoinsWorkers pins the goroutine-hygiene contract for the
+// single-broker transport: server + reliable publisher (with its spool
+// drainer) + consumer must all join their workers on Close.
+func TestLifecycleJoinsWorkers(t *testing.T) {
+	defer leakcheck.Check(t)()
+
+	reg := telemetry.NewRegistry()
+	srv := NewServer()
+	srv.Metrics = reg
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pub := NewReliablePublisher(addr, StatsQueue)
+	pub.Metrics = reg
+	pub.AttachSpool(robustSpool(t, reg))
+	if err := pub.Publish(robustSnap(100)); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+
+	cons, err := DialConsumer(addr, StatsQueue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cons.NextNoAck(); err != nil {
+		t.Fatalf("consume: %v", err)
+	}
+	if err := cons.Ack(); err != nil {
+		t.Fatalf("ack: %v", err)
+	}
+	cons.Close()
+	if err := pub.Close(); err != nil {
+		t.Fatalf("publisher close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("server close: %v", err)
+	}
+}

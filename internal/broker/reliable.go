@@ -273,11 +273,24 @@ func (p *ReliablePublisher) PublishBytes(body []byte) error {
 // arrives while a backlog is still replaying, so ordering holds — is
 // spooled instead of dropped.
 func (p *ReliablePublisher) Publish(s model.Snapshot) error {
-	p.Trace.Stamp(&s, model.StagePublish)
-	body, err := EncodeSnapshotWire(s, p.Registry, p.Codec)
+	body, err := p.Encode(&s)
 	if err != nil {
 		return err
 	}
+	return p.PublishEncoded(s, body)
+}
+
+// Encode stamps the publish hop and encodes the snapshot for the wire —
+// the encode half of Publish, split out so a staged sampling pipeline
+// can run encoding and delivery as separate stages.
+func (p *ReliablePublisher) Encode(s *model.Snapshot) ([]byte, error) {
+	p.Trace.Stamp(s, model.StagePublish)
+	return EncodeSnapshotWire(*s, p.Registry, p.Codec)
+}
+
+// PublishEncoded delivers a snapshot already encoded by Encode, with
+// Publish's full spool-ordering and fallback behaviour.
+func (p *ReliablePublisher) PublishEncoded(s model.Snapshot, body []byte) error {
 	p.mu.Lock()
 	if p.sp != nil && p.sp.Depth() > 0 {
 		// Live publishes must not overtake the spooled backlog: append
@@ -298,7 +311,7 @@ func (p *ReliablePublisher) Publish(s model.Snapshot) error {
 		p.mu.Unlock()
 		return perr
 	}
-	err = p.spoolLocked(s)
+	err := p.spoolLocked(s)
 	p.mu.Unlock()
 	p.wakeDrainer()
 	return err

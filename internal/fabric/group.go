@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"fmt"
+	"hash/fnv"
 	"log"
 	"net"
 	"sync"
@@ -76,7 +77,12 @@ type Group struct {
 	mu        sync.Mutex
 	consumers map[consumerKey]*partConsumer
 	stopped   bool
-	handleMu  sync.Mutex // serializes Handle across partition consumers
+	// hostMu stripes the dedup-admission + Handle critical section by
+	// host: same-host frames stay strictly ordered (the conservation
+	// audit depends on per-host order), while different hosts' frames
+	// flow through Handle — and the listener's staged pipeline behind
+	// it — concurrently.
+	hostMu [64]sync.Mutex
 
 	delivered uint64
 	handled   uint64
@@ -307,14 +313,18 @@ func (g *Group) drainConsumer(k consumerKey, pc *partConsumer, cons *broker.Cons
 		}
 		g.recordDelivery(k)
 		dedup := g.dedupTable()
-		// Admission and handling share the critical section so a replica
-		// copy racing in on another consumer cannot pass the dedup check
-		// while the first copy's handler is still running; a failed
-		// handle withdraws the admission so the broker's redelivery (the
-		// frame was not acked) is handled, not deduped away.
-		g.handleMu.Lock()
+		// Admission and handling share a per-host critical section so a
+		// replica copy racing in on another consumer cannot pass the
+		// dedup check while the first copy's handler is still running,
+		// and so the copy of seq n+1 cannot enter Handle before seq n
+		// has cleared it (per-host order); a failed handle withdraws the
+		// admission so the broker's redelivery (the frame was not acked)
+		// is handled, not deduped away. Different hosts take different
+		// stripes and handle concurrently.
+		hm := g.hostLock(msg.Host)
+		hm.Lock()
 		if dedup.Seen(msg.Host, msg.Seq) {
-			g.handleMu.Unlock()
+			hm.Unlock()
 			g.dropsCounter().Inc()
 			if err := cons.Ack(); err != nil {
 				return err
@@ -324,10 +334,10 @@ func (g *Group) drainConsumer(k consumerKey, pc *partConsumer, cons *broker.Cons
 		herr := g.Handle(msg.Body)
 		if herr != nil {
 			dedup.Forget(msg.Host, msg.Seq)
-			g.handleMu.Unlock()
+			hm.Unlock()
 			return fmt.Errorf("handler: %w", herr)
 		}
-		g.handleMu.Unlock()
+		hm.Unlock()
 		g.mu.Lock()
 		g.handled++
 		g.mu.Unlock()
@@ -338,6 +348,13 @@ func (g *Group) drainConsumer(k consumerKey, pc *partConsumer, cons *broker.Cons
 			br.Success()
 		}
 	}
+}
+
+// hostLock maps a host to its admission-ordering stripe.
+func (g *Group) hostLock(host string) *sync.Mutex {
+	h := fnv.New32a()
+	h.Write([]byte(host))
+	return &g.hostMu[h.Sum32()%uint32(len(g.hostMu))]
 }
 
 // dedupTable resolves the shared dedup table.

@@ -105,12 +105,17 @@ func (cp *ClientPool) Close() {
 	}
 }
 
-// backoffSleep sleeps the policy backoff for retry attempt n, bounded
-// so fabric retry rounds never stall a caller for long.
-func backoffSleep(pol broker.Policy, attempt int) {
+// backoffDelay is the policy backoff for retry attempt n, bounded so
+// fabric retry rounds never stall a caller for long.
+func backoffDelay(pol broker.Policy, attempt int) time.Duration {
 	d := pol.Backoff(attempt, nil)
 	if d > 2*time.Second {
 		d = 2 * time.Second
 	}
-	time.Sleep(d)
+	return d
+}
+
+// backoffSleep sleeps the bounded policy backoff for retry attempt n.
+func backoffSleep(pol broker.Policy, attempt int) {
+	time.Sleep(backoffDelay(pol, attempt))
 }

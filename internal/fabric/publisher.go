@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"gostats/internal/broker"
 	"gostats/internal/codec"
@@ -262,11 +263,24 @@ func (p *Publisher) adoptNewer(c *broker.Client) {
 // a backlog is still replaying, so per-host ordering holds — is
 // spooled instead of dropped.
 func (p *Publisher) Publish(s model.Snapshot) error {
-	p.Trace.Stamp(&s, model.StagePublish)
-	body, err := broker.EncodeSnapshotWire(s, p.Registry, p.Codec)
+	body, err := p.Encode(&s)
 	if err != nil {
 		return err
 	}
+	return p.PublishEncoded(s, body)
+}
+
+// Encode stamps the publish hop and encodes the snapshot for the wire —
+// the encode half of Publish, split out so a staged sampling pipeline
+// can run encoding and delivery as separate stages.
+func (p *Publisher) Encode(s *model.Snapshot) ([]byte, error) {
+	p.Trace.Stamp(s, model.StagePublish)
+	return broker.EncodeSnapshotWire(*s, p.Registry, p.Codec)
+}
+
+// PublishEncoded delivers a snapshot already encoded by Encode, with
+// Publish's full replication, spool-ordering, and fallback behaviour.
+func (p *Publisher) PublishEncoded(s model.Snapshot, body []byte) error {
 	host, seq := s.Host, SeqOf(s)
 	p.mu.Lock()
 	if p.sp != nil && p.sp.Depth() > 0 {
@@ -284,21 +298,26 @@ func (p *Publisher) Publish(s model.Snapshot) error {
 	// hold p.mu (the drainer and stats would stall behind it).
 	_, firstFP, perr := p.publishReplicated(body, host, seq)
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if perr == nil {
 		p.published++
 		p.metrics().published.Inc()
 		p.bytesOnWire += int64(len(body))
 		p.metrics().bytesOnWire.Add(uint64(len(body)))
+		p.mu.Unlock()
 		return nil
 	}
 	if p.sp == nil {
 		p.dropped++
 		p.metrics().dropped.Inc()
+		p.mu.Unlock()
 		return perr
 	}
-	err = p.spoolLocked(s, host, seq, firstFP)
-	go p.wakeDrainer()
+	err := p.spoolLocked(s, host, seq, firstFP)
+	// Wake outside the lock (wakeDrainer re-acquires it), synchronously:
+	// the old `go p.wakeDrainer()` here left an unjoined goroutine
+	// behind every spooled publish.
+	p.mu.Unlock()
+	p.wakeDrainer()
 	return err
 }
 
@@ -341,14 +360,12 @@ func (p *Publisher) drainLoop() {
 	defer close(done)
 	failures := 0
 	for {
-		var retry <-chan struct{}
+		var retry <-chan time.Time
 		if p.sp.Depth() > 0 {
-			ch := make(chan struct{})
-			go func(attempt int) {
-				backoffSleep(p.view.pol, attempt)
-				close(ch)
-			}(failures + 1)
-			retry = ch
+			// Backlog remains: retry after a bounded backoff. A timer
+			// channel, not a spawned sleeper goroutine — the old sleeper
+			// outlived Close by up to the whole backoff.
+			retry = time.After(backoffDelay(p.view.pol, failures+1))
 		}
 		select {
 		case <-stop:

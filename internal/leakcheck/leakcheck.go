@@ -1,0 +1,44 @@
+// Package leakcheck is a dependency-free goroutine-leak assert for
+// tests: snapshot the goroutine count at the start of a test, and fail
+// if it has not returned to the baseline by the end. Every Close/Stop
+// in the transport claims to join its workers; this is the check that
+// keeps that claim honest.
+//
+// The count is process-global, so use it only in tests that do not run
+// in parallel with others (no t.Parallel in the package), and prefer
+// one check per test so the attribution is unambiguous.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// grace is how long Check waits for stragglers: goroutines legitimately
+// take a moment to observe a closed channel and unwind.
+const grace = 5 * time.Second
+
+// Check records the current goroutine count and returns a function to
+// defer; it fails t if the count has not dropped back to the baseline
+// within the grace window, dumping all stacks for attribution.
+func Check(t testing.TB) func() {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(grace)
+		n := runtime.NumGoroutine()
+		for n > base && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+			n = runtime.NumGoroutine()
+		}
+		if n <= base {
+			return
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("leakcheck: %d goroutines alive, baseline was %d; stacks:\n%s",
+			n, base, buf)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"gostats/internal/broker"
 	"gostats/internal/codec"
 	"gostats/internal/model"
+	"gostats/internal/pipeline"
 	"gostats/internal/rawfile"
 	"gostats/internal/schema"
 	"gostats/internal/telemetry"
@@ -231,8 +232,13 @@ type Listener struct {
 	initOnce  sync.Once
 	met       *listenMetrics
 	arch      *rawfile.Archiver
-	archOwned bool // arch was created here, so Close/Run tears it down
-	maxSeen   float64
+	archOwned bool    // arch was created here, so Close/Run tears it down
+	maxSeen   float64 // written only by the decode stage worker
+
+	// The staged runtime (see stages.go): decode → archive → ingest →
+	// assemble, each a single-worker bounded stage.
+	pipe   *pipeline.Pipeline
+	intake pipeline.Inlet[*listenItem]
 }
 
 // init resolves the metrics and archiver once, whichever entry point
@@ -252,6 +258,7 @@ func (l *Listener) init() {
 			l.arch = rawfile.NewArchiver(l.Store, 0)
 			l.archOwned = true
 		}
+		l.buildPipeline(reg)
 	})
 }
 
@@ -268,12 +275,14 @@ func (l *Listener) ShutdownRequested() bool { return l.stopping.Load() }
 // Run consumes until the broker closes (io.EOF), Shutdown is called, or
 // a fatal error occurs. Each message is fully processed — archived,
 // monitored, ingested — BEFORE it is acknowledged, so a listener crash
-// mid-message costs a redelivery, never a lost snapshot.
+// mid-message costs a redelivery, never a lost snapshot. The processing
+// itself runs on the staged pipeline (stages.go); submitWait blocks
+// until the snapshot clears every sink, so the ack ordering is exactly
+// what it was when the sinks ran inline. When Run returns it drains the
+// pipeline, so everything consumed is flushed.
 func (l *Listener) Run() error {
 	l.init()
-	if l.archOwned {
-		defer l.Close()
-	}
+	defer l.Close()
 	for {
 		body, err := l.Cons.NextNoAck()
 		if err == io.EOF {
@@ -286,7 +295,7 @@ func (l *Listener) Run() error {
 			return err
 		}
 		l.inflight.Lock()
-		err = l.handleOne(body)
+		err = l.submitWait(body)
 		var ackErr error
 		if err == nil {
 			ackErr = l.Cons.Ack()
@@ -312,67 +321,14 @@ func (l *Listener) Run() error {
 // HandleBody fans one raw wire message into the configured sinks —
 // the entry point for transports that do their own consuming, like a
 // fabric partition group feeding one listener from many partition
-// queues. Concurrent calls are serialized on the in-flight lock, so
-// the archiver and monitor see one snapshot at a time just as Run
-// delivers them.
+// queues. Concurrent calls for different hosts overlap in the decode
+// stage's bounded queue; the stages themselves are single-worker, so
+// the archiver, monitor, ingester, and assembler still see one snapshot
+// at a time, in intake order. The call returns once the message has
+// cleared every sink — callers ack on nil exactly as before.
 func (l *Listener) HandleBody(body []byte) error {
 	l.init()
-	l.inflight.Lock()
-	defer l.inflight.Unlock()
-	return l.handleOne(body)
-}
-
-// handleOne fans one raw message into the configured sinks; callers
-// hold l.inflight.
-func (l *Listener) handleOne(body []byte) error {
-	met := l.met
-	sreg := l.Registry
-	if sreg == nil {
-		sreg = schema.DefaultRegistry()
-	}
-	snap, wireV, err := broker.DecodeSnapshotWire(body, sreg)
-	if err != nil {
-		// A corrupt message must not kill the consumer; drop it.
-		met.decodeFails.Inc()
-		return nil
-	}
-	l.Trace.Stamp(&snap, model.StageBrokerDeliver)
-	if l.OnDecoded != nil {
-		l.OnDecoded(wireV, len(body))
-	}
-	l.processed.Add(1)
-	met.snapshots.Inc()
-	if snap.Time > l.maxSeen {
-		l.maxSeen = snap.Time
-	}
-	met.drainLag.Set(l.maxSeen - snap.Time)
-	if l.Monitor != nil {
-		alerts := l.Monitor.Process(snap)
-		met.alerts.Add(uint64(len(alerts)))
-	}
-	if l.arch != nil && l.Headers != nil {
-		l.Trace.Stamp(&snap, model.StageArchive)
-		t := met.storeSeconds.Start()
-		err := l.arch.Append(snap.Host, l.Headers(snap.Host), snap)
-		t.Stop()
-		if err != nil {
-			return fmt.Errorf("realtime: archive %s: %w", snap.Host, err)
-		}
-		l.Trace.MarkQueryable(snap.Host, snap)
-	}
-	if l.Ingest != nil {
-		l.Trace.Stamp(&snap, model.StageStoreIngest)
-		if err := l.Ingest.Ingest(snap); err != nil {
-			// A cold-store write failure means the point may not be
-			// durable: fail the message so the broker redelivers.
-			return fmt.Errorf("realtime: store ingest %s: %w", snap.Host, err)
-		}
-		l.Trace.MarkQueryable(snap.Host, snap)
-	}
-	if l.OnSnapshot != nil {
-		l.OnSnapshot(snap)
-	}
-	return nil
+	return l.submitWait(body)
 }
 
 // Shutdown stops the listener gracefully: it waits for the in-flight
@@ -390,12 +346,17 @@ func (l *Listener) Shutdown() {
 	l.inflight.Unlock()
 }
 
-// Close flushes and closes the archiver, if this listener created one.
-// Run-based listeners close it when Run returns; HandleBody-based
-// transports (fabric groups) must call Close after the last message.
+// Close drains the staged pipeline (flushing every queued snapshot
+// through its remaining sinks), then flushes and closes the archiver if
+// this listener created one. Run-based listeners do this when Run
+// returns; HandleBody-based transports (fabric groups) must call Close
+// after stopping the group. Idempotent.
 func (l *Listener) Close() error {
 	l.inflight.Lock()
 	defer l.inflight.Unlock()
+	if l.pipe != nil {
+		l.drainPipeline()
+	}
 	if l.arch == nil || !l.archOwned {
 		return nil
 	}

@@ -11,6 +11,7 @@
 package segstore
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"gostats/internal/fsutil"
+	"gostats/internal/pipeline"
 	"gostats/internal/telemetry"
 )
 
@@ -240,8 +242,7 @@ type Store struct {
 	statMu sync.Mutex
 	stats  Stats
 
-	bgStop chan struct{}
-	bgDone chan struct{}
+	bg *pipeline.Pipeline // background compaction (StartBackground)
 }
 
 // Open opens (creating if needed) the store rooted at dir and runs
@@ -796,34 +797,52 @@ func (s *Store) publishGauges() {
 
 // StartBackground runs compaction + retention every interval until
 // Close. Safe to skip for batch workloads that call Compact directly.
+//
+// It runs as a two-node pipeline: a ticker source rate-limits a
+// single-worker compact sink through a depth-1 queue via TrySubmit, so
+// a compaction running longer than the interval sheds ticks instead of
+// queuing a burst of back-to-back compactions — and the stage's depth/
+// drain telemetry rides along for free.
 func (s *Store) StartBackground(interval time.Duration) {
-	if s.bgStop != nil {
+	if s.bg != nil {
 		return
 	}
-	s.bgStop = make(chan struct{})
-	s.bgDone = make(chan struct{})
-	go func() {
-		defer close(s.bgDone)
+	p := pipeline.New("segstore", s.opts.Metrics)
+	compact := pipeline.AddSink(p, "compact",
+		pipeline.Options[struct{}]{
+			Queue: 1,
+			Mode:  pipeline.DropOnError,
+			OnFailure: func(_ struct{}, err error) {
+				s.opts.Logf("segstore: background compaction: %v", err)
+			},
+		},
+		func(ctx context.Context, _ struct{}) error { return s.Compact() },
+	)
+	p.AddSource("compact-clock", func(ctx context.Context) error {
 		t := time.NewTicker(interval)
 		defer t.Stop()
 		for {
 			select {
-			case <-s.bgStop:
-				return
+			case <-ctx.Done():
+				return nil
 			case <-t.C:
-				s.Compact()
+				compact.TrySubmit(struct{}{})
 			}
 		}
-	}()
+	})
+	s.bg = p
+	p.Start()
 }
 
-// Close stops background compaction, flushes and seals every active
-// segment, and leaves the store fully durable on disk.
+// Close stops background compaction (draining any in-flight pass, so
+// no compaction runs concurrently with the seal), flushes and seals
+// every active segment, and leaves the store fully durable on disk.
 func (s *Store) Close() error {
-	if s.bgStop != nil {
-		close(s.bgStop)
-		<-s.bgDone
-		s.bgStop = nil
+	if s.bg != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		s.bg.Drain(ctx)
+		cancel()
+		s.bg = nil
 	}
 	return s.Seal()
 }
