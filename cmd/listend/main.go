@@ -268,6 +268,12 @@ func runFabric(l *realtime.Listener, ops *telemetry.OpsServer, brokersList strin
 				// still considers alive — the error names partition and
 				// broker.
 				return err
+			case <-l.Fatal():
+				// A sink error poisoned the listener pipeline: every
+				// further delivery will be refused, so exit with the
+				// error instead of letting the group retry forever —
+				// the pre-pipeline contract (sink failure is fatal).
+				return l.FatalErr()
 			}
 		},
 		Stop: func(s os.Signal) {

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
@@ -25,14 +26,16 @@ type Daemon struct {
 
 // Run blocks until Body returns or a shutdown signal arrives. On a
 // signal it calls Stop, cancels Body's context, and waits for Body to
-// finish draining. It returns the signal (nil if Body exited on its
-// own) and Body's error.
+// finish draining. A second signal during the drain is the operator's
+// escape hatch: Run stops waiting on Body and returns an error, so a
+// wedged drain never needs SIGKILL. It returns the signal (nil if Body
+// exited on its own) and Body's error.
 func (d Daemon) Run() (os.Signal, error) {
 	sigs := d.Signals
 	if len(sigs) == 0 {
 		sigs = []os.Signal{os.Interrupt, syscall.SIGTERM}
 	}
-	ch := make(chan os.Signal, 1)
+	ch := make(chan os.Signal, 2)
 	signal.Notify(ch, sigs...)
 	defer signal.Stop(ch)
 
@@ -58,6 +61,11 @@ func (d Daemon) Run() (os.Signal, error) {
 		if d.Body == nil {
 			return sig, nil
 		}
-		return sig, <-bodyDone
+		select {
+		case err := <-bodyDone:
+			return sig, err
+		case sig2 := <-ch:
+			return sig2, fmt.Errorf("pipeline: %v during drain: abandoning shutdown wait", sig2)
+		}
 	}
 }

@@ -52,13 +52,13 @@ type Pipeline struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	mu       sync.Mutex
-	sources  []*source
-	stages   []node
-	started  bool
-	drained  bool
-	fatalErr error
-	fatalCh  chan struct{}
+	mu        sync.Mutex
+	sources   []*source
+	stages    []node
+	started   bool
+	drainDone chan struct{} // non-nil once a drain started; closed when it finishes
+	fatalErr  error
+	fatalCh   chan struct{}
 }
 
 // New builds an empty pipeline. Telemetry lands in reg; nil uses
@@ -198,18 +198,24 @@ func (p *Pipeline) Start() {
 // has its intake closed and its workers joined, flushing queued items
 // downstream before the next stage closes. ctx bounds the whole drain;
 // when it expires the pipeline is failed and remaining items are dead-
-// lettered through each stage's OnFailure hook. Drain is idempotent and
-// returns the pipeline's first fatal error, nil on a clean flush.
+// lettered through each stage's OnFailure hook. Drain is idempotent —
+// concurrent and repeat callers wait for the first drain to finish
+// rather than returning while stages are still flushing — and returns
+// the pipeline's first fatal error, nil on a clean flush.
 func (p *Pipeline) Drain(ctx context.Context) error {
 	p.mu.Lock()
-	if p.drained {
+	if p.drainDone != nil {
+		done := p.drainDone
 		p.mu.Unlock()
+		<-done
 		return p.Err()
 	}
-	p.drained = true
+	done := make(chan struct{})
+	p.drainDone = done
 	sources := append([]*source(nil), p.sources...)
 	stages := append([]node(nil), p.stages...)
 	p.mu.Unlock()
+	defer close(done)
 
 	for _, s := range sources {
 		t0 := time.Now()

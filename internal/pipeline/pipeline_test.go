@@ -298,6 +298,70 @@ func TestErrorPolicyFatalPoisonsPipeline(t *testing.T) {
 	}
 }
 
+// TestSubmitRefusedAfterFatal: once the pipeline has failed its workers
+// are gone, so Submit and TrySubmit must refuse new items immediately
+// instead of parking them in a queue nothing will drain until Close.
+func TestSubmitRefusedAfterFatal(t *testing.T) {
+	defer leakcheck.Check(t)()
+	p := New("refuse", telemetry.NewRegistry())
+	boom := errors.New("sink exploded")
+	sink := AddSink(p, "bad", Options[int]{Queue: 4}, func(ctx context.Context, v int) error {
+		return boom
+	})
+	p.Start()
+	if err := sink.Submit(context.Background(), 1); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	<-p.Context().Done() // fail() has cancelled; queues still have room
+	if err := sink.Submit(context.Background(), 2); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Submit after fatal = %v, want ErrStopped", err)
+	}
+	if sink.TrySubmit(3) {
+		t.Fatal("TrySubmit accepted an item into a failed pipeline")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	p.Drain(ctx)
+}
+
+// TestConcurrentDrainWaits: a second Drain caller must wait for the
+// in-progress drain to finish flushing before returning, or callers
+// race ahead to teardown while stages are still writing.
+func TestConcurrentDrainWaits(t *testing.T) {
+	defer leakcheck.Check(t)()
+	p := New("cdrain", telemetry.NewRegistry())
+
+	var flushed atomic.Int64
+	sink := AddSink(p, "slow", Options[int]{Queue: 16}, func(ctx context.Context, v int) error {
+		time.Sleep(5 * time.Millisecond)
+		flushed.Add(1)
+		return nil
+	})
+	p.Start()
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := sink.Submit(context.Background(), i); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Drain(ctx); err != nil {
+				t.Errorf("drain: %v", err)
+			}
+			if got := flushed.Load(); got != n {
+				t.Errorf("Drain returned with %d/%d items flushed", got, n)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // TestSkipAcknowledgesWithoutEmitting: Skip consumes the item without
 // feeding downstream and without counting as a failure.
 func TestSkipAcknowledgesWithoutEmitting(t *testing.T) {
@@ -473,4 +537,36 @@ func TestDaemonSignalStopsBody(t *testing.T) {
 	if !stopped.Load() {
 		t.Fatal("Stop hook did not run")
 	}
+}
+
+// TestDaemonSecondSignalAbandonsDrain: if the drain wedges after the
+// first signal, a second signal is the operator's escape hatch — Run
+// must stop waiting on the body and return an error instead of forcing
+// a SIGKILL.
+func TestDaemonSecondSignalAbandonsDrain(t *testing.T) {
+	defer leakcheck.Check(t)()
+	wedged := make(chan struct{})
+	running := make(chan struct{})
+	stopped := make(chan struct{})
+	go func() {
+		<-running
+		syscall.Kill(os.Getpid(), syscall.SIGTERM)
+		<-stopped // first signal consumed; Run is now waiting on the body
+		syscall.Kill(os.Getpid(), syscall.SIGTERM)
+	}()
+	sig, err := Daemon{
+		Body: func(ctx context.Context) error {
+			close(running)
+			<-wedged // ignores ctx — a drain that hangs forever
+			return nil
+		},
+		Stop: func(os.Signal) { close(stopped) },
+	}.Run()
+	if err == nil {
+		t.Fatal("Run returned nil; a second signal during a wedged drain must error")
+	}
+	if sig != syscall.SIGTERM {
+		t.Fatalf("signal = %v, want SIGTERM", sig)
+	}
+	close(wedged) // let the body goroutine exit (bodyDone is buffered)
 }

@@ -187,7 +187,9 @@ func (s *Stage[In, Out]) Submit(ctx context.Context, item In) error {
 	q := s.queueFor(item)
 	s.intake.RLock()
 	defer s.intake.RUnlock()
-	if s.closed {
+	// A failed pipeline's workers have exited; accepting the item would
+	// strand it (and its submitter) in the queue until the drain sweep.
+	if s.closed || s.p.ctx.Err() != nil {
 		return ErrStopped
 	}
 	select {
@@ -212,7 +214,7 @@ func (s *Stage[In, Out]) TrySubmit(item In) bool {
 	q := s.queueFor(item)
 	s.intake.RLock()
 	defer s.intake.RUnlock()
-	if s.closed {
+	if s.closed || s.p.ctx.Err() != nil {
 		return false
 	}
 	select {

@@ -318,6 +318,22 @@ func (l *Listener) Run() error {
 	}
 }
 
+// Fatal is closed when the staged runtime fails fatally — a sink error
+// has poisoned the pipeline and every further HandleBody will be
+// refused. HandleBody-based transports (fabric groups) select on it to
+// exit with FatalErr instead of retrying a dead listener forever; the
+// Run path surfaces the same error through its return value.
+func (l *Listener) Fatal() <-chan struct{} {
+	l.init()
+	return l.pipe.Fatal()
+}
+
+// FatalErr returns the error that poisoned the staged runtime, or nil.
+func (l *Listener) FatalErr() error {
+	l.init()
+	return l.pipe.Err()
+}
+
 // HandleBody fans one raw wire message into the configured sinks —
 // the entry point for transports that do their own consuming, like a
 // fabric partition group feeding one listener from many partition

@@ -67,12 +67,34 @@ func (l *Listener) buildPipeline(reg *telemetry.Registry) {
 // submitWait pushes one wire message into the pipeline and blocks until
 // it is fully processed (or dead-lettered). A nil return means every
 // configured sink accepted the snapshot and the message may be acked.
+//
+// The wait also watches the pipeline context: after a fatal stage error
+// the workers exit and queued items resolve only via Drain's sweep, so
+// blocking on done alone would strand the submitter (and, in fabric
+// mode, deadlock shutdown — g.Stop joins the consumer goroutines before
+// l.Close runs the sweep). it.done is buffered, so the sweep's later
+// send never blocks on a departed submitter.
 func (l *Listener) submitWait(body []byte) error {
 	it := &listenItem{body: body, done: make(chan error, 1)}
 	if err := l.intake.Submit(l.pipe.Context(), it); err != nil {
 		return err
 	}
-	return <-it.done
+	select {
+	case err := <-it.done:
+		return err
+	case <-l.pipe.Context().Done():
+		// Prefer the item's own fate if it resolved concurrently with
+		// the cancel: an already-processed message should still ack.
+		select {
+		case err := <-it.done:
+			return err
+		default:
+		}
+		if err := l.pipe.Err(); err != nil {
+			return err
+		}
+		return pipeline.ErrStopped
+	}
 }
 
 // drainPipeline flushes and stops the staged runtime; idempotent.
